@@ -1,0 +1,105 @@
+// Command wpnanalyze runs only PushAdMiner's data-analysis module over a
+// WPN record file produced by cmd/wpncrawl: clustering, campaign
+// identification, malicious labeling (using the blocklist verdicts
+// captured in the file), meta-clustering, and the summary report.
+//
+// Usage:
+//
+//	wpnanalyze -in wpns.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"pushadminer/internal/core"
+	"pushadminer/internal/report"
+)
+
+func main() {
+	in := flag.String("in", "wpns.json", "input JSON produced by wpncrawl")
+	dot := flag.Int("dot", -1, "emit Graphviz DOT for the N largest meta clusters instead of the summary")
+	trace := flag.Int("trace", -1, "print forensic timelines for the first N malicious records instead of the summary")
+	flag.Parse()
+
+	export, err := core.LoadExport(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d WPN records (seed=%d scale=%.3f, crawled %s)",
+		len(export.Records), export.Seed, export.Scale, export.GeneratedAt.Format("2006-01-02"))
+
+	a, err := core.RunPipeline(export.Records, core.PipelineOptions{
+		Services: core.LookupsFromExport(export),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dot >= 0 {
+		emitDOT(a, *dot)
+		return
+	}
+	if *trace >= 0 {
+		emitTraces(a, *trace)
+		return
+	}
+	r := a.Report
+
+	t := &report.Table{
+		Title:   "Analysis summary",
+		Headers: []string{"Metric", "Value"},
+	}
+	t.AddRow("records analyzed (valid landing)", r.ValidLanding)
+	t.AddRow("WPN clusters", r.Clusters)
+	t.AddRow("singleton clusters", r.Singletons)
+	t.AddRow("ad campaigns", r.AdCampaignClusters)
+	t.AddRow("meta clusters", r.MetaClusters)
+	t.AddRow("WPN ads", r.TotalAds)
+	t.AddRow("known malicious ads", r.TotalKnownMal)
+	t.AddRow("additional malicious ads", r.TotalAddMal)
+	t.AddRow("malicious ads total", r.TotalMaliciousAds)
+	t.AddRow("malicious ad fraction", fmt.Sprintf("%.0f%%", 100*r.MaliciousAdFraction()))
+	t.AddRow("malicious campaigns", r.MaliciousCampaigns)
+	fmt.Println(t)
+}
+
+// emitTraces prints forensic timelines for malicious records.
+func emitTraces(a *core.Analysis, n int) {
+	shown := 0
+	for i, r := range a.FS.Records {
+		if n > 0 && shown >= n {
+			break
+		}
+		if !a.Labels[i].Malicious() {
+			continue
+		}
+		fmt.Println(core.TraceRecord(r))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("no malicious records to trace")
+	}
+}
+
+// emitDOT prints DOT graphs for the n largest meta clusters (all of
+// them when n is 0).
+func emitDOT(a *core.Analysis, n int) {
+	type sized struct{ id, clusters int }
+	var metas []sized
+	for i, mc := range a.Meta.Meta {
+		metas = append(metas, sized{i, len(mc.Clusters)})
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].clusters > metas[j].clusters })
+	if n == 0 || n > len(metas) {
+		n = len(metas)
+	}
+	for _, m := range metas[:n] {
+		dot, err := core.AnalysisMetaClusterDOT(a, m.id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(dot)
+	}
+}

@@ -1,0 +1,34 @@
+package pushadminer_test
+
+import (
+	"fmt"
+
+	"pushadminer"
+)
+
+// Example runs a miniature end-to-end study: generate a synthetic web,
+// crawl it on desktop and mobile, mine the collected notifications, and
+// inspect the discovered ad campaigns.
+func Example() {
+	study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
+		Eco: pushadminer.EcosystemConfig{Seed: 2, Scale: 0.002},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer study.Close()
+
+	r := study.Analysis.Report
+	fmt.Println("collected WPNs:", r.TotalCollected > 0)
+	fmt.Println("found ad campaigns:", r.AdCampaignClusters > 0)
+	fmt.Println("found malicious ads:", r.TotalMaliciousAds > 0)
+
+	campaigns := pushadminer.Campaigns(study)
+	fmt.Println("largest campaign is multi-source:", len(campaigns) > 0 && len(campaigns[0].Sources) > 1)
+	// Output:
+	// collected WPNs: true
+	// found ad campaigns: true
+	// found malicious ads: true
+	// largest campaign is multi-source: true
+}

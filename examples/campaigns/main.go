@@ -1,0 +1,51 @@
+// Campaigns runs the full PushAdMiner pipeline on a mid-size synthetic
+// web and walks through what the mining stages discovered: the WPN ad
+// campaigns, the malicious ones among them, the meta-clusters that tie
+// rotated landing domains to one operation, and the paper's headline
+// measurement (about half of all WPN ads are malicious).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pushadminer"
+)
+
+func main() {
+	log.Println("running study (this crawls a synthetic web over 14 simulated days)...")
+	study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
+		Eco:              pushadminer.EcosystemConfig{Seed: 7, Scale: 0.02},
+		CollectionWindow: 14 * 24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	fmt.Println(pushadminer.Table3(study))
+	fmt.Println(pushadminer.Table4(study))
+	fmt.Println(pushadminer.Figure4Table(study))
+	fmt.Println(pushadminer.Figure5Table(study))
+	fmt.Println(pushadminer.Figure6Table(study))
+
+	// Dig into the biggest malicious campaign like an analyst would.
+	fmt.Println("Largest malicious ad campaigns (message → landing):")
+	a := study.Analysis
+	shown := 0
+	for ci, c := range a.Clusters.Clusters {
+		if !c.IsAdCampaign || !a.MalClusters[ci] || shown >= 3 {
+			continue
+		}
+		shown++
+		r := a.FS.Records[c.Members[0]]
+		fmt.Printf("  campaign of %d WPNs from %d sites via %d landing domains\n",
+			len(c.Members), len(c.SourceDomains), len(c.LandingDomains))
+		fmt.Printf("    %q / %q\n    → %s\n", r.Title, r.Body, r.LandingURL)
+	}
+
+	ev := study.Evaluate()
+	fmt.Printf("\nGround-truth check (simulation only): precision %.3f, recall %.3f\n",
+		ev.Precision(), ev.Recall())
+}

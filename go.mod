@@ -1,0 +1,3 @@
+module pushadminer
+
+go 1.22

@@ -1,0 +1,359 @@
+// Package adblock implements an Adblock-Plus-style filter-rule engine (a
+// practical subset of the EasyList syntax) and the browser-extension
+// visibility model needed to reproduce the paper's Table 6: extensions of
+// the era could not observe network requests issued by Service Workers,
+// so even rules that would match those URLs never fired (§6.4, §8).
+//
+// Supported filter syntax:
+//
+//	! comment                       — ignored
+//	##selector / #@#selector        — element hiding, ignored (no DOM)
+//	@@pattern                       — exception (allow) rule
+//	||host^                         — domain anchor
+//	|https://exact-prefix           — start anchor
+//	pattern* with * wildcards       — substring with wildcards
+//	^                               — separator placeholder
+//	$options                        — third-party, ~third-party, script,
+//	                                  image, domain=a.com|~b.com
+package adblock
+
+import (
+	"fmt"
+	"strings"
+
+	"pushadminer/internal/urlx"
+)
+
+// RequestType classifies a request for $type options.
+type RequestType string
+
+// Request types understood by the engine.
+const (
+	TypeDocument RequestType = "document"
+	TypeScript   RequestType = "script"
+	TypeImage    RequestType = "image"
+	TypeXHR      RequestType = "xmlhttprequest"
+	TypeOther    RequestType = "other"
+)
+
+// Request is one network request presented to the engine.
+type Request struct {
+	URL string
+	// DocumentURL is the page (or worker scope) that issued the request;
+	// it determines first- vs third-party.
+	DocumentURL string
+	Type        RequestType
+	// FromServiceWorker marks requests issued by a Service Worker rather
+	// than a page context.
+	FromServiceWorker bool
+}
+
+// Rule is one parsed filter rule.
+type Rule struct {
+	Raw          string
+	Exception    bool
+	domainAnchor bool   // ||
+	startAnchor  bool   // |
+	pattern      string // with embedded * and ^ as parsed
+
+	optThirdParty *bool // nil = don't care
+	optTypes      map[RequestType]bool
+	optDomains    []string // include domains ("" slice = none)
+	optNotDomains []string
+}
+
+// ParseRule parses a single filter line. It returns (nil, nil) for lines
+// that carry no network-filter semantics (comments, element hiding,
+// blanks).
+func ParseRule(line string) (*Rule, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "[") {
+		return nil, nil
+	}
+	if strings.Contains(line, "##") || strings.Contains(line, "#@#") {
+		return nil, nil // element hiding: no DOM in this simulation
+	}
+	r := &Rule{Raw: line}
+	body := line
+	if strings.HasPrefix(body, "@@") {
+		r.Exception = true
+		body = body[2:]
+	}
+	// Split options.
+	if i := strings.LastIndexByte(body, '$'); i >= 0 && !strings.Contains(body[i:], "/") {
+		opts := body[i+1:]
+		body = body[:i]
+		for _, opt := range strings.Split(opts, ",") {
+			opt = strings.TrimSpace(opt)
+			switch {
+			case opt == "third-party":
+				v := true
+				r.optThirdParty = &v
+			case opt == "~third-party":
+				v := false
+				r.optThirdParty = &v
+			case opt == "script", opt == "image", opt == "xmlhttprequest", opt == "document", opt == "other":
+				if r.optTypes == nil {
+					r.optTypes = make(map[RequestType]bool)
+				}
+				r.optTypes[RequestType(opt)] = true
+			case strings.HasPrefix(opt, "domain="):
+				for _, d := range strings.Split(opt[len("domain="):], "|") {
+					d = strings.ToLower(strings.TrimSpace(d))
+					if d == "" {
+						continue
+					}
+					if strings.HasPrefix(d, "~") {
+						r.optNotDomains = append(r.optNotDomains, d[1:])
+					} else {
+						r.optDomains = append(r.optDomains, d)
+					}
+				}
+			case opt == "":
+				// tolerated
+			default:
+				// Unknown options make the rule inert rather than wrong.
+				return nil, fmt.Errorf("adblock: unsupported option %q in %q", opt, line)
+			}
+		}
+	}
+	switch {
+	case strings.HasPrefix(body, "||"):
+		r.domainAnchor = true
+		body = body[2:]
+	case strings.HasPrefix(body, "|"):
+		r.startAnchor = true
+		body = body[1:]
+	}
+	if body == "" {
+		return nil, fmt.Errorf("adblock: empty pattern in %q", line)
+	}
+	r.pattern = body
+	return r, nil
+}
+
+// matchPattern matches an ABP pattern (with * wildcards and ^ separators)
+// against s starting at position 0 when anchored, or anywhere otherwise.
+func matchPattern(pattern, s string, anchored bool) bool {
+	if anchored {
+		return matchHere(pattern, s)
+	}
+	for i := 0; i <= len(s); i++ {
+		if matchHere(pattern, s[i:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchHere matches pattern against a prefix of s.
+func matchHere(pattern, s string) bool {
+	if pattern == "" {
+		return true
+	}
+	switch pattern[0] {
+	case '*':
+		for i := 0; i <= len(s); i++ {
+			if matchHere(pattern[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	case '^':
+		// Separator: any char that is not alphanumeric, '-', '.', '_',
+		// or '%'; also matches end of string.
+		if len(s) == 0 {
+			return matchHere(pattern[1:], s)
+		}
+		if isSeparator(s[0]) {
+			return matchHere(pattern[1:], s[1:])
+		}
+		return false
+	default:
+		if len(s) == 0 || s[0] != pattern[0] {
+			return false
+		}
+		return matchHere(pattern[1:], s[1:])
+	}
+}
+
+func isSeparator(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return false
+	case c == '-', c == '.', c == '_', c == '%':
+		return false
+	}
+	return true
+}
+
+// Matches reports whether the rule matches the request (ignoring the
+// Exception flag, which the engine interprets).
+func (r *Rule) Matches(req Request) bool {
+	if r.optThirdParty != nil {
+		third := !urlx.SameESLD(req.URL, req.DocumentURL)
+		if third != *r.optThirdParty {
+			return false
+		}
+	}
+	if r.optTypes != nil && !r.optTypes[req.Type] {
+		return false
+	}
+	if len(r.optDomains) > 0 || len(r.optNotDomains) > 0 {
+		doc := urlx.ESLDOf(req.DocumentURL)
+		if len(r.optDomains) > 0 && !containsDomain(r.optDomains, doc) {
+			return false
+		}
+		if containsDomain(r.optNotDomains, doc) {
+			return false
+		}
+	}
+	url := req.URL
+	switch {
+	case r.domainAnchor:
+		// Pattern must match starting at a host-boundary position:
+		// scheme://(subdomain.)*pattern...
+		host := urlx.HostOf(url)
+		if host == "" {
+			return false
+		}
+		i := strings.Index(url, host)
+		if i < 0 {
+			return false
+		}
+		// Candidate starts: the host start and after each dot label.
+		rest := url[i:]
+		offsets := []int{0}
+		for j := 0; j < len(host); j++ {
+			if host[j] == '.' {
+				offsets = append(offsets, j+1)
+			}
+		}
+		for _, off := range offsets {
+			if matchHere(r.pattern, rest[off:]) {
+				return true
+			}
+		}
+		return false
+	case r.startAnchor:
+		return matchPattern(r.pattern, url, true)
+	default:
+		return matchPattern(r.pattern, url, false)
+	}
+}
+
+func containsDomain(list []string, esld string) bool {
+	for _, d := range list {
+		if d == esld || strings.HasSuffix(esld, "."+d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Engine evaluates a parsed rule list. Domain-anchored rules are
+// indexed by registrable domain (see index.go) so evaluation cost scales
+// with the handful of rules naming the request's domain, not the full
+// list.
+type Engine struct {
+	block      []*Rule
+	exceptions []*Rule
+	skipped    int // unparseable/unsupported lines
+
+	byDomain map[string][]*Rule
+	generic  []*Rule
+}
+
+// ParseList parses a full filter list, skipping unsupported lines (like
+// real ad blockers do) and counting them.
+func ParseList(lines []string) *Engine {
+	e := &Engine{}
+	for _, line := range lines {
+		r, err := ParseRule(line)
+		if err != nil {
+			e.skipped++
+			continue
+		}
+		if r == nil {
+			continue
+		}
+		if r.Exception {
+			e.exceptions = append(e.exceptions, r)
+		} else {
+			e.block = append(e.block, r)
+		}
+	}
+	e.buildIndex()
+	return e
+}
+
+// NumRules returns (block, exception) rule counts.
+func (e *Engine) NumRules() (int, int) { return len(e.block), len(e.exceptions) }
+
+// Skipped returns the number of lines dropped as unsupported.
+func (e *Engine) Skipped() int { return e.skipped }
+
+// Decision is the outcome of evaluating one request.
+type Decision struct {
+	Blocked bool
+	Rule    string // raw text of the deciding rule, if any
+}
+
+// Evaluate applies the list to a request: blocked if any block rule
+// matches and no exception rule matches.
+func (e *Engine) Evaluate(req Request) Decision {
+	var hit *Rule
+	for _, r := range e.candidates(req.URL) {
+		if r.Matches(req) {
+			hit = r
+			break
+		}
+	}
+	if hit == nil {
+		return Decision{}
+	}
+	for _, r := range e.exceptions {
+		if r.Matches(req) {
+			return Decision{Blocked: false, Rule: r.Raw}
+		}
+	}
+	return Decision{Blocked: true, Rule: hit.Raw}
+}
+
+// Extension models a browser ad-blocker extension of the study period: a
+// filter engine plus the visibility limitation that it only observes
+// page-context requests. Requests with FromServiceWorker=true are
+// invisible to it unless SeesServiceWorkers is set (the post-2020
+// Chromium fix discussed in §8).
+type Extension struct {
+	Name               string
+	Engine             *Engine
+	SeesServiceWorkers bool
+}
+
+// Stats summarize an extension's performance over a request log.
+type Stats struct {
+	Total      int // requests presented
+	Visible    int // requests the extension could observe
+	WouldMatch int // requests its rules match (visibility aside)
+	Blocked    int // requests actually blocked
+}
+
+// Evaluate runs the extension over a request log.
+func (x *Extension) Evaluate(reqs []Request) Stats {
+	var st Stats
+	for _, req := range reqs {
+		st.Total++
+		if x.Engine.Evaluate(req).Blocked {
+			st.WouldMatch++
+		}
+		if req.FromServiceWorker && !x.SeesServiceWorkers {
+			continue // invisible: cannot block
+		}
+		st.Visible++
+		if x.Engine.Evaluate(req).Blocked {
+			st.Blocked++
+		}
+	}
+	return st
+}

@@ -1,0 +1,186 @@
+package adblock
+
+import "testing"
+
+func mustRule(t *testing.T, line string) *Rule {
+	t.Helper()
+	r, err := ParseRule(line)
+	if err != nil {
+		t.Fatalf("ParseRule(%q): %v", line, err)
+	}
+	if r == nil {
+		t.Fatalf("ParseRule(%q) returned no rule", line)
+	}
+	return r
+}
+
+func TestParseIgnoresNonNetworkLines(t *testing.T) {
+	for _, line := range []string{"", "! comment", "[Adblock Plus 2.0]", "example.com##.ad", "example.com#@#.ad"} {
+		r, err := ParseRule(line)
+		if err != nil || r != nil {
+			t.Errorf("ParseRule(%q) = %v, %v; want nil, nil", line, r, err)
+		}
+	}
+}
+
+func TestDomainAnchor(t *testing.T) {
+	r := mustRule(t, "||ads.example.com^")
+	cases := []struct {
+		url  string
+		want bool
+	}{
+		{"https://ads.example.com/banner.js", true},
+		{"https://sub.ads.example.com/banner.js", true},
+		{"https://example.com/ads.example.com/x", false}, // path, not host
+		{"https://notads.example.com/x", false},
+		{"https://ads.example.community/x", false}, // ^ must be separator
+	}
+	for _, c := range cases {
+		got := r.Matches(Request{URL: c.url, DocumentURL: "https://pub.test/"})
+		if got != c.want {
+			t.Errorf("||ads.example.com^ vs %s = %v, want %v", c.url, got, c.want)
+		}
+	}
+}
+
+func TestStartAnchorAndWildcard(t *testing.T) {
+	r := mustRule(t, "|https://track.*/pixel")
+	if !r.Matches(Request{URL: "https://track.a.test/pixel?x=1"}) {
+		t.Error("start anchor with wildcard failed to match")
+	}
+	if r.Matches(Request{URL: "https://other.test/https://track.a.test/pixel"}) {
+		t.Error("start anchor matched mid-string")
+	}
+}
+
+func TestSubstringPattern(t *testing.T) {
+	r := mustRule(t, "/adserve/")
+	if !r.Matches(Request{URL: "https://x.test/adserve/unit.js"}) {
+		t.Error("substring failed")
+	}
+	if r.Matches(Request{URL: "https://x.test/ads/unit.js"}) {
+		t.Error("substring over-matched")
+	}
+}
+
+func TestSeparatorCaret(t *testing.T) {
+	r := mustRule(t, "||adnet.test^push")
+	if !r.Matches(Request{URL: "https://adnet.test/push?x"}) {
+		t.Error("^ should match /")
+	}
+	if r.Matches(Request{URL: "https://adnet.testxpush/"}) {
+		t.Error("^ must not match alphanumerics")
+	}
+}
+
+func TestThirdPartyOption(t *testing.T) {
+	r := mustRule(t, "||cdn.test^$third-party")
+	third := Request{URL: "https://cdn.test/x.js", DocumentURL: "https://pub.test/"}
+	first := Request{URL: "https://cdn.test/x.js", DocumentURL: "https://www.cdn.test/page"}
+	if !r.Matches(third) {
+		t.Error("third-party request not matched")
+	}
+	if r.Matches(first) {
+		t.Error("first-party request matched a $third-party rule")
+	}
+	inv := mustRule(t, "||cdn.test^$~third-party")
+	if inv.Matches(third) || !inv.Matches(first) {
+		t.Error("~third-party inverted incorrectly")
+	}
+}
+
+func TestTypeOption(t *testing.T) {
+	r := mustRule(t, "||adnet.test^$script")
+	if !r.Matches(Request{URL: "https://adnet.test/sw.js", Type: TypeScript}) {
+		t.Error("script type not matched")
+	}
+	if r.Matches(Request{URL: "https://adnet.test/img.png", Type: TypeImage}) {
+		t.Error("image matched a $script rule")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	r := mustRule(t, "/sponsored/$domain=news.test|~sports.news.test")
+	if !r.Matches(Request{URL: "https://x.test/sponsored/1", DocumentURL: "https://news.test/a"}) {
+		t.Error("included domain not matched")
+	}
+	if r.Matches(Request{URL: "https://x.test/sponsored/1", DocumentURL: "https://blog.test/a"}) {
+		t.Error("unlisted domain matched")
+	}
+}
+
+func TestUnsupportedOptionIsError(t *testing.T) {
+	if _, err := ParseRule("||x.test^$websocket"); err == nil {
+		t.Error("unsupported option accepted")
+	}
+}
+
+func TestEngineExceptions(t *testing.T) {
+	e := ParseList([]string{
+		"||ads.test^",
+		"@@||ads.test/allowed^",
+	})
+	if d := e.Evaluate(Request{URL: "https://ads.test/banner"}); !d.Blocked {
+		t.Error("block rule did not fire")
+	}
+	if d := e.Evaluate(Request{URL: "https://ads.test/allowed/x"}); d.Blocked {
+		t.Error("exception did not override")
+	}
+	b, x := e.NumRules()
+	if b != 1 || x != 1 {
+		t.Errorf("NumRules = %d, %d", b, x)
+	}
+}
+
+func TestParseListSkipsBadLines(t *testing.T) {
+	e := ParseList([]string{"||ok.test^", "||bad.test^$websocket", "! comment"})
+	if e.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", e.Skipped())
+	}
+	if b, _ := e.NumRules(); b != 1 {
+		t.Errorf("block rules = %d, want 1", b)
+	}
+}
+
+// TestExtensionBlindToServiceWorkers reproduces the §6.4 mechanism: the
+// extension's rules match SW requests, but it cannot see them.
+func TestExtensionBlindToServiceWorkers(t *testing.T) {
+	engine := ParseList([]string{"||adnet.test^"})
+	ext := &Extension{Name: "blocker", Engine: engine}
+	reqs := []Request{
+		{URL: "https://adnet.test/ad?id=1", FromServiceWorker: true},
+		{URL: "https://adnet.test/ad?id=2", FromServiceWorker: true},
+		{URL: "https://adnet.test/tag.js", DocumentURL: "https://pub.test/", Type: TypeScript},
+	}
+	st := ext.Evaluate(reqs)
+	if st.Total != 3 || st.WouldMatch != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Visible != 1 || st.Blocked != 1 {
+		t.Errorf("extension blocked %d/%d visible; want 1/1 (SW requests invisible)", st.Blocked, st.Visible)
+	}
+	// With the Chromium fix, everything is visible and blocked.
+	ext.SeesServiceWorkers = true
+	st = ext.Evaluate(reqs)
+	if st.Visible != 3 || st.Blocked != 3 {
+		t.Errorf("post-fix stats = %+v", st)
+	}
+}
+
+func TestMatchPatternEdgeCases(t *testing.T) {
+	if !matchPattern("a*c", "abc", true) {
+		t.Error("a*c !~ abc")
+	}
+	if !matchPattern("a*c", "ac", true) {
+		t.Error("a*c !~ ac (empty wildcard)")
+	}
+	if !matchPattern("a^", "a", true) {
+		t.Error("^ at end of string should match")
+	}
+	if matchPattern("ab", "a", true) {
+		t.Error("pattern longer than input matched")
+	}
+	if !matchPattern("b", "abc", false) {
+		t.Error("unanchored substring failed")
+	}
+}

@@ -1,0 +1,24 @@
+package adblock
+
+import "testing"
+
+// FuzzParseRule checks that arbitrary filter lines never panic the
+// parser or the matcher.
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"||ads.example.com^", "@@||ok.test/allowed^", "|https://x*", "/ad/",
+		"||a.b^$third-party,script", "! comment", "##.ad", "$domain=a.com|~b.com",
+		"^^^", "***", "||", "@@", "||x^$domain=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseRule(line)
+		if err != nil || r == nil {
+			return
+		}
+		// Matching must never panic, whatever the rule looks like.
+		r.Matches(Request{URL: "https://ads.example.com/x?q=1", DocumentURL: "https://pub.test/", Type: TypeXHR})
+		r.Matches(Request{URL: "not a url", DocumentURL: ""})
+	})
+}

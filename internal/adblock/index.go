@@ -1,0 +1,83 @@
+package adblock
+
+import (
+	"strings"
+
+	"pushadminer/internal/urlx"
+)
+
+// The engine indexes domain-anchored block rules by the eSLD of their
+// host pattern, the same trick real ad blockers use so that a request is
+// checked against a handful of rules instead of the full EasyList. Rules
+// whose pattern does not pin down a registrable domain stay in the
+// generic scan list; behaviour is identical to the linear scan.
+
+// patternHost extracts the fixed host prefix of a domain-anchored
+// pattern: the leading run of host characters before the first
+// wildcard, separator or path byte. Returns "" when the pattern does not
+// start with a complete registrable host.
+func patternHost(pattern string) string {
+	end := len(pattern)
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		isHostByte := c == '.' || c == '-' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !isHostByte {
+			end = i
+			break
+		}
+	}
+	host := pattern[:end]
+	if host == "" || !strings.Contains(host, ".") {
+		return ""
+	}
+	if end < len(pattern) {
+		switch pattern[end] {
+		case '^', '/', ':':
+			// Host is complete: the next byte is a boundary.
+		default:
+			// A wildcard or other byte continues the host; the prefix
+			// may be a partial label ("ads.exam*"), so don't index it.
+			return ""
+		}
+	}
+	return strings.ToLower(host)
+}
+
+// buildIndex populates the per-domain rule buckets.
+func (e *Engine) buildIndex() {
+	e.byDomain = make(map[string][]*Rule)
+	e.generic = nil
+	for _, r := range e.block {
+		if !r.domainAnchor {
+			e.generic = append(e.generic, r)
+			continue
+		}
+		host := patternHost(r.pattern)
+		if host == "" {
+			e.generic = append(e.generic, r)
+			continue
+		}
+		esld := urlx.ESLD(host)
+		e.byDomain[esld] = append(e.byDomain[esld], r)
+	}
+}
+
+// candidates returns the rules that could possibly match a request URL.
+func (e *Engine) candidates(url string) []*Rule {
+	host := urlx.HostOf(url)
+	if host == "" {
+		return e.generic
+	}
+	bucket := e.byDomain[urlx.ESLD(host)]
+	if len(bucket) == 0 {
+		return e.generic
+	}
+	if len(e.generic) == 0 {
+		return bucket
+	}
+	out := make([]*Rule, 0, len(bucket)+len(e.generic))
+	out = append(out, bucket...)
+	out = append(out, e.generic...)
+	return out
+}

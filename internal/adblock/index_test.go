@@ -1,0 +1,128 @@
+package adblock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestPatternHost(t *testing.T) {
+	cases := []struct{ pattern, want string }{
+		{"ads.example.com^", "ads.example.com"},
+		{"ads.example.com/path", "ads.example.com"},
+		{"ads.example.com:8080", "ads.example.com"},
+		{"ads.example.com", "ads.example.com"},
+		{"ads.exam*", ""}, // partial label
+		{"ads^", ""},      // single label
+		{"^foo", ""},      // no host
+		{"EXAMPLE.com^x", "example.com"},
+	}
+	for _, c := range cases {
+		if got := patternHost(c.pattern); got != c.want {
+			t.Errorf("patternHost(%q) = %q, want %q", c.pattern, got, c.want)
+		}
+	}
+}
+
+// linearEvaluate is the reference implementation without the index.
+func (e *Engine) linearEvaluate(req Request) bool {
+	var hit *Rule
+	for _, r := range e.block {
+		if r.Matches(req) {
+			hit = r
+			break
+		}
+	}
+	if hit == nil {
+		return false
+	}
+	for _, r := range e.exceptions {
+		if r.Matches(req) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexedMatchesLinear fuzzes random rule sets and requests,
+// requiring the indexed engine's block decision to equal the linear
+// reference.
+func TestIndexedMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	domains := []string{"ads.alpha.com", "cdn.beta.net", "trk.gamma.org", "x.delta.icu", "sub.ads.alpha.com"}
+	paths := []string{"/ad", "/banner/1", "/pixel.gif", "/sw.js", "/adserve/x"}
+
+	for trial := 0; trial < 50; trial++ {
+		var lines []string
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				lines = append(lines, "||"+domains[rng.Intn(len(domains))]+"^")
+			case 1:
+				lines = append(lines, paths[rng.Intn(len(paths))])
+			case 2:
+				lines = append(lines, "||"+domains[rng.Intn(len(domains))]+"^$third-party")
+			case 3:
+				lines = append(lines, "@@||"+domains[rng.Intn(len(domains))]+"/allowed^")
+			}
+		}
+		e := ParseList(lines)
+		for i := 0; i < 40; i++ {
+			req := Request{
+				URL:         fmt.Sprintf("https://%s%s?q=%d", domains[rng.Intn(len(domains))], paths[rng.Intn(len(paths))], i),
+				DocumentURL: "https://pub.test/",
+				Type:        TypeXHR,
+			}
+			if rng.Intn(4) == 0 {
+				req.URL = fmt.Sprintf("https://%s/allowed/thing", domains[rng.Intn(len(domains))])
+			}
+			got := e.Evaluate(req).Blocked
+			want := e.linearEvaluate(req)
+			if got != want {
+				t.Fatalf("trial %d: indexed=%v linear=%v for %s with rules %v", trial, got, want, req.URL, lines)
+			}
+		}
+	}
+}
+
+func TestGenericRulesStillApply(t *testing.T) {
+	e := ParseList([]string{"||known.com^", "/adserve/"})
+	// Request to an unindexed domain must still hit the generic rule.
+	if !e.Evaluate(Request{URL: "https://other.net/adserve/unit"}).Blocked {
+		t.Error("generic rule skipped for unindexed domain")
+	}
+	// And indexed-domain requests must still see generic rules.
+	if !e.Evaluate(Request{URL: "https://known.com/adserve/unit"}).Blocked {
+		t.Error("rule missed on indexed domain")
+	}
+}
+
+func BenchmarkEngineIndexed(b *testing.B) {
+	lines := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		lines = append(lines, fmt.Sprintf("||ads%04d.example%04d.com^", i, i))
+	}
+	e := ParseList(lines)
+	req := Request{URL: "https://ads0042.example0042.com/x", DocumentURL: "https://pub.test/"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Evaluate(req).Blocked {
+			b.Fatal("rule missed")
+		}
+	}
+}
+
+func BenchmarkEngineLinearReference(b *testing.B) {
+	lines := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		lines = append(lines, fmt.Sprintf("||ads%04d.example%04d.com^", i, i))
+	}
+	e := ParseList(lines)
+	req := Request{URL: "https://ads0042.example0042.com/x", DocumentURL: "https://pub.test/"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.linearEvaluate(req) {
+			b.Fatal("rule missed")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package audit implements the JSgraph-style audit logging the paper's
+// instrumentation builds on (Li et al., NDSS 2018 — reference [39]):
+// fine-grained browser events are streamed to an append-only JSONL log,
+// and complete WPN attack chains (subscription → push → notification →
+// click → redirections → landing page) can be reconstructed from the log
+// alone, after the fact. PushAdMiner's analysis can therefore run either
+// on live crawler records or on replayed audit logs.
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"pushadminer/internal/browser"
+)
+
+// Entry is one logged instrumentation event, tagged with the browser
+// (container) it came from.
+type Entry struct {
+	Seq       int               `json:"seq"`
+	Container string            `json:"container"`
+	Time      time.Time         `json:"time"`
+	Kind      browser.EventKind `json:"kind"`
+	Fields    map[string]string `json:"fields,omitempty"`
+}
+
+// Writer streams entries as JSONL. It is safe for concurrent use —
+// containers log in parallel.
+type Writer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	seq int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Log appends one event.
+func (w *Writer) Log(container string, e browser.Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	entry := Entry{Seq: w.seq, Container: container, Time: e.Time, Kind: e.Kind, Fields: e.Fields}
+	if err := w.enc.Encode(&entry); err != nil {
+		return fmt.Errorf("audit: write: %w", err)
+	}
+	return nil
+}
+
+// LogAll appends a browser's full event log under one container id.
+func (w *Writer) LogAll(container string, events []browser.Event) error {
+	for _, e := range events {
+		if err := w.Log(container, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.w.Flush()
+}
+
+// Read parses a JSONL audit log.
+func Read(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/webeco"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []browser.Event{
+		{Time: time.Unix(100, 0).UTC(), Kind: browser.EvVisit, Fields: map[string]string{"url": "https://a.test/"}},
+		{Time: time.Unix(101, 0).UTC(), Kind: browser.EvPermissionGranted, Fields: map[string]string{"origin": "https://a.test"}},
+	}
+	if err := w.LogAll("c1", events); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Seq != 1 || entries[1].Seq != 2 {
+		t.Errorf("sequence numbers wrong: %+v", entries)
+	}
+	if entries[0].Container != "c1" || entries[0].Kind != browser.EvVisit {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	entries, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(entries) != 0 {
+		t.Errorf("blank-line read: %v, %d entries", err, len(entries))
+	}
+}
+
+// synthetic event stream helpers
+func ev(seq int, kind browser.EventKind, fields map[string]string) Entry {
+	return Entry{Seq: seq, Container: "c1", Time: time.Unix(int64(1000+seq), 0).UTC(), Kind: kind, Fields: fields}
+}
+
+func TestReconstructSingleChain(t *testing.T) {
+	entries := []Entry{
+		ev(1, browser.EvSWRegistered, map[string]string{"sw": "https://cdn/sw.js", "origin": "https://pub.test", "token": "tok-1"}),
+		ev(2, browser.EvNotificationShown, map[string]string{"sw": "https://cdn/sw.js", "title": "Win", "body": "Claim", "target": "https://t/x"}),
+		ev(3, browser.EvNotificationClicked, map[string]string{"title": "Win"}),
+		ev(4, browser.EvSWRequest, map[string]string{"url": "https://ads/click?t=x"}),
+		ev(5, browser.EvNavigation, map[string]string{"url": "https://t/x", "status": "302"}),
+		ev(6, browser.EvNavigation, map[string]string{"url": "https://land/x", "status": "200"}),
+		ev(7, browser.EvLandingPage, map[string]string{"url": "https://land/x", "title": "LP"}),
+	}
+	chains := Reconstruct(entries)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d", len(chains))
+	}
+	c := chains[0]
+	if !c.Clicked || c.Title != "Win" || c.Token != "tok-1" || c.Origin != "https://pub.test" {
+		t.Errorf("chain = %+v", c)
+	}
+	if len(c.RedirectChain) != 2 || c.LandingURL != "https://land/x" || c.LandingTitle != "LP" {
+		t.Errorf("navigation wrong: %+v", c)
+	}
+	if len(c.SWRequests) != 1 {
+		t.Errorf("sw requests = %v", c.SWRequests)
+	}
+}
+
+func TestReconstructInterleavedClicks(t *testing.T) {
+	entries := []Entry{
+		ev(1, browser.EvSWRegistered, map[string]string{"sw": "s", "origin": "o", "token": "t"}),
+		ev(2, browser.EvNotificationShown, map[string]string{"sw": "s", "title": "A"}),
+		ev(3, browser.EvNotificationShown, map[string]string{"sw": "s", "title": "B"}),
+		ev(4, browser.EvNotificationClicked, map[string]string{"title": "A"}),
+		ev(5, browser.EvNavigation, map[string]string{"url": "https://la/"}),
+		ev(6, browser.EvLandingPage, map[string]string{"url": "https://la/", "title": "LA"}),
+		ev(7, browser.EvNotificationClicked, map[string]string{"title": "B"}),
+		ev(8, browser.EvNavigation, map[string]string{"url": "https://lb/"}),
+		ev(9, browser.EvLandingPage, map[string]string{"url": "https://lb/", "title": "LB"}),
+	}
+	chains := Reconstruct(entries)
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d", len(chains))
+	}
+	byTitle := map[string]Chain{}
+	for _, c := range chains {
+		byTitle[c.Title] = c
+	}
+	if byTitle["A"].LandingURL != "https://la/" || byTitle["B"].LandingURL != "https://lb/" {
+		t.Errorf("interleaved chains crossed: %+v", byTitle)
+	}
+}
+
+func TestReconstructCrashAndUnclicked(t *testing.T) {
+	entries := []Entry{
+		ev(1, browser.EvSWRegistered, map[string]string{"sw": "s", "origin": "o", "token": "t"}),
+		ev(2, browser.EvNotificationShown, map[string]string{"sw": "s", "title": "Boom"}),
+		ev(3, browser.EvNotificationClicked, map[string]string{"title": "Boom"}),
+		ev(4, browser.EvNavigation, map[string]string{"url": "https://crash/"}),
+		ev(5, browser.EvTabCrashed, map[string]string{"url": "https://crash/"}),
+		ev(6, browser.EvNotificationShown, map[string]string{"sw": "s", "title": "Never clicked"}),
+	}
+	chains := Reconstruct(entries)
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d", len(chains))
+	}
+	byTitle := map[string]Chain{}
+	for _, c := range chains {
+		byTitle[c.Title] = c
+	}
+	if !byTitle["Boom"].Crashed {
+		t.Error("crash not recorded")
+	}
+	if byTitle["Never clicked"].Clicked {
+		t.Error("unclicked chain marked clicked")
+	}
+}
+
+// TestReconstructionMatchesLiveBrowser drives a real browser session
+// against a synthetic ecosystem, exports its event log through the audit
+// writer, and verifies the reconstructed chain matches what the browser
+// actually did — the JSgraph guarantee.
+func TestReconstructionMatchesLiveBrowser(t *testing.T) {
+	eco, err := webeco.New(webeco.Config{Seed: 21, Scale: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eco.Close()
+	var seed string
+	for _, s := range eco.Sites() {
+		if s.NPR && s.Network == "Ad-Maven" {
+			seed = s.URL
+			break
+		}
+	}
+	if seed == "" {
+		t.Skip("no suitable site at this scale")
+	}
+	br := browser.New(browser.Config{Clock: eco.Clock, Client: eco.Net.ClientNoRedirect()})
+	if _, err := br.Visit(seed); err != nil {
+		t.Fatal(err)
+	}
+	deadline := eco.Clock.Now().Add(96 * time.Hour)
+	var outcome *browser.ClickOutcome
+	for eco.Clock.Now().Before(deadline) && outcome == nil {
+		at, ok := eco.NextPushAt()
+		if !ok {
+			break
+		}
+		eco.Clock.Advance(at.Sub(eco.Clock.Now()))
+		eco.Tick()
+		if n, _ := br.PumpPush(""); n > 0 {
+			eco.Clock.Advance(5 * time.Second)
+			if ocs := br.ProcessClicks(); len(ocs) > 0 {
+				outcome = &ocs[0]
+			}
+		}
+	}
+	if outcome == nil {
+		t.Skip("no notification delivered at this seed")
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.LogAll("container-1", br.Events()); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush() //nolint:errcheck
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := Reconstruct(entries)
+	if len(chains) == 0 {
+		t.Fatal("no chains reconstructed")
+	}
+	c := chains[0]
+	dn := outcome.Notification
+	if c.Title != dn.Notification.Title {
+		t.Errorf("title: reconstructed %q, live %q", c.Title, dn.Notification.Title)
+	}
+	if !c.Clicked {
+		t.Error("click lost in reconstruction")
+	}
+	if nav := outcome.Navigation; nav != nil && !nav.Crashed {
+		if c.LandingURL != nav.FinalURL {
+			t.Errorf("landing: reconstructed %q, live %q", c.LandingURL, nav.FinalURL)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the audit-log reader never panics and that
+// reconstruction tolerates arbitrary entry streams.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"seq":1,"container":"c","kind":"visit"}`)
+	f.Add("junk")
+	f.Add(`{"seq":1,"kind":"notification_shown","fields":{"title":"x"}}` + "\n" +
+		`{"seq":2,"kind":"notification_clicked","fields":{"title":"x"}}`)
+	f.Fuzz(func(t *testing.T, log string) {
+		entries, err := Read(strings.NewReader(log))
+		if err != nil {
+			return
+		}
+		Reconstruct(entries)
+	})
+}

@@ -1,0 +1,157 @@
+package audit
+
+import (
+	"sort"
+	"time"
+
+	"pushadminer/internal/browser"
+)
+
+// Chain is one reconstructed WPN attack chain: everything that happened
+// to a single notification, rebuilt purely from the audit log.
+type Chain struct {
+	Container string
+
+	// Subscription context.
+	Origin       string
+	SWURL        string
+	Token        string
+	RegisteredAt time.Time
+
+	// The notification.
+	Title   string
+	Body    string
+	Target  string
+	ShownAt time.Time
+
+	// Click consequences.
+	ClickedAt     time.Time
+	Clicked       bool
+	SWRequests    []string
+	RedirectChain []string
+	LandingURL    string
+	LandingTitle  string
+	Crashed       bool
+}
+
+// Reconstruct rebuilds WPN chains from raw audit entries. It replays
+// each container's event stream in order, tracking the registration
+// context and pairing every notification_shown with its subsequent
+// click, SW requests, navigation hops and landing page — the forensic
+// reconstruction JSgraph-style logs exist to enable.
+func Reconstruct(entries []Entry) []Chain {
+	// Group by container, preserving sequence order.
+	byContainer := map[string][]Entry{}
+	var order []string
+	for _, e := range entries {
+		if _, ok := byContainer[e.Container]; !ok {
+			order = append(order, e.Container)
+		}
+		byContainer[e.Container] = append(byContainer[e.Container], e)
+	}
+	sort.Strings(order)
+
+	var chains []Chain
+	for _, container := range order {
+		evs := byContainer[container]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+		chains = append(chains, reconstructContainer(container, evs)...)
+	}
+	return chains
+}
+
+// regCtx is the most recent service worker registration seen, keyed by
+// SW URL so pushes route to the right context.
+type regCtx struct {
+	origin string
+	token  string
+	at     time.Time
+}
+
+func reconstructContainer(container string, evs []Entry) []Chain {
+	regs := map[string]regCtx{} // SW URL → registration
+	var chains []Chain
+	// pending holds displayed-but-unclicked notifications (several can
+	// be on screen at once); current is the clicked chain collecting
+	// its consequences.
+	var pending []*Chain
+	var current *Chain
+
+	finishCurrent := func() {
+		if current != nil {
+			chains = append(chains, *current)
+			current = nil
+		}
+	}
+
+	for _, e := range evs {
+		switch e.Kind {
+		case browser.EvSWRegistered:
+			regs[e.Fields["sw"]] = regCtx{
+				origin: e.Fields["origin"],
+				token:  e.Fields["token"],
+				at:     e.Time,
+			}
+
+		case browser.EvNotificationShown:
+			sw := e.Fields["sw"]
+			reg := regs[sw]
+			pending = append(pending, &Chain{
+				Container:    container,
+				Origin:       reg.origin,
+				SWURL:        sw,
+				Token:        reg.token,
+				RegisteredAt: reg.at,
+				Title:        e.Fields["title"],
+				Body:         e.Fields["body"],
+				Target:       e.Fields["target"],
+				ShownAt:      e.Time,
+			})
+
+		case browser.EvNotificationClicked:
+			finishCurrent()
+			for i, p := range pending {
+				if p.Title == e.Fields["title"] {
+					current = p
+					current.Clicked = true
+					current.ClickedAt = e.Time
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
+			}
+
+		case browser.EvSWRequest:
+			if current != nil {
+				if u := e.Fields["url"]; u != "" {
+					current.SWRequests = append(current.SWRequests, u)
+				}
+			}
+
+		case browser.EvNavigation:
+			if current != nil {
+				if u := e.Fields["url"]; u != "" {
+					current.RedirectChain = append(current.RedirectChain, u)
+				}
+			}
+
+		case browser.EvLandingPage:
+			if current != nil {
+				current.LandingURL = e.Fields["url"]
+				current.LandingTitle = e.Fields["title"]
+				finishCurrent()
+			}
+
+		case browser.EvTabCrashed:
+			if current != nil {
+				current.Crashed = true
+				finishCurrent()
+			}
+		}
+	}
+	finishCurrent()
+	// Displayed-but-never-clicked notifications still appear as chains.
+	for _, p := range pending {
+		chains = append(chains, *p)
+	}
+	return chains
+}

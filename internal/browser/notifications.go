@@ -1,0 +1,197 @@
+package browser
+
+import (
+	"fmt"
+
+	"pushadminer/internal/fcm"
+	"pushadminer/internal/serviceworker"
+	"pushadminer/internal/webpush"
+)
+
+// PumpPush polls the push service for every subscription the browser
+// holds and dispatches received messages to their service workers,
+// causing notifications to be displayed (steps 5–6 of Figure 3). It
+// returns the number of push messages processed. pushHost selects the
+// push service (fcm.DefaultHost if empty).
+func (b *Browser) PumpPush(pushHost string) (int, error) {
+	regs := b.Registrations()
+	if len(regs) == 0 {
+		return 0, nil
+	}
+	byToken := make(map[string]*serviceworker.Registration, len(regs))
+	tokens := make([]string, 0, len(regs))
+	for _, r := range regs {
+		byToken[r.Sub.Token] = r
+		tokens = append(tokens, r.Sub.Token)
+	}
+	client := fcm.NewClient(b.cfg.Client, pushHost)
+	msgs, err := client.Poll(tokens)
+	if err != nil {
+		return 0, err
+	}
+	for _, msg := range msgs {
+		reg := byToken[msg.Token]
+		if reg == nil {
+			continue
+		}
+		b.log(EvPushReceived, map[string]string{"token": msg.Token, "sw": reg.Script.URL})
+		b.dispatchPush(reg, msg)
+	}
+	return len(msgs), nil
+}
+
+// dispatchPush runs one push event on a registration, capturing displayed
+// notifications and SW requests.
+func (b *Browser) dispatchPush(reg *serviceworker.Registration, msg webpush.Message) {
+	var reqs []serviceworker.RequestRecord
+	b.mu.Lock()
+	b.currentSWRequests = &reqs
+	firstNew := len(b.notifs)
+	b.mu.Unlock()
+
+	adID := ""
+	if p, err := webpush.DecodePayload(msg.Data); err == nil {
+		adID = p.AdID
+	}
+	b.runtime.OnShowNotification = func(n webpush.Notification) {
+		if err := n.Validate(); err != nil {
+			return // browser refuses to display an untitled notification
+		}
+		dn := &DisplayedNotification{
+			Notification: n,
+			Registration: reg,
+			ShownAt:      b.cfg.Clock.Now(),
+			PayloadAdID:  adID,
+		}
+		b.mu.Lock()
+		b.notifs = append(b.notifs, dn)
+		b.mu.Unlock()
+		b.log(EvNotificationShown, map[string]string{
+			"title": n.Title, "body": n.Body, "target": n.TargetURL,
+			"sw": reg.Script.URL, "surface": b.surface(),
+		})
+	}
+	err := b.runtime.DispatchPush(reg, msg)
+	b.runtime.OnShowNotification = nil
+
+	b.mu.Lock()
+	b.currentSWRequests = nil
+	// Attach the dispatch's SW requests to the notifications it showed.
+	for _, dn := range b.notifs[firstNew:] {
+		dn.SWRequests = reqs
+	}
+	b.mu.Unlock()
+	if err != nil {
+		b.log(EvSWRequest, map[string]string{"error": "push dispatch: " + err.Error()})
+	}
+}
+
+// surface names where notifications appear: the browser's message center
+// on desktop, the OS tray on Android (§4.2).
+func (b *Browser) surface() string {
+	if b.cfg.Device == Mobile {
+		return "os_tray"
+	}
+	return "message_center"
+}
+
+// Notifications returns the notifications currently displayed (clicked
+// or not).
+func (b *Browser) Notifications() []*DisplayedNotification {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*DisplayedNotification, len(b.notifs))
+	copy(out, b.notifs)
+	return out
+}
+
+// ClickOutcome is everything observed from auto-clicking one
+// notification: the click-time SW activity and the resulting navigation,
+// if any.
+type ClickOutcome struct {
+	Notification *DisplayedNotification
+	SWRequests   []serviceworker.RequestRecord
+	Navigation   *Navigation // nil if the click opened no window
+	NavError     string
+}
+
+// ProcessClicks auto-clicks every displayed notification whose click
+// delay has elapsed (the instrumented MessageCenter behaviour, §4.1) and
+// follows any window the service worker opens, recording the full
+// redirect chain and landing page. On mobile this models the
+// accessibility-service tap on the notification tray (§4.2).
+func (b *Browser) ProcessClicks() []ClickOutcome {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	var due []*DisplayedNotification
+	for _, dn := range b.notifs {
+		if !dn.Clicked && !now.Before(dn.ShownAt.Add(b.cfg.ClickDelay)) {
+			dn.Clicked = true
+			due = append(due, dn)
+		}
+	}
+	b.mu.Unlock()
+
+	var outcomes []ClickOutcome
+	for _, dn := range due {
+		outcomes = append(outcomes, b.click(dn))
+	}
+	return outcomes
+}
+
+// ClickAction simulates the user tapping a specific action button on a
+// displayed notification (§2.2's custom actions). The crawler's default
+// automation clicks the body; ClickAction is the API for exercising
+// action buttons.
+func (b *Browser) ClickAction(dn *DisplayedNotification, action string) ClickOutcome {
+	b.mu.Lock()
+	dn.Clicked = true
+	b.mu.Unlock()
+	return b.clickWith(dn, action)
+}
+
+func (b *Browser) click(dn *DisplayedNotification) ClickOutcome {
+	return b.clickWith(dn, "")
+}
+
+func (b *Browser) clickWith(dn *DisplayedNotification, action string) ClickOutcome {
+	out := ClickOutcome{Notification: dn}
+	b.log(EvNotificationClicked, map[string]string{
+		"title": dn.Notification.Title, "sw": dn.Registration.Script.URL,
+		"action": action,
+	})
+
+	var reqs []serviceworker.RequestRecord
+	b.mu.Lock()
+	b.currentSWRequests = &reqs
+	b.pendingWindows = nil
+	b.mu.Unlock()
+
+	b.runtime.OnOpenWindow = func(u string) {
+		b.mu.Lock()
+		b.pendingWindows = append(b.pendingWindows, u)
+		b.mu.Unlock()
+	}
+	err := b.runtime.DispatchNotificationClickAction(dn.Registration, dn.Notification, action)
+	b.runtime.OnOpenWindow = nil
+
+	b.mu.Lock()
+	b.currentSWRequests = nil
+	windows := b.pendingWindows
+	b.pendingWindows = nil
+	b.mu.Unlock()
+
+	out.SWRequests = reqs
+	if err != nil {
+		out.NavError = fmt.Sprintf("click dispatch: %v", err)
+		return out
+	}
+	if len(windows) > 0 {
+		nav, err := b.Navigate(windows[0])
+		out.Navigation = nav
+		if err != nil {
+			out.NavError = err.Error()
+		}
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistMatrixBasics(t *testing.T) {
+	m := NewDistMatrix(4)
+	m.Set(0, 1, 0.5)
+	m.Set(2, 1, 0.25)
+	if got := m.At(1, 0); got != 0.5 {
+		t.Errorf("At(1,0) = %v, want 0.5 (symmetry)", got)
+	}
+	if got := m.At(1, 2); got != 0.25 {
+		t.Errorf("At(1,2) = %v, want 0.25", got)
+	}
+	if got := m.At(3, 3); got != 0 {
+		t.Errorf("diagonal = %v, want 0", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	m.Set(0, 3, float64(math.NaN()))
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted NaN")
+	}
+}
+
+func TestDistMatrixIndexCoversAllPairs(t *testing.T) {
+	const n = 17
+	m := NewDistMatrix(n)
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			idx := m.index(i, j)
+			if seen[idx] {
+				t.Fatalf("index collision at (%d,%d)", i, j)
+			}
+			seen[idx] = true
+			if idx < 0 || idx >= len(m.data) {
+				t.Fatalf("index out of range at (%d,%d): %d", i, j, idx)
+			}
+		}
+	}
+	if len(seen) != n*(n-1)/2 {
+		t.Fatalf("covered %d indices, want %d", len(seen), n*(n-1)/2)
+	}
+}
+
+func TestCompute(t *testing.T) {
+	m := Compute(5, func(i, j int) float64 { return float64(i + j) })
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if got := m.At(i, j); got != float64(i+j) {
+				t.Errorf("At(%d,%d) = %v, want %d", i, j, got, i+j)
+			}
+		}
+	}
+}
+
+// twoBlobs returns a distance matrix with two tight groups of the given
+// sizes: intra-group distance 0.1, inter-group 0.9.
+func twoBlobs(a, b int) *DistMatrix {
+	n := a + b
+	return Compute(n, func(i, j int) float64 {
+		gi, gj := i < a, j < a
+		if gi == gj {
+			return 0.1
+		}
+		return 0.9
+	})
+}
+
+func TestAgglomerativeTwoBlobs(t *testing.T) {
+	m := twoBlobs(4, 3)
+	d := Agglomerative(m)
+	if got := len(d.Merges()); got != 6 {
+		t.Fatalf("merges = %d, want n-1 = 6", got)
+	}
+	labels := d.CutByHeight(0.5)
+	if k := NumClusters(labels); k != 2 {
+		t.Fatalf("clusters at h=0.5: %d, want 2", k)
+	}
+	// All of group A share a label, all of group B share the other.
+	for i := 1; i < 4; i++ {
+		if labels[i] != labels[0] {
+			t.Errorf("item %d not with group A: %v", i, labels)
+		}
+	}
+	for i := 5; i < 7; i++ {
+		if labels[i] != labels[4] {
+			t.Errorf("item %d not with group B: %v", i, labels)
+		}
+	}
+	if labels[0] == labels[4] {
+		t.Error("groups A and B merged at h=0.5")
+	}
+}
+
+func TestMergesSortedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Compute(20, func(i, j int) float64 { return rng.Float64() })
+	d := Agglomerative(m)
+	merges := d.Merges()
+	for i := 1; i < len(merges); i++ {
+		if merges[i].Distance < merges[i-1].Distance {
+			t.Fatalf("merges out of order at %d: %v < %v", i, merges[i].Distance, merges[i-1].Distance)
+		}
+	}
+	// Final merge has all leaves.
+	if merges[len(merges)-1].Size != 20 {
+		t.Fatalf("final merge size = %d, want 20", merges[len(merges)-1].Size)
+	}
+}
+
+func TestMergeIDsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 15
+	m := Compute(n, func(i, j int) float64 { return rng.Float64() })
+	d := Agglomerative(m)
+	used := make(map[int]bool)
+	for k, mg := range d.Merges() {
+		if mg.A >= mg.B {
+			t.Fatalf("merge %d: A >= B (%d >= %d)", k, mg.A, mg.B)
+		}
+		if mg.B >= n+k {
+			t.Fatalf("merge %d references future cluster %d", k, mg.B)
+		}
+		if used[mg.A] || used[mg.B] {
+			t.Fatalf("merge %d reuses a consumed cluster", k)
+		}
+		used[mg.A], used[mg.B] = true, true
+	}
+}
+
+func TestCutByHeightExtremes(t *testing.T) {
+	m := twoBlobs(3, 3)
+	d := Agglomerative(m)
+	all := d.CutByHeight(math.Inf(1))
+	if k := NumClusters(all); k != 1 {
+		t.Errorf("cut at +inf: %d clusters, want 1", k)
+	}
+	none := d.CutByHeight(-1)
+	if k := NumClusters(none); k != 6 {
+		t.Errorf("cut at -1: %d clusters, want 6", k)
+	}
+}
+
+func TestAgglomerativeTinyInputs(t *testing.T) {
+	d0 := Agglomerative(NewDistMatrix(0))
+	if d0.Len() != 0 || len(d0.Merges()) != 0 {
+		t.Error("n=0 dendrogram not empty")
+	}
+	d1 := Agglomerative(NewDistMatrix(1))
+	if len(d1.Merges()) != 0 {
+		t.Error("n=1 dendrogram has merges")
+	}
+	if labels := d1.CutByHeight(1); !reflect.DeepEqual(labels, []int{0}) {
+		t.Errorf("n=1 labels = %v", labels)
+	}
+	m2 := NewDistMatrix(2)
+	m2.Set(0, 1, 0.7)
+	d2 := Agglomerative(m2)
+	if len(d2.Merges()) != 1 || math.Abs(d2.Merges()[0].Distance-0.7) > 1e-6 {
+		t.Errorf("n=2 merges = %+v", d2.Merges())
+	}
+}
+
+func TestAverageLinkageValue(t *testing.T) {
+	// Three points: 0 and 1 at distance 0.2; both far from 2 at known
+	// distances 0.8 and 1.0 → average linkage merges {0,1} with 2 at 0.9.
+	m := NewDistMatrix(3)
+	m.Set(0, 1, 0.2)
+	m.Set(0, 2, 0.8)
+	m.Set(1, 2, 1.0)
+	d := Agglomerative(m)
+	merges := d.Merges()
+	if len(merges) != 2 {
+		t.Fatalf("merges = %d, want 2", len(merges))
+	}
+	if math.Abs(merges[0].Distance-0.2) > 1e-6 {
+		t.Errorf("first merge at %v, want 0.2", merges[0].Distance)
+	}
+	if math.Abs(merges[1].Distance-0.9) > 1e-6 {
+		t.Errorf("second merge at %v, want 0.9 (UPGMA)", merges[1].Distance)
+	}
+}
+
+func TestSilhouettePerfectSplit(t *testing.T) {
+	m := twoBlobs(5, 5)
+	labels := make([]int, 10)
+	for i := 5; i < 10; i++ {
+		labels[i] = 1
+	}
+	s := Silhouette(m, labels)
+	// a = 0.1, b = 0.9 → s = (0.9-0.1)/0.9 ≈ 0.888
+	if math.Abs(s-8.0/9.0) > 1e-6 {
+		t.Errorf("silhouette = %v, want %v", s, 8.0/9.0)
+	}
+	// A bad labeling must score lower.
+	bad := []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if sb := Silhouette(m, bad); sb >= s {
+		t.Errorf("bad labeling silhouette %v >= good %v", sb, s)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	m := twoBlobs(3, 3)
+	if s := Silhouette(m, []int{0, 0, 0, 0, 0, 0}); s != 0 {
+		t.Errorf("single cluster silhouette = %v, want 0", s)
+	}
+	if s := Silhouette(m, []int{0, 1, 2, 3, 4, 5}); s != 0 {
+		t.Errorf("all-singleton silhouette = %v, want 0", s)
+	}
+	if s := Silhouette(NewDistMatrix(0), nil); s != 0 {
+		t.Errorf("empty silhouette = %v, want 0", s)
+	}
+}
+
+func TestBestCutFindsBlobs(t *testing.T) {
+	m := twoBlobs(6, 4)
+	d := Agglomerative(m)
+	res := BestCut(d, m, 0)
+	if res.Clusters != 2 {
+		t.Fatalf("BestCut clusters = %d, want 2 (labels %v)", res.Clusters, res.Labels)
+	}
+	if res.Silhouette <= 0.5 {
+		t.Errorf("BestCut silhouette = %v, want > 0.5", res.Silhouette)
+	}
+}
+
+func TestBestCutThreeBlobs(t *testing.T) {
+	// Three groups with clear separation.
+	sizes := []int{5, 4, 6}
+	group := func(i int) int {
+		switch {
+		case i < sizes[0]:
+			return 0
+		case i < sizes[0]+sizes[1]:
+			return 1
+		default:
+			return 2
+		}
+	}
+	n := 15
+	rng := rand.New(rand.NewSource(11))
+	m := Compute(n, func(i, j int) float64 {
+		if group(i) == group(j) {
+			return 0.05 + 0.05*rng.Float64()
+		}
+		return 0.8 + 0.1*rng.Float64()
+	})
+	d := Agglomerative(m)
+	res := BestCut(d, m, 0)
+	if res.Clusters != 3 {
+		t.Fatalf("BestCut clusters = %d, want 3", res.Clusters)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			same := res.Labels[i] == res.Labels[j]
+			if same != (group(i) == group(j)) {
+				t.Fatalf("items %d,%d labeling mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestBestCutTiny(t *testing.T) {
+	res := BestCut(Agglomerative(NewDistMatrix(1)), NewDistMatrix(1), 0)
+	if res.Clusters != 1 {
+		t.Errorf("n=1 BestCut clusters = %d", res.Clusters)
+	}
+	m := NewDistMatrix(2)
+	m.Set(0, 1, 0.4)
+	res = BestCut(Agglomerative(m), m, 0)
+	if res.Clusters != 2 {
+		t.Errorf("n=2 BestCut clusters = %d, want 2 (no valid 2<=k<n cut)", res.Clusters)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	got := Members([]int{1, 0, 1, 2})
+	want := map[int][]int{0: {1}, 1: {0, 2}, 2: {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Members = %v, want %v", got, want)
+	}
+}
+
+func TestAgglomerativeQuickInvariants(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		m := Compute(n, func(i, j int) float64 { return rng.Float64() })
+		d := Agglomerative(m)
+		if len(d.Merges()) != n-1 {
+			return false
+		}
+		// Every cut yields contiguous labels covering all items.
+		labels := d.CutByHeight(0.5)
+		k := NumClusters(labels)
+		maxLabel := 0
+		for _, l := range labels {
+			if l < 0 {
+				return false
+			}
+			if l > maxLabel {
+				maxLabel = l
+			}
+		}
+		if maxLabel != k-1 {
+			return false
+		}
+		// Monotone: cutting higher yields no more clusters.
+		if NumClusters(d.CutByHeight(0.9)) > k {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutLabelsDeterministicOrder(t *testing.T) {
+	m := twoBlobs(3, 3)
+	d := Agglomerative(m)
+	labels := d.CutByHeight(0.5)
+	// Labels should be assigned in leaf order: item 0 gets label 0.
+	if labels[0] != 0 {
+		t.Errorf("labels[0] = %d, want 0", labels[0])
+	}
+	sorted := append([]int(nil), labels...)
+	sort.Ints(sorted)
+	if sorted[0] != 0 {
+		t.Errorf("labels not 0-based: %v", labels)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Average.String() != "average" || Single.String() != "single" || Complete.String() != "complete" {
+		t.Error("linkage names wrong")
+	}
+}
+
+func TestLinkageVariantsKnownValues(t *testing.T) {
+	// Points 0,1 close (0.2); distances to 2: 0.8 and 1.0.
+	m := NewDistMatrix(3)
+	m.Set(0, 1, 0.2)
+	m.Set(0, 2, 0.8)
+	m.Set(1, 2, 1.0)
+	cases := []struct {
+		linkage Linkage
+		want    float64
+	}{
+		{Average, 0.9}, {Single, 0.8}, {Complete, 1.0},
+	}
+	for _, c := range cases {
+		d := AgglomerativeLinkage(m, c.linkage)
+		got := d.Merges()[1].Distance
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("%s linkage second merge = %v, want %v", c.linkage, got, c.want)
+		}
+	}
+}
+
+func TestLinkageOrdering(t *testing.T) {
+	// For any matrix, single-linkage merge heights <= average <= complete
+	// at each merge step (a standard property).
+	rng := rand.New(rand.NewSource(17))
+	m := Compute(12, func(i, j int) float64 { return rng.Float64() })
+	single := AgglomerativeLinkage(m, Single).Merges()
+	complete := AgglomerativeLinkage(m, Complete).Merges()
+	// Compare total merge heights (per-step ids can differ).
+	var sSum, cSum float64
+	for i := range single {
+		sSum += single[i].Distance
+		cSum += complete[i].Distance
+	}
+	if sSum > cSum {
+		t.Errorf("single linkage total height %v > complete %v", sSum, cSum)
+	}
+}

@@ -1,0 +1,101 @@
+// Package cluster implements the unsupervised-learning substrate of the
+// mining pipeline (§5.1.1): a condensed pairwise distance matrix,
+// agglomerative hierarchical clustering with average linkage (via the
+// nearest-neighbor-chain algorithm), dendrogram cutting, and the mean
+// silhouette score used to pick the cut, mirroring the paper's use of
+// scipy/scikit-learn.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DistMatrix is a symmetric pairwise distance matrix over n items with a
+// zero diagonal, stored condensed (upper triangle only) in float32.
+type DistMatrix struct {
+	n    int
+	data []float32
+}
+
+// NewDistMatrix returns an all-zero distance matrix over n items.
+func NewDistMatrix(n int) *DistMatrix {
+	if n < 0 {
+		panic("cluster: negative size")
+	}
+	return &DistMatrix{n: n, data: make([]float32, n*(n-1)/2)}
+}
+
+// Len returns the number of items.
+func (m *DistMatrix) Len() int { return m.n }
+
+func (m *DistMatrix) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Offset of row i in the condensed upper triangle, then column.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// At returns the distance between items i and j.
+func (m *DistMatrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return float64(m.data[m.index(i, j)])
+}
+
+// Set stores the distance between items i and j (i ≠ j).
+func (m *DistMatrix) Set(i, j int, d float64) {
+	if i == j {
+		if d != 0 {
+			panic("cluster: nonzero diagonal")
+		}
+		return
+	}
+	m.data[m.index(i, j)] = float32(d)
+}
+
+// Compute fills a distance matrix over n items by evaluating f(i, j) for
+// every pair i < j, in parallel across rows. f must be safe for
+// concurrent calls.
+func Compute(n int, f func(i, j int) float64) *DistMatrix {
+	m := NewDistMatrix(n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < n; j++ {
+					m.data[m.index(i, j)] = float32(f(i, j))
+				}
+			}
+		}()
+	}
+	for i := 0; i < n-1; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return m
+}
+
+// Validate checks that all distances are finite and non-negative.
+func (m *DistMatrix) Validate() error {
+	for idx, d := range m.data {
+		if d < 0 || d != d {
+			return fmt.Errorf("cluster: invalid distance %v at condensed index %d", d, idx)
+		}
+	}
+	return nil
+}

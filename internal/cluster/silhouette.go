@@ -1,0 +1,160 @@
+package cluster
+
+import "sort"
+
+// Silhouette returns the mean silhouette coefficient of a labeling over
+// the distance matrix m, following scikit-learn's definition: for item i
+// in cluster C, a(i) is its mean distance to other members of C, b(i) the
+// minimum over other clusters of its mean distance to that cluster, and
+// s(i) = (b−a)/max(a,b). Items in singleton clusters score 0. The result
+// is 0 if the labeling has fewer than 2 clusters or every cluster is a
+// singleton.
+func Silhouette(m *DistMatrix, labels []int) float64 {
+	n := m.Len()
+	if n == 0 || len(labels) != n {
+		return 0
+	}
+	groups := Members(labels)
+	if len(groups) < 2 {
+		return 0
+	}
+	clusterIDs := make([]int, 0, len(groups))
+	for id := range groups {
+		clusterIDs = append(clusterIDs, id)
+	}
+	sort.Ints(clusterIDs)
+
+	var total float64
+	for i := 0; i < n; i++ {
+		own := labels[i]
+		if len(groups[own]) == 1 {
+			continue // s(i) = 0 for singletons
+		}
+		var a float64
+		bestB := -1.0
+		for _, cid := range clusterIDs {
+			members := groups[cid]
+			var sum float64
+			for _, j := range members {
+				if j != i {
+					sum += m.At(i, j)
+				}
+			}
+			if cid == own {
+				a = sum / float64(len(members)-1)
+			} else {
+				mean := sum / float64(len(members))
+				if bestB < 0 || mean < bestB {
+					bestB = mean
+				}
+			}
+		}
+		denom := a
+		if bestB > denom {
+			denom = bestB
+		}
+		if denom > 0 {
+			total += (bestB - a) / denom
+		}
+	}
+	return total / float64(n)
+}
+
+// CutResult pairs a dendrogram cut height with its labeling and score.
+type CutResult struct {
+	Height     float64
+	Labels     []int
+	Silhouette float64
+	Clusters   int
+}
+
+// BestCut evaluates candidate dendrogram cut heights and returns the cut
+// with the highest mean silhouette score — the paper's criterion for
+// choosing where to cut the dendrogram. maxCandidates bounds the sweep;
+// if <= 0 a default of 64 is used, sampling candidate heights evenly.
+// Ties prefer the lower height (tighter clusters).
+func BestCut(d *Dendrogram, m *DistMatrix, maxCandidates int) CutResult {
+	return BestCutConservative(d, m, maxCandidates, 0)
+}
+
+// BestCutConservative implements the paper's "tune conservative, yield
+// tight clusters" variant (§5.1): among candidate cuts, it finds the
+// maximum silhouette, then returns the LOWEST cut height whose
+// silhouette is within tol of that maximum. tol = 0 reduces to BestCut;
+// a positive tol trades a little silhouette for much tighter clusters,
+// leaving fragments for meta-clustering to reconnect.
+func BestCutConservative(d *Dendrogram, m *DistMatrix, maxCandidates int, tol float64) CutResult {
+	if maxCandidates <= 0 {
+		maxCandidates = 64
+	}
+	merges := d.Merges()
+	if len(merges) == 0 {
+		labels := make([]int, d.Len())
+		for i := range labels {
+			labels[i] = i
+		}
+		return CutResult{Labels: labels, Clusters: d.Len()}
+	}
+
+	// Distinct merge heights.
+	heights := make([]float64, 0, len(merges))
+	last := -1.0
+	for _, mg := range merges {
+		if mg.Distance != last {
+			heights = append(heights, mg.Distance)
+			last = mg.Distance
+		}
+	}
+	// Candidate cuts between consecutive heights (inclusive of each
+	// height itself, which applies all merges at that distance).
+	cands := make([]float64, 0, len(heights))
+	for _, h := range heights {
+		cands = append(cands, h)
+	}
+	if len(cands) > maxCandidates {
+		step := float64(len(cands)) / float64(maxCandidates)
+		sampled := make([]float64, 0, maxCandidates)
+		for i := 0; i < maxCandidates; i++ {
+			sampled = append(sampled, cands[int(float64(i)*step)])
+		}
+		cands = sampled
+	}
+
+	type cand struct {
+		res CutResult
+	}
+	var evaluated []cand
+	best := CutResult{Height: -1, Silhouette: -2}
+	for _, h := range cands {
+		labels := d.CutByHeight(h)
+		k := NumClusters(labels)
+		if k < 2 || k >= d.Len() {
+			continue
+		}
+		s := Silhouette(m, labels)
+		res := CutResult{Height: h, Labels: labels, Silhouette: s, Clusters: k}
+		evaluated = append(evaluated, cand{res})
+		if s > best.Silhouette {
+			best = res
+		}
+	}
+	if tol > 0 && best.Height >= 0 {
+		// Conservative: lowest height within tol of the best score.
+		// Candidates were evaluated in ascending height order.
+		for _, c := range evaluated {
+			if c.res.Silhouette >= best.Silhouette-tol {
+				best = c.res
+				break
+			}
+		}
+	}
+	if best.Height < 0 {
+		// Degenerate: no valid cut (e.g. n == 2). Fall back to leaves.
+		labels := make([]int, d.Len())
+		for i := range labels {
+			labels[i] = i
+		}
+		return CutResult{Labels: labels, Clusters: d.Len()}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/graph"
+	"pushadminer/internal/report"
+)
+
+// ScamType is a content-derived category of malicious WPN ad, matching
+// the kinds the paper's manual analysis reports (§6.3.2: survey scams,
+// phishing pages, scareware, fake alerts, social media scams, ...).
+type ScamType string
+
+// Scam types recognized by the classifier.
+const (
+	ScamSurvey      ScamType = "survey/sweepstakes scam"
+	ScamTechSupport ScamType = "tech support scam"
+	ScamPhishing    ScamType = "phishing / fake account alert"
+	ScamScareware   ScamType = "scareware / fake infection"
+	ScamMobileBait  ScamType = "mobile bait (missed call, parcel, chat)"
+	ScamAdvanceFee  ScamType = "lottery / advance-fee"
+	ScamOther       ScamType = "other"
+)
+
+var scamMarkers = []struct {
+	typ     ScamType
+	markers []string
+}{
+	{ScamTechSupport, []string{"toll free", "computer has been blocked", "support technician", "your computer is infected", "payment info has been leaked"}},
+	{ScamScareware, []string{"cleaner", "scan results", "battery is damaged", "storage 98", "repair tool", "viruses"}},
+	{ScamPhishing, []string{"verify your account", "unusual sign-in", "sign in with your email", "account will be suspended", "confirm your identity", "restore access"}},
+	{ScamMobileBait, []string{"missed call", "voicemail", "could not be delivered", "delivery fee", "redelivery", "whatsapp", "friend request", "new messages"}},
+	{ScamAdvanceFee, []string{"national draw", "unclaimed cash", "processing fee", "pending payout", "wire your", "transfer desk"}},
+	{ScamSurvey, []string{"survey", "you have won", "lucky visitor", "claim your prize", "spin the wheel", "congratulations", "winner"}},
+}
+
+// ClassifyScam assigns a malicious record to a scam type from its
+// message and landing content.
+func ClassifyScam(r *crawler.WPNRecord) ScamType {
+	text := strings.ToLower(r.Title + " " + r.Body + " " + r.LandingTitle + " " + r.LandingContent)
+	for _, entry := range scamMarkers {
+		for _, m := range entry.markers {
+			if strings.Contains(text, m) {
+				return entry.typ
+			}
+		}
+	}
+	return ScamOther
+}
+
+// ScamBreakdown counts the study's malicious ads per scam type.
+func ScamBreakdown(s *Study) map[ScamType]int {
+	out := map[ScamType]int{}
+	for i, r := range s.Analysis.FS.Records {
+		l := s.Analysis.Labels[i]
+		if l.IsAd && l.Malicious() {
+			out[ClassifyScam(r)]++
+		}
+	}
+	return out
+}
+
+// ScamBreakdownTable renders the §6.3.2-style qualitative breakdown.
+func ScamBreakdownTable(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Malicious WPN ads by scam type (content-classified)",
+		Headers: []string{"Scam type", "Ads", "Share"},
+		Note:    "the paper reports survey scams, phishing, scareware, fake alerts and mobile bait dominating (§6.3.2–6.3.3)",
+	}
+	counts := ScamBreakdown(s)
+	type kv struct {
+		typ ScamType
+		n   int
+	}
+	var rows []kv
+	total := 0
+	for typ, n := range counts {
+		rows = append(rows, kv{typ, n})
+		total += n
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].typ < rows[j].typ
+	})
+	for _, r := range rows {
+		t.AddRow(string(r.typ), r.n, report.Pct(r.n, total))
+	}
+	t.AddRow("total", total, "")
+	return t
+}
+
+// MetaClusterDOT renders one of a study's meta clusters as Graphviz
+// DOT; see AnalysisMetaClusterDOT.
+func MetaClusterDOT(s *Study, metaID int) (string, error) {
+	return AnalysisMetaClusterDOT(s.Analysis, metaID)
+}
+
+// AnalysisMetaClusterDOT renders one meta cluster as a Graphviz DOT
+// bipartite graph — the machine-readable form of Figure 5's drawings.
+// WPN cluster nodes are boxes (red for malicious, orange for
+// suspicious, blue for ad campaigns), landing domains are ellipses.
+func AnalysisMetaClusterDOT(a *Analysis, metaID int) (string, error) {
+	if metaID < 0 || metaID >= len(a.Meta.Meta) {
+		return "", fmt.Errorf("core: no meta cluster %d", metaID)
+	}
+	mc := a.Meta.Meta[metaID]
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph meta%d {\n  layout=neato;\n  overlap=false;\n", metaID)
+	for _, ci := range mc.Clusters {
+		c := a.Clusters.Clusters[ci]
+		color := "gray"
+		switch {
+		case a.MalClusters[ci]:
+			color = "red"
+		case clusterSuspicious(a, ci):
+			color = "orange"
+		case c.IsAdCampaign:
+			color = "lightblue"
+		}
+		label := fmt.Sprintf("C%d\\n%d WPNs", c.ID, len(c.Members))
+		fmt.Fprintf(&b, "  c%d [shape=box style=filled fillcolor=%s label=\"%s\"];\n", c.ID, color, label)
+	}
+	g := graph.NewBipartite()
+	for _, ci := range mc.Clusters {
+		c := a.Clusters.Clusters[ci]
+		for _, d := range c.LandingDomains {
+			g.AddEdge(c.ID, d)
+		}
+	}
+	for _, d := range g.Rights() {
+		fmt.Fprintf(&b, "  %q [shape=ellipse];\n", d)
+	}
+	for _, ci := range g.Lefts() {
+		for _, d := range g.Neighbors(ci) {
+			fmt.Fprintf(&b, "  c%d -- %q;\n", ci, d)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+func clusterSuspicious(a *Analysis, ci int) bool {
+	for _, m := range a.Clusters.Clusters[ci].Members {
+		if a.Labels[m].Suspicious {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/webeco"
+)
+
+func TestClassifyScam(t *testing.T) {
+	cases := []struct {
+		rec  *crawler.WPNRecord
+		want ScamType
+	}{
+		{&crawler.WPNRecord{Title: "Your payment info has been leaked", LandingContent: "call the toll free number now"}, ScamTechSupport},
+		{&crawler.WPNRecord{Title: "Congratulations! You have won a prize", LandingContent: "complete this survey"}, ScamSurvey},
+		{&crawler.WPNRecord{Title: "PayPal: unusual sign-in activity detected"}, ScamPhishing},
+		{&crawler.WPNRecord{Title: "Your battery is damaged by (4) viruses!"}, ScamScareware},
+		{&crawler.WPNRecord{Title: "✆ Missed call from +1 (202) 555-0123"}, ScamMobileBait},
+		{&crawler.WPNRecord{Title: "Final notice: unclaimed cash prize"}, ScamAdvanceFee},
+		{&crawler.WPNRecord{Title: "something entirely unrelated"}, ScamOther},
+	}
+	for _, c := range cases {
+		if got := ClassifyScam(c.rec); got != c.want {
+			t.Errorf("ClassifyScam(%q) = %q, want %q", c.rec.Title, got, c.want)
+		}
+	}
+}
+
+func TestScamBreakdownTable(t *testing.T) {
+	s := getStudy(t)
+	counts := ScamBreakdown(s)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != s.Analysis.Report.TotalMaliciousAds {
+		t.Errorf("breakdown total %d != malicious ads %d", total, s.Analysis.Report.TotalMaliciousAds)
+	}
+	tab := ScamBreakdownTable(s)
+	if !strings.Contains(tab.String(), "total") {
+		t.Error("breakdown table missing total row")
+	}
+}
+
+func TestMetaClusterDOT(t *testing.T) {
+	s := getStudy(t)
+	dot, err := MetaClusterDOT(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"graph meta0", "shape=box", "--", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if _, err := MetaClusterDOT(s, 1<<30); err == nil {
+		t.Error("out-of-range meta id accepted")
+	}
+}
+
+func TestPilotCDFTable(t *testing.T) {
+	pr := &PilotResult{
+		Sources: 4,
+		Latencies: []time.Duration{
+			30 * time.Second, 5 * time.Minute, 12 * time.Minute, 40 * time.Hour,
+		},
+	}
+	out := PilotCDFTable(pr).String()
+	if !strings.Contains(out, "median") || !strings.Contains(out, "p98") {
+		t.Errorf("pilot CDF table incomplete:\n%s", out)
+	}
+	empty := PilotCDFTable(&PilotResult{}).String()
+	if !strings.Contains(empty, "no data") {
+		t.Errorf("empty pilot table: %s", empty)
+	}
+}
+
+func TestScamBreakdownDeterministic(t *testing.T) {
+	s, err := RunStudy(StudyConfig{Eco: webeco.Config{Seed: 2, Scale: 0.002}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a := ScamBreakdownTable(s).String()
+	b := ScamBreakdownTable(s).String()
+	if a != b {
+		t.Error("breakdown rendering not deterministic")
+	}
+}

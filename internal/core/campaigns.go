@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+)
+
+// CampaignSummary is the analyst-facing description of one discovered
+// WPN ad campaign — the library's equivalent of the paper's campaign
+// case studies (Figure 4, §6.3.2 examples).
+type CampaignSummary struct {
+	ClusterID int
+	// Size is the number of WPN messages in the campaign.
+	Size int
+	// Sources and LandingDomains are the distinct eSLDs involved.
+	Sources        []string
+	LandingDomains []string
+	// SampleTitle/SampleBody show one representative creative.
+	SampleTitle string
+	SampleBody  string
+	// SampleLanding is one landing URL.
+	SampleLanding string
+	// Malicious reports whether any member ended up labeled malicious;
+	// KnownMalicious counts blocklist-flagged members.
+	Malicious      bool
+	KnownMalicious int
+	// ScamType classifies malicious campaigns by content.
+	ScamType ScamType
+	// MetaCluster is the owning meta cluster id (-1 if none).
+	MetaCluster int
+}
+
+// Campaigns summarizes every discovered ad campaign, largest first.
+func Campaigns(s *Study) []CampaignSummary {
+	a := s.Analysis
+	var out []CampaignSummary
+	for ci, c := range a.Clusters.Clusters {
+		if !c.IsAdCampaign {
+			continue
+		}
+		cs := CampaignSummary{
+			ClusterID:      c.ID,
+			Size:           len(c.Members),
+			Sources:        c.SourceDomains,
+			LandingDomains: c.LandingDomains,
+			MetaCluster:    -1,
+		}
+		if mi, ok := a.Meta.MetaOf(ci); ok {
+			cs.MetaCluster = mi
+		}
+		rep := a.FS.Records[c.Members[0]]
+		cs.SampleTitle, cs.SampleBody, cs.SampleLanding = rep.Title, rep.Body, rep.LandingURL
+		for _, m := range c.Members {
+			l := a.Labels[m]
+			if l.KnownMalicious {
+				cs.KnownMalicious++
+			}
+			if l.Malicious() {
+				cs.Malicious = true
+			}
+		}
+		if cs.Malicious {
+			cs.ScamType = ClassifyScam(rep)
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].ClusterID < out[j].ClusterID
+	})
+	return out
+}

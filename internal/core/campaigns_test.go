@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+func TestCampaignsSummaries(t *testing.T) {
+	s := getStudy(t)
+	cs := Campaigns(s)
+	if len(cs) != s.Analysis.Report.AdCampaignClusters {
+		t.Fatalf("summaries = %d, campaigns = %d", len(cs), s.Analysis.Report.AdCampaignClusters)
+	}
+	mal := 0
+	for i, c := range cs {
+		if c.Size < 2 || len(c.Sources) < 2 {
+			t.Errorf("campaign %d not multi-source: %+v", c.ClusterID, c)
+		}
+		if c.SampleTitle == "" {
+			t.Errorf("campaign %d has no sample", c.ClusterID)
+		}
+		if i > 0 && cs[i-1].Size < c.Size {
+			t.Error("summaries not sorted by size")
+		}
+		if c.Malicious {
+			mal++
+			if c.ScamType == "" {
+				t.Errorf("malicious campaign %d unclassified", c.ClusterID)
+			}
+		}
+		if c.MetaCluster < 0 {
+			t.Errorf("campaign %d not in any meta cluster", c.ClusterID)
+		}
+	}
+	if mal != s.Analysis.Report.MaliciousCampaigns {
+		t.Errorf("malicious summaries = %d, report says %d", mal, s.Analysis.Report.MaliciousCampaigns)
+	}
+}

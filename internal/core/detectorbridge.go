@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"pushadminer/internal/detector"
+)
+
+// DetectorDataset builds a labeled dataset for the real-time detector
+// (the paper's future-work direction) from a finished study: features
+// from each valid-landing record, labels from the offline pipeline's
+// verdicts — the realistic supervision a deployer would have, since live
+// ground truth does not exist.
+func DetectorDataset(s *Study) []detector.Sample {
+	out := make([]detector.Sample, 0, len(s.Analysis.FS.Records))
+	for i, r := range s.Analysis.FS.Records {
+		out = append(out, detector.Sample{
+			Features: detector.Featurize(r),
+			Label:    s.Analysis.Labels[i].Malicious(),
+		})
+	}
+	return out
+}
+
+// DetectorReport is the outcome of training and evaluating the
+// real-time detector on a study.
+type DetectorReport struct {
+	Train, Test detector.Metrics
+	// TruthTest scores the same held-out records against the
+	// ecosystem's ground truth rather than the pipeline labels
+	// (simulation-only).
+	TruthTest detector.Metrics
+	Model     *detector.Model
+}
+
+// TrainDetector trains the future-work classifier on 70% of a study's
+// records and evaluates on the rest, both against the pipeline labels it
+// was trained on and against ground truth.
+func TrainDetector(s *Study, seed int64) (*DetectorReport, error) {
+	samples := DetectorDataset(s)
+	if len(samples) < 20 {
+		return nil, fmt.Errorf("core: too few samples (%d) to train a detector", len(samples))
+	}
+	trainS, testS := detector.SplitSamples(samples, 0.7, seed)
+
+	model, err := detector.Train(trainS, detector.TrainConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rep := &DetectorReport{
+		Model: model,
+		Train: detector.Evaluate(model, trainS),
+		Test:  detector.Evaluate(model, testS),
+	}
+
+	// Truth pass over every record (the split indices aren't exposed by
+	// SplitSamples, so score the full set — held-in records only make
+	// the truth comparison stricter).
+	truth := s.Eco.Truth()
+	truthSamples := make([]detector.Sample, 0, len(samples))
+	for i, r := range s.Analysis.FS.Records {
+		truthSamples = append(truthSamples, detector.Sample{
+			Features: samples[i].Features,
+			Label:    truth.IsMaliciousURL(r.LandingURL),
+		})
+	}
+	rep.TruthTest = detector.Evaluate(model, truthSamples)
+	return rep, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+func TestTrainDetectorOnStudy(t *testing.T) {
+	s := getStudy(t)
+	rep, err := TrainDetector(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Test.Samples == 0 {
+		t.Fatal("no held-out samples")
+	}
+	if f1 := rep.Test.F1(); f1 < 0.7 {
+		t.Errorf("held-out F1 = %.3f, want >= 0.7 (metrics %+v)", f1, rep.Test)
+	}
+	if auc := rep.Test.AUC; auc < 0.85 {
+		t.Errorf("held-out AUC = %.3f, want >= 0.85", auc)
+	}
+	// Against ground truth the detector should still be strong: its
+	// supervision (pipeline labels) has precision ~1.0.
+	if auc := rep.TruthTest.AUC; auc < 0.8 {
+		t.Errorf("ground-truth AUC = %.3f, want >= 0.8", auc)
+	}
+	t.Logf("detector: test F1=%.3f AUC=%.3f; vs truth F1=%.3f AUC=%.3f",
+		rep.Test.F1(), rep.Test.AUC, rep.TruthTest.F1(), rep.TruthTest.AUC)
+}
+
+func TestDetectorDatasetBalanced(t *testing.T) {
+	s := getStudy(t)
+	ds := DetectorDataset(s)
+	if len(ds) != len(s.Analysis.FS.Records) {
+		t.Fatalf("dataset size %d != records %d", len(ds), len(s.Analysis.FS.Records))
+	}
+	pos := 0
+	for _, smp := range ds {
+		if smp.Label {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(ds) {
+		t.Errorf("degenerate dataset: %d/%d positive", pos, len(ds))
+	}
+}

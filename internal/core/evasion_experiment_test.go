@@ -1,0 +1,28 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvasionExperiment(t *testing.T) {
+	exp, err := RunEvasionExperiment(2, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Off.Rotations != 0 {
+		t.Errorf("evasion-off arm rotated %d times", exp.Off.Rotations)
+	}
+	if exp.On.Rotations == 0 {
+		t.Error("evasion-on arm never rotated under aggressive blocklists")
+	}
+	if exp.On.DistinctMalDomains <= exp.Off.DistinctMalDomains {
+		t.Errorf("rotation did not grow the malicious domain set: on=%d off=%d",
+			exp.On.DistinctMalDomains, exp.Off.DistinctMalDomains)
+	}
+	out := exp.Table().String()
+	if !strings.Contains(out, "evasion on") {
+		t.Errorf("table incomplete:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

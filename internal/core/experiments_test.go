@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pushadminer/internal/webeco"
+)
+
+func TestRunRevisit(t *testing.T) {
+	s := getStudy(t)
+	rr, err := RunRevisit(s, 200, 30*24*time.Hour, 5*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.SitesRevisited == 0 {
+		t.Fatal("revisited no sites")
+	}
+	if rr.Notifications == 0 {
+		t.Fatal("revisit collected no notifications")
+	}
+	if rr.MaliciousAds > 0 && rr.VTFlagged > rr.MaliciousAds {
+		t.Errorf("VT flagged %d > malicious %d", rr.VTFlagged, rr.MaliciousAds)
+	}
+	// The headline finding: PushAdMiner labels more malicious ads than
+	// VT alone catches.
+	if rr.MaliciousAds > 0 && rr.VTFlagged >= rr.MaliciousAds {
+		t.Errorf("VT caught everything (%d of %d); blocklist gaps missing", rr.VTFlagged, rr.MaliciousAds)
+	}
+	t.Logf("revisit: %+v", rr)
+}
+
+func TestRunPilot(t *testing.T) {
+	eco, err := webeco.New(webeco.Config{Seed: 9, Scale: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eco.Close()
+	pr, err := RunPilot(eco, 96*time.Hour, 7*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Sources < 5 {
+		t.Skipf("too few sources: %d", pr.Sources)
+	}
+	if pr.FractionWithin < 0.85 {
+		t.Errorf("within-15min fraction = %.2f, want >= 0.85 (paper: 0.98)", pr.FractionWithin)
+	}
+	t.Log(pr)
+}
+
+func TestRunDoublePermissionCheck(t *testing.T) {
+	res, err := RunDoublePermissionCheck(3, 0.004, 0.25, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked == 0 {
+		t.Fatal("checked no sites")
+	}
+	frac := float64(res.DoublePermission) / float64(res.Checked)
+	if frac < 0.05 || frac > 0.5 {
+		t.Errorf("double-permission fraction = %.2f over %d sites, want ≈0.25", frac, res.Checked)
+	}
+}
+
+func TestRunQuietUICheck(t *testing.T) {
+	s := getStudy(t)
+	res, err := RunQuietUICheck(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revisited == 0 {
+		t.Fatal("revisited nothing")
+	}
+	if res.Quieted != 0 {
+		t.Errorf("%d sites quieted; rollout list should be empty", res.Quieted)
+	}
+	if res.StillPrompted != res.Revisited {
+		t.Errorf("only %d/%d still prompted; paper found all did", res.StillPrompted, res.Revisited)
+	}
+}
+
+func TestFindArchetypes(t *testing.T) {
+	s := getStudy(t)
+	ar := FindArchetypes(s)
+	if ar.MaliciousCampaign == nil {
+		t.Error("no C1 (malicious campaign) archetype")
+	}
+	if ar.Singleton == nil {
+		t.Error("no C4 (singleton) archetype")
+	}
+	if ar.MaliciousCampaign != nil && len(ar.MaliciousCampaign.SourceDomains) < 2 {
+		t.Error("C1 is not multi-source")
+	}
+}
+
+func TestLargestMetaClusters(t *testing.T) {
+	s := getStudy(t)
+	metas := LargestMetaClusters(s, 2)
+	if len(metas) == 0 {
+		t.Fatal("no meta cluster examples")
+	}
+	if len(metas) == 2 && metas[1].NumClusters > metas[0].NumClusters {
+		t.Error("meta examples not sorted by size")
+	}
+	for _, m := range metas {
+		if len(m.Domains) > 6 {
+			t.Error("domains not truncated")
+		}
+	}
+}
+
+func TestSampleSingletons(t *testing.T) {
+	s := getStudy(t)
+	ex := SampleSingletons(s, 5)
+	if len(ex) == 0 {
+		t.Fatal("no singleton examples")
+	}
+	for _, e := range ex {
+		if e.Title == "" || e.SourceDomain == "" {
+			t.Errorf("incomplete singleton example: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExportRoundTripBuffer(t *testing.T) {
+	s := getStudy(t)
+	export := ExportFromStudy(s)
+	var buf bytes.Buffer
+	if err := WriteExport(&buf, export); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(export.Records) {
+		t.Fatalf("records: %d != %d", len(back.Records), len(export.Records))
+	}
+	if back.Seed != export.Seed || back.Scale != export.Scale {
+		t.Errorf("metadata lost: %+v", back)
+	}
+	// Spot-check one record survives intact.
+	a, b := export.Records[0], back.Records[0]
+	if a.Title != b.Title || a.LandingURL != b.LandingURL || a.LandingSimHash != b.LandingSimHash {
+		t.Errorf("record 0 mismatch:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestExportSaveLoadFile(t *testing.T) {
+	s := getStudy(t)
+	path := filepath.Join(t.TempDir(), "wpns.json")
+	if err := SaveExport(path, ExportFromStudy(s)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadExport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) == 0 {
+		t.Fatal("empty export loaded")
+	}
+	// Re-analysis over the loaded export works without the ecosystem.
+	a, err := RunPipeline(back.Records, PipelineOptions{
+		Services: LookupsFromExport(back),
+		Scans:    []time.Time{back.GeneratedAt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.Clusters == 0 {
+		t.Error("offline re-analysis produced no clusters")
+	}
+}
+
+func TestLoadExportMissingFile(t *testing.T) {
+	if _, err := LoadExport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestStaticLookup(t *testing.T) {
+	l := StaticLookup{ServiceName: "vt", Flagged: map[string]bool{"https://bad/x": true}}
+	vs, err := l.Lookup([]string{"https://bad/x", "https://ok/y"}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs[0].Malicious || vs[1].Malicious {
+		t.Errorf("verdicts = %+v", vs)
+	}
+	if l.Name() != "vt" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+func TestLookupsFromExportEmpty(t *testing.T) {
+	ls := LookupsFromExport(&Export{})
+	if len(ls) != 1 || ls[0].Name() != "none" {
+		t.Errorf("empty export lookups = %v", ls)
+	}
+}

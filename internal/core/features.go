@@ -1,0 +1,130 @@
+// Package core implements PushAdMiner's data analysis module (§5): WPN
+// feature extraction, conservative document clustering into WPN clusters
+// and ad campaigns, malicious labeling via URL blocklists with
+// guilty-by-association propagation, bipartite meta-clustering over
+// landing domains, suspicious-campaign identification (including
+// duplicate-ads detection), and the simulated manual-verification pass —
+// plus the study driver that runs crawls against a synthetic ecosystem
+// and reproduces the paper's tables and figures.
+package core
+
+import (
+	"fmt"
+
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/textmine"
+	"pushadminer/internal/urlx"
+)
+
+// Features are the per-WPN clustering features of §5.1.1: the message
+// text (title + body) as a bag of words, and the landing URL path
+// tokens. Domain names are deliberately excluded from both.
+type Features struct {
+	Text       textmine.BOW
+	textNorm   float64
+	PathTokens []string
+}
+
+// FeatureSet holds the features for a record set plus the trained
+// word2vec term-similarity model.
+type FeatureSet struct {
+	Records  []*crawler.WPNRecord
+	Features []Features
+	Emb      *textmine.Embeddings
+	Sim      *textmine.TermSimMatrix
+	// UseText and UsePath toggle feature groups (ablation A2).
+	UseText, UsePath bool
+}
+
+// FeatureOptions configure extraction.
+type FeatureOptions struct {
+	Word2Vec textmine.Word2VecConfig
+	SoftCos  textmine.SoftCosineOptions
+	// DisableText / DisablePath ablate a feature group.
+	DisableText, DisablePath bool
+	// TFIDF weights bag-of-words vectors by inverse document frequency
+	// instead of raw term frequency (an extension beyond the paper's
+	// plain counts; see the ablation bench).
+	TFIDF bool
+}
+
+// ExtractFeatures trains word2vec on the records' message texts and
+// builds per-record features.
+func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*FeatureSet, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("core: no records to extract features from")
+	}
+	docs := make([][]string, len(records))
+	for i, r := range records {
+		docs[i] = textmine.Tokenize(r.Title + " " + r.Body)
+	}
+	emb, err := textmine.TrainWord2Vec(docs, opts.Word2Vec)
+	if err != nil {
+		return nil, err
+	}
+	sim := textmine.NewTermSimMatrix(emb, opts.SoftCos)
+	fs := &FeatureSet{
+		Records:  records,
+		Features: make([]Features, len(records)),
+		Emb:      emb,
+		Sim:      sim,
+		UseText:  !opts.DisableText,
+		UsePath:  !opts.DisablePath,
+	}
+	vocab := emb.Vocab()
+	var idf *textmine.IDF
+	if opts.TFIDF {
+		idDocs := make([][]int, len(records))
+		for i, r := range records {
+			idDocs[i] = vocab.LookupIDs(textmine.ContentTokens(r.Title + " " + r.Body))
+		}
+		idf = textmine.ComputeIDF(idDocs, vocab.Len())
+	}
+	for i, r := range records {
+		content := textmine.ContentTokens(r.Title + " " + r.Body)
+		ids := vocab.LookupIDs(content)
+		var bow textmine.BOW
+		if idf != nil {
+			bow = textmine.NewBOWTFIDF(ids, idf)
+		} else {
+			bow = textmine.NewBOW(ids)
+		}
+		fs.Features[i] = Features{
+			Text:       bow,
+			textNorm:   textmine.SelfNorm(bow, sim),
+			PathTokens: urlx.PathTokens(r.LandingURL),
+		}
+	}
+	return fs, nil
+}
+
+// Distance is the pairwise WPN distance of §5.1.1: the average of the
+// soft-cosine text distance and the Jaccard URL-path distance (or just
+// one of them under ablation).
+func (fs *FeatureSet) Distance(i, j int) float64 {
+	fi, fj := &fs.Features[i], &fs.Features[j]
+	switch {
+	case fs.UseText && fs.UsePath:
+		text := 1 - textmine.SoftCosineNormed(fi.Text, fj.Text, fs.Sim, fi.textNorm, fj.textNorm)
+		path := urlx.Jaccard(fi.PathTokens, fj.PathTokens)
+		return (text + path) / 2
+	case fs.UseText:
+		return 1 - textmine.SoftCosineNormed(fi.Text, fj.Text, fs.Sim, fi.textNorm, fj.textNorm)
+	case fs.UsePath:
+		return urlx.Jaccard(fi.PathTokens, fj.PathTokens)
+	default:
+		return 0
+	}
+}
+
+// FilterValidLanding keeps the records whose click led to a valid
+// landing page (§6.2's filter before clustering).
+func FilterValidLanding(records []*crawler.WPNRecord) []*crawler.WPNRecord {
+	out := make([]*crawler.WPNRecord, 0, len(records))
+	for _, r := range records {
+		if r.ValidLanding() {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"pushadminer/internal/graph"
+)
+
+// MetaCluster is one connected component of the cluster–landing-domain
+// bipartite graph (§5.3): WPN clusters that collectively share landing
+// domains, i.e. likely one advertiser "operation".
+type MetaCluster struct {
+	ID       int
+	Clusters []int    // WPN cluster indices
+	Domains  []string // landing domains in the component
+
+	// AdRelated: contains at least one ad-campaign cluster, so every
+	// member WPN is considered an ad (§5.4).
+	AdRelated bool
+	// ContainsMalicious: contains at least one malicious WPN cluster.
+	ContainsMalicious bool
+	// DuplicateAdDomains: an ad campaign inside it rotates through
+	// multiple landing domains (the Google/Bing "duplicate ads" policy
+	// violation, §5.4).
+	DuplicateAdDomains bool
+	// Suspicious: flagged for manual analysis.
+	Suspicious bool
+}
+
+// MetaClusterResult is the outcome of meta-clustering.
+type MetaClusterResult struct {
+	Meta []*MetaCluster
+	// clusterToMeta maps WPN cluster index → meta cluster index.
+	clusterToMeta map[int]int
+}
+
+// MetaOf returns the meta cluster index owning a WPN cluster.
+func (m *MetaClusterResult) MetaOf(clusterIdx int) (int, bool) {
+	i, ok := m.clusterToMeta[clusterIdx]
+	return i, ok
+}
+
+// BuildMetaClusters constructs the bipartite graph (W = WPN clusters,
+// D = landing domains) and extracts connected components, then applies
+// the §5.4 labeling rules:
+//
+//  1. a meta cluster containing an ad-campaign cluster makes all its
+//     WPNs ads;
+//  2. a meta cluster containing a malicious cluster, or containing
+//     duplicate ad domains, is suspicious — its not-yet-malicious WPNs
+//     are marked Suspicious for manual verification.
+func BuildMetaClusters(cr *ClusterResult, labels []*RecordLabels, malClusters map[int]bool) *MetaClusterResult {
+	g := graph.NewBipartite()
+	for ci, c := range cr.Clusters {
+		g.AddLeft(ci)
+		for _, d := range c.LandingDomains {
+			g.AddEdge(ci, d)
+		}
+	}
+	comps := g.Components()
+	res := &MetaClusterResult{clusterToMeta: make(map[int]int)}
+	for mi, comp := range comps {
+		mc := &MetaCluster{ID: mi, Clusters: comp.Left, Domains: comp.Right}
+		for _, ci := range comp.Left {
+			res.clusterToMeta[ci] = mi
+			c := cr.Clusters[ci]
+			if c.IsAdCampaign {
+				mc.AdRelated = true
+				if len(c.LandingDomains) > 1 {
+					mc.DuplicateAdDomains = true
+				}
+			}
+			if malClusters[ci] {
+				mc.ContainsMalicious = true
+			}
+		}
+		mc.Suspicious = mc.ContainsMalicious || mc.DuplicateAdDomains
+		res.Meta = append(res.Meta, mc)
+	}
+
+	// Apply record-level consequences.
+	for _, mc := range res.Meta {
+		if !mc.AdRelated && !mc.Suspicious {
+			continue
+		}
+		for _, ci := range mc.Clusters {
+			for _, m := range cr.Clusters[ci].Members {
+				l := labels[m]
+				if mc.AdRelated && !l.IsAd {
+					l.IsAd = true
+					l.AdViaMeta = true
+				}
+				if mc.Suspicious && !l.KnownMalicious && !l.PropagatedMalicious {
+					l.Suspicious = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+// SingletonsAfterMeta counts singleton WPN clusters that remain in
+// single-cluster meta clusters (the §6.3.3 "855 singleton clusters"
+// remainder after 6,876 were absorbed).
+func (m *MetaClusterResult) SingletonsAfterMeta(cr *ClusterResult) int {
+	n := 0
+	for _, mc := range m.Meta {
+		if len(mc.Clusters) == 1 && cr.Clusters[mc.Clusters[0]].Singleton() {
+			n++
+		}
+	}
+	return n
+}
+
+// AdRelatedMeta counts ad-related meta clusters.
+func (m *MetaClusterResult) AdRelatedMeta() int {
+	n := 0
+	for _, mc := range m.Meta {
+		if mc.AdRelated {
+			n++
+		}
+	}
+	return n
+}
+
+// SuspiciousMeta counts suspicious meta clusters.
+func (m *MetaClusterResult) SuspiciousMeta() int {
+	n := 0
+	for _, mc := range m.Meta {
+		if mc.Suspicious {
+			n++
+		}
+	}
+	return n
+}

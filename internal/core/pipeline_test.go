@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pushadminer/internal/blocklist"
+	"pushadminer/internal/crawler"
+)
+
+var t0 = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// makeRecord builds a synthetic WPN record.
+func makeRecord(id int, title, body, source, landing string) *crawler.WPNRecord {
+	return &crawler.WPNRecord{
+		ID: id, Device: "desktop",
+		SourceURL: source, SourceDomain: esld(source),
+		SWURL: "https://cdn.net.test/sw.js",
+		Title: title, Body: body,
+		TargetURL: landing, LandingURL: landing,
+		LandingTitle: "Landing", LandingContent: "landing content",
+		ScreenshotHash: "abcd",
+	}
+}
+
+func esld(u string) string {
+	// crude: strip scheme and leading www.
+	s := u
+	for _, p := range []string{"https://", "http://"} {
+		if len(s) > len(p) && s[:len(p)] == p {
+			s = s[len(p):]
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			s = s[:i]
+			break
+		}
+	}
+	return s
+}
+
+// campaignRecords builds n similar ad records from distinct sources
+// leading to the same landing path on rotating domains.
+func campaignRecords(startID int, n int, title, body string, landingDomains []string) []*crawler.WPNRecord {
+	var out []*crawler.WPNRecord
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf("https://pub%d.test/", startID+i)
+		land := fmt.Sprintf("https://%s/lp/claim-prize.html?cid=%d", landingDomains[i%len(landingDomains)], i)
+		out = append(out, makeRecord(startID+i, title, body, src, land))
+	}
+	return out
+}
+
+// testCorpus builds a dataset with two ad campaigns (one malicious),
+// one single-source alert cluster, and singleton news items.
+func testCorpus() ([]*crawler.WPNRecord, []string) {
+	var recs []*crawler.WPNRecord
+	// Campaign A (malicious sweepstakes): 8 ads, 2 landing domains.
+	malDomains := []string{"win-prize.xyz", "claim-now.icu"}
+	recs = append(recs, campaignRecords(100, 8,
+		"Congratulations! You have won an iPhone 11",
+		"Answer 3 quick questions and claim your prize now",
+		malDomains)...)
+	// Campaign B (benign shopping): 6 ads, 1 landing domain.
+	recs = append(recs, campaignRecords(200, 6,
+		"Walmart flash sale: up to 70% off today",
+		"Limited stock, browse today's clearance picks",
+		[]string{"megadeals.com"})...)
+	// Bank alerts: 4 identical messages from one source, same origin.
+	for i := 0; i < 4; i++ {
+		recs = append(recs, makeRecord(300+i,
+			"Pre-approved personal loan at 8.5% APR",
+			"You qualify for an instant loan, apply in minutes",
+			"https://mybank.com/", "https://mybank.com/loans/personal.html?offer=1"))
+	}
+	// Singletons: distinct news items, each from its own site.
+	news := []struct{ title, body, path string }{
+		{"City council passes transit plan", "Aldermen vote on bus corridor funding downtown", "politics/council-vote"},
+		{"Markets close higher after rally", "Tech stocks lift indexes to weekly gains", "finance/markets-recap"},
+		{"Storm system expected tonight", "Meteorologists warn of hail across the metro", "weather/storm-watch"},
+		{"Team advances to finals", "Overtime goal seals the championship berth", "sports/finals-preview"},
+		{"Fuel prices dip again", "Refinery output rises as demand cools", "energy/gas-prices"},
+		{"New museum wing opens downtown", "Modern art collection doubles gallery space", "culture/museum-opening"},
+	}
+	for i, n := range news {
+		src := fmt.Sprintf("https://news%d.org/", i)
+		land := fmt.Sprintf("https://news%d.org/%s-%d.html?ref=%d", i, n.path, i*17, i)
+		recs = append(recs, makeRecord(400+i, n.title, n.body, src, land))
+	}
+	// A long-tail one-off ad sharing campaign A's landing domain but
+	// with unrelated text and path: meta-clustering must reconnect it.
+	recs = append(recs, makeRecord(500,
+		"Enter now to spin the wheel and win big 77",
+		"Limited time offer, tap to continue",
+		"https://pub-lt.test/", "https://win-prize.xyz/x/lucky-bonus-77.html?z=9"))
+	// One malicious landing URL for blocklist seeding (campaign A).
+	malURL := recs[0].LandingURL
+	return recs, []string{malURL}
+}
+
+func testPipelineOpts(vt *blocklist.Service) PipelineOptions {
+	return PipelineOptions{
+		Services: []BlocklistLookup{ServiceLookup{S: vt}},
+		Scans:    []time.Time{t0},
+	}
+}
+
+func runTestPipeline(t *testing.T, opts func(*PipelineOptions)) (*Analysis, []*crawler.WPNRecord) {
+	t.Helper()
+	recs, malURLs := testCorpus()
+	vt := blocklist.New(blocklist.Config{Name: "vt", InitialCoverage: 1, EventualCoverage: 1, MaxLag: time.Hour, Seed: 1})
+	for _, u := range malURLs {
+		vt.Force(u)
+	}
+	// Malicious landing content so the analyst confirms propagation.
+	for _, r := range recs {
+		if r.ID >= 100 && r.ID < 200 {
+			r.LandingTitle = "Claim Your Prize"
+			r.LandingContent = "congratulations lucky winner complete this short survey to receive your reward enter your shipping details and card for verification"
+		}
+	}
+	po := testPipelineOpts(vt)
+	if opts != nil {
+		opts(&po)
+	}
+	a, err := RunPipeline(recs, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, recs
+}
+
+func TestPipelineFindsCampaigns(t *testing.T) {
+	a, recs := runTestPipeline(t, nil)
+	r := a.Report
+	if r.ValidLanding != len(recs) {
+		t.Errorf("ValidLanding = %d, want %d", r.ValidLanding, len(recs))
+	}
+	if r.AdCampaignClusters < 2 {
+		t.Errorf("ad campaigns = %d, want >= 2 (A and B)", r.AdCampaignClusters)
+	}
+	if r.TotalAds < 14 {
+		t.Errorf("total ads = %d, want >= 14", r.TotalAds)
+	}
+	if r.Singletons < 4 {
+		t.Errorf("singletons = %d, want >= 4 (news items)", r.Singletons)
+	}
+	// The bank alerts cluster must NOT be an ad campaign (single
+	// source).
+	for _, c := range a.Clusters.AdCampaigns() {
+		if len(c.SourceDomains) == 1 && c.SourceDomains[0] == "mybank.com" {
+			t.Error("bank alert cluster labeled ad campaign")
+		}
+	}
+}
+
+func TestLabelPropagationExpandsOneFlaggedURL(t *testing.T) {
+	a, _ := runTestPipeline(t, nil)
+	known, propagated := 0, 0
+	for _, l := range a.Labels {
+		if l.KnownMalicious {
+			known++
+		}
+		if l.PropagatedMalicious {
+			propagated++
+		}
+	}
+	if known == 0 {
+		t.Fatal("blocklist flagged nothing")
+	}
+	if propagated == 0 {
+		t.Fatal("guilty-by-association propagated nothing")
+	}
+	if a.Report.TotalMaliciousAds <= known {
+		t.Errorf("malicious ads (%d) should exceed blocklist hits (%d)", a.Report.TotalMaliciousAds, known)
+	}
+	if a.Report.MaliciousCampaigns < 1 {
+		t.Error("no malicious campaigns identified")
+	}
+}
+
+func TestBenignCampaignNotMalicious(t *testing.T) {
+	a, _ := runTestPipeline(t, nil)
+	for i, l := range a.Labels {
+		r := a.FS.Records[i]
+		if esld(r.LandingURL) == "megadeals.com" && l.Malicious() {
+			t.Errorf("benign shopping ad labeled malicious: %q", r.Title)
+		}
+	}
+}
+
+func TestMetaClusteringConnectsSharedDomains(t *testing.T) {
+	a, _ := runTestPipeline(t, nil)
+	if len(a.Meta.Meta) == 0 {
+		t.Fatal("no meta clusters")
+	}
+	if len(a.Meta.Meta) >= len(a.Clusters.Clusters) {
+		t.Errorf("meta clusters (%d) should be fewer than clusters (%d)",
+			len(a.Meta.Meta), len(a.Clusters.Clusters))
+	}
+	if a.Report.SuspiciousMeta == 0 {
+		t.Error("no suspicious meta clusters (campaign A has duplicate domains + malicious)")
+	}
+}
+
+func TestAblationDisableMeta(t *testing.T) {
+	full, _ := runTestPipeline(t, nil)
+	ablated, _ := runTestPipeline(t, func(o *PipelineOptions) { o.DisableMeta = true })
+	if ablated.Report.MetaClusters != 0 {
+		t.Errorf("DisableMeta still produced %d meta clusters", ablated.Report.MetaClusters)
+	}
+	if ablated.Report.TotalAds > full.Report.TotalAds {
+		t.Errorf("meta ablation increased ads: %d > %d", ablated.Report.TotalAds, full.Report.TotalAds)
+	}
+}
+
+func TestAblationDisablePropagation(t *testing.T) {
+	full, _ := runTestPipeline(t, nil)
+	ablated, _ := runTestPipeline(t, func(o *PipelineOptions) { o.DisablePropagation = true })
+	fullProp, ablProp := 0, 0
+	for _, l := range full.Labels {
+		if l.PropagatedMalicious {
+			fullProp++
+		}
+	}
+	for _, l := range ablated.Labels {
+		if l.PropagatedMalicious {
+			ablProp++
+		}
+	}
+	if ablProp != 0 {
+		t.Errorf("propagation disabled but %d records propagated", ablProp)
+	}
+	if fullProp == 0 {
+		t.Error("full pipeline propagated nothing")
+	}
+}
+
+func TestAblationFeatures(t *testing.T) {
+	textOnly, _ := runTestPipeline(t, func(o *PipelineOptions) { o.Features.DisablePath = true })
+	pathOnly, _ := runTestPipeline(t, func(o *PipelineOptions) { o.Features.DisableText = true })
+	if textOnly.Report.Clusters == 0 || pathOnly.Report.Clusters == 0 {
+		t.Error("feature ablations produced no clusters")
+	}
+}
+
+func TestManualVerificationClearsBenignFlags(t *testing.T) {
+	// Force-flag a benign news URL; the analyst must clear it (the 44
+	// unconfirmable URLs of §6.3.2).
+	recs, _ := testCorpus()
+	vt := blocklist.New(blocklist.Config{Name: "vt", InitialCoverage: 1, EventualCoverage: 1, MaxLag: time.Hour, Seed: 1})
+	var newsURL string
+	for _, r := range recs {
+		if r.ID == 400 {
+			newsURL = r.LandingURL
+		}
+	}
+	vt.Force(newsURL)
+	a, err := RunPipeline(recs, testPipelineOpts(vt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.ClearedFalsePositives == 0 {
+		t.Error("manual verification cleared nothing")
+	}
+	for i, l := range a.Labels {
+		if a.FS.Records[i].LandingURL == newsURL && l.KnownMalicious {
+			t.Error("benign news URL still flagged after manual verification")
+		}
+	}
+}
+
+func TestPipelineEmptyRecords(t *testing.T) {
+	if _, err := RunPipeline(nil, PipelineOptions{}); err == nil {
+		t.Error("empty record set accepted")
+	}
+}
+
+func TestReportArithmetic(t *testing.T) {
+	a, _ := runTestPipeline(t, nil)
+	r := a.Report
+	if r.TotalAds != r.Stage1Ads+r.Stage2Ads {
+		t.Errorf("TotalAds %d != %d + %d", r.TotalAds, r.Stage1Ads, r.Stage2Ads)
+	}
+	if r.TotalKnownMal != r.Stage1KnownMal+r.Stage2KnownMal {
+		t.Error("known-malicious totals inconsistent")
+	}
+	if f := r.MaliciousAdFraction(); f < 0 || f > 1 {
+		t.Errorf("MaliciousAdFraction = %v", f)
+	}
+	if r.Singletons > r.Clusters {
+		t.Error("more singletons than clusters")
+	}
+}
+
+func TestFilterValidLanding(t *testing.T) {
+	recs := []*crawler.WPNRecord{
+		makeRecord(1, "a", "b", "https://s.test/", "https://l.test/x"),
+		{ID: 2, Title: "crashed", Crashed: true, LandingURL: "https://l.test/y"},
+		{ID: 3, Title: "no landing"},
+	}
+	got := FilterValidLanding(recs)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("FilterValidLanding = %+v", got)
+	}
+}

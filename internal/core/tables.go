@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pushadminer/internal/report"
+	"pushadminer/internal/urlx"
+	"pushadminer/internal/webeco"
+)
+
+// Table1 regenerates "URLs and Notification Permission Request counts":
+// per ad network and generic keyword, how many URLs the code search
+// found and how many requested permission, with the paper's values for
+// comparison.
+func Table1(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Table 1 — URLs and notification permission requests per seed keyword",
+		Headers: []string{"Ad Network / Keyword", "URLs", "NPRs", "URLs(paper)", "NPRs(paper)"},
+		Note:    "measured at scale " + fmt.Sprintf("%.3f", s.Cfg.Eco.Scale) + " of the paper's crawl",
+	}
+	nprByURL := map[string]bool{}
+	for _, u := range s.Desktop.NPRURLs {
+		nprByURL[u] = true
+	}
+	countFor := func(keyword string) (int, int) {
+		urls := s.Eco.Search().Search(keyword)
+		npr := 0
+		for _, u := range urls {
+			if nprByURL[u] {
+				npr++
+			}
+		}
+		return len(urls), npr
+	}
+	totURLs, totNPR := 0, 0
+	for _, spec := range webeco.SeedNetworks {
+		u, n := countFor(spec.Keyword)
+		totURLs += u
+		totNPR += n
+		t.AddRow(spec.Name, u, n, spec.PaperURLs, spec.PaperNPRs)
+	}
+	for _, spec := range webeco.GenericKeywords {
+		u, n := countFor(spec.Keyword)
+		totURLs += u
+		totNPR += n
+		t.AddRow(spec.Keyword, u, n, spec.PaperURLs, spec.PaperNPRs)
+	}
+	t.AddRow("Total", totURLs, totNPR, webeco.PaperTotalURLs, webeco.PaperTotalNPRs)
+	return t
+}
+
+// Table2 regenerates the Alexa top-1M rank distribution of
+// permission-requesting domains.
+func Table2(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Table 2 — Alexa rank buckets of notification-requesting domains",
+		Headers: []string{"Rank range", "Domains"},
+	}
+	var domains []string
+	for _, u := range s.Desktop.NPRURLs {
+		domains = append(domains, urlx.ESLDOf(u))
+	}
+	buckets, ranked := s.Eco.Alexa().Bucketize(domains)
+	for _, b := range buckets {
+		t.AddRow(b.Label, b.Count)
+	}
+	t.AddRow("total ranked", ranked)
+	t.AddRow("unranked", len(uniqueStrings(domains))-ranked)
+	t.Note = fmt.Sprintf("%s of NPR domains rank in the top 1M (paper: 36%%)",
+		report.Pct(ranked, len(uniqueStrings(domains))))
+	return t
+}
+
+func uniqueStrings(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Table3 regenerates the summary of findings.
+func Table3(s *Study) *report.Table {
+	r := s.Analysis.Report
+	t := &report.Table{
+		Title:   "Table 3 — Summary of data analysis",
+		Headers: []string{"Metric", "Measured", "Paper"},
+	}
+	t.AddRow("WPN messages collected", r.TotalCollected, 21541)
+	t.AddRow("WPNs with valid landing page", r.ValidLanding, 12262)
+	t.AddRow("WPN ad campaigns", r.AdCampaignClusters, 572)
+	t.AddRow("WPN ads", r.TotalAds, 5143)
+	t.AddRow("Malicious WPN ads", r.TotalMaliciousAds, 2615)
+	t.AddRow("Malicious ad fraction", fmt.Sprintf("%.0f%%", 100*r.MaliciousAdFraction()), "51%")
+	t.AddRow("Malicious campaigns", r.MaliciousCampaigns, 318)
+	return t
+}
+
+// Table4 regenerates "Measurement Results at Stages of Clustering".
+func Table4(s *Study) *report.Table {
+	r := s.Analysis.Report
+	t := &report.Table{
+		Title: "Table 4 — Results at stages of clustering",
+		Headers: []string{"Stage", "#clusters", "#ad-related", "#WPN ads",
+			"#known malicious", "#additional malicious"},
+	}
+	t.AddRow("After WPN clustering", r.Clusters, r.AdCampaignClusters,
+		r.Stage1Ads, r.Stage1KnownMal, r.Stage1AddMal)
+	t.AddRow("After meta clustering", r.MetaClusters, r.AdRelatedMeta,
+		r.Stage2Ads, r.Stage2KnownMal, r.Stage2AddMal)
+	t.AddRow("Total", "", "", r.TotalAds, r.TotalKnownMal, r.TotalAddMal)
+	t.AddRow("(paper row 1)", 8780, 572, 3213, 758, 367)
+	t.AddRow("(paper row 2)", 2046, 224, 1930, 210, 1280)
+	t.AddRow("(paper total)", "", "", 5143, 968, 1647)
+	return t
+}
+
+// Table5 regenerates the singleton-cluster examples.
+func Table5(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Table 5 — Singleton clusters remaining after meta clustering (examples)",
+		Headers: []string{"Notification title", "Source domain", "Landing domain"},
+		Note: fmt.Sprintf("%d singleton clusters remain after meta clustering (paper: 855 of 7,731)",
+			s.Analysis.Report.SingletonsAfterMeta),
+	}
+	for _, e := range SampleSingletons(s, 8) {
+		title := e.Title
+		if len(title) > 48 {
+			title = title[:48] + "…"
+		}
+		t.AddRow(title, e.SourceDomain, e.LandingDomain)
+	}
+	return t
+}
+
+// Table6 regenerates the ad-blocker effectiveness results.
+func Table6(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Table 6 — Ad blockers vs service-worker push-ad requests",
+		Headers: []string{"Mechanism", "SW requests", "Visible", "Matched by rules", "Blocked", "Blocked %"},
+		Note:    "paper: extensions blocked none (SWs invisible); EasyList matched <2% by direct inspection",
+	}
+	for _, st := range s.EvaluateAdBlockers() {
+		t.AddRow(st.Name, st.Total, st.Visible, st.WouldMatch, st.Blocked,
+			report.Pct(st.Blocked, st.Total))
+	}
+	return t
+}
+
+// Figure4Table renders the Figure 4 cluster archetypes.
+func Figure4Table(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Figure 4 — Example WPN clusters",
+		Headers: []string{"Cluster", "WPNs", "Sources", "Landing domains", "Ad campaign", "Example title"},
+	}
+	ar := FindArchetypes(s)
+	add := func(name string, c *WPNCluster) {
+		if c == nil {
+			t.AddRow(name, "-", "-", "-", "-", "(not present at this scale)")
+			return
+		}
+		title := s.Analysis.FS.Records[c.Members[0]].Title
+		if len(title) > 44 {
+			title = title[:44] + "…"
+		}
+		t.AddRow(name, len(c.Members), len(c.SourceDomains), len(c.LandingDomains), c.IsAdCampaign, title)
+	}
+	add("WPN-C1 (malicious campaign)", ar.MaliciousCampaign)
+	add("WPN-C2 (duplicate ads, unflagged)", ar.DuplicateAdsCampaign)
+	add("WPN-C3 (single-source alerts)", ar.SingleSourceAlerts)
+	add("WPN-C4 (singleton)", ar.Singleton)
+	return t
+}
+
+// Figure5Table renders the largest meta clusters.
+func Figure5Table(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Figure 5 — Largest meta clusters (bipartite components)",
+		Headers: []string{"Meta", "WPN clusters", "Landing domains", "Ad-related", "Suspicious", "Sample domains"},
+	}
+	for _, m := range LargestMetaClusters(s, 4) {
+		t.AddRow(fmt.Sprintf("M%d", m.ID), m.NumClusters, m.NumDomains,
+			m.AdRelated, m.Suspicious, strings.Join(m.Domains, ", "))
+	}
+	return t
+}
+
+// Figure6Table renders the per-ad-network WPN ad distribution.
+func Figure6Table(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Figure 6 — Distribution of WPN ads per ad network",
+		Headers: []string{"Ad network", "WPN ads", "Malicious ads", "Malicious %"},
+		Note:    "paper: most push ad networks carry malicious WPN ads",
+	}
+	for _, ns := range s.PerNetwork {
+		t.AddRow(ns.Network, ns.Ads, ns.MaliciousAds, report.Pct(ns.MaliciousAds, ns.Ads))
+	}
+	return t
+}
+
+// CostTable renders the §3 ethics cost estimate.
+func CostTable(s *Study) *report.Table {
+	est := s.EstimateAdvertiserCost()
+	t := &report.Table{
+		Title:   "Ethics — estimated cost to legitimate advertisers (CPM model)",
+		Headers: []string{"Metric", "Measured", "Paper"},
+	}
+	t.AddRow("CPM (USD)", est.CPMUSD, 2.54)
+	t.AddRow("Advertiser domains clicked", est.Domains, "-")
+	t.AddRow("Max clicks on one domain", est.MaxClicksOnDomain, 444)
+	t.AddRow("Max cost per domain (USD)", fmt.Sprintf("%.2f", est.MaxCostUSD), "1.12")
+	t.AddRow("Avg clicks per domain", fmt.Sprintf("%.1f", est.AvgClicksPerDom), 18)
+	t.AddRow("Avg cost per domain (USD)", fmt.Sprintf("%.2f", est.AvgCostUSD), "0.04")
+	return t
+}
+
+// DetectorTable trains the future-work real-time detector on a study
+// and renders its quality (the direction §6.3.3 and §8 defer to future
+// work).
+func DetectorTable(s *Study) *report.Table {
+	t := &report.Table{
+		Title:   "Future work — real-time malicious-WPN detector (trained on pipeline labels)",
+		Headers: []string{"Split", "Samples", "Precision", "Recall", "F1", "AUC"},
+		Note:    "the paper defers this detector to future work; labels come from the offline pipeline",
+	}
+	rep, err := TrainDetector(s, s.Cfg.Eco.Seed)
+	if err != nil {
+		t.AddRow("error", err.Error(), "", "", "", "")
+		return t
+	}
+	add := func(name string, m interface {
+		Precision() float64
+		Recall() float64
+		F1() float64
+	}, samples int, auc float64) {
+		t.AddRow(name, samples,
+			fmt.Sprintf("%.3f", m.Precision()), fmt.Sprintf("%.3f", m.Recall()),
+			fmt.Sprintf("%.3f", m.F1()), fmt.Sprintf("%.3f", auc))
+	}
+	add("train (pipeline labels)", rep.Train, rep.Train.Samples, rep.Train.AUC)
+	add("held-out (pipeline labels)", rep.Test, rep.Test.Samples, rep.Test.AUC)
+	add("all records (ground truth)", rep.TruthTest, rep.TruthTest.Samples, rep.TruthTest.AUC)
+	return t
+}
+
+// EvaluationTable renders the simulation-only accuracy check.
+func EvaluationTable(s *Study) *report.Table {
+	ev := s.Evaluate()
+	t := &report.Table{
+		Title:   "Evaluation — pipeline labels vs ecosystem ground truth",
+		Headers: []string{"Metric", "Value"},
+		Note:    "not in the paper: possible only because the substrate is simulated",
+	}
+	t.AddRow("ground-truth malicious (valid-landing records)", ev.TruthMaliciousAds)
+	t.AddRow("true positives", ev.TruePositives)
+	t.AddRow("false positives", ev.FalsePositives)
+	t.AddRow("false negatives", ev.FalseNegatives)
+	t.AddRow("precision", fmt.Sprintf("%.3f", ev.Precision()))
+	t.AddRow("recall", fmt.Sprintf("%.3f", ev.Recall()))
+	return t
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTablesRender(t *testing.T) {
+	s := getStudy(t)
+	tables := map[string]interface{ String() string }{
+		"table1":  Table1(s),
+		"table2":  Table2(s),
+		"table3":  Table3(s),
+		"table4":  Table4(s),
+		"table5":  Table5(s),
+		"table6":  Table6(s),
+		"figure4": Figure4Table(s),
+		"figure5": Figure5Table(s),
+		"figure6": Figure6Table(s),
+		"cost":    CostTable(s),
+		"eval":    EvaluationTable(s),
+		"scams":   ScamBreakdownTable(s),
+	}
+	for name, tab := range tables {
+		out := tab.String()
+		if len(out) < 40 {
+			t.Errorf("%s renders too little output: %q", name, out)
+		}
+		if !strings.Contains(out, "—") && !strings.Contains(out, "-") {
+			t.Errorf("%s has no title separator", name)
+		}
+	}
+}
+
+func TestTable1Totals(t *testing.T) {
+	s := getStudy(t)
+	tab := Table1(s)
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Total" {
+		t.Fatalf("last row = %v", last)
+	}
+	// Total NPR count should match the crawl's NPR URL count (every NPR
+	// URL is findable by at least one keyword).
+	if last[2] == "0" {
+		t.Error("total NPRs is zero")
+	}
+}
+
+func TestTable6ExtensionRowsBlockNothing(t *testing.T) {
+	s := getStudy(t)
+	tab := Table6(s)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows[1:] { // the two extensions
+		if row[4] != "0" {
+			t.Errorf("extension row blocked %s requests, want 0: %v", row[4], row)
+		}
+	}
+}

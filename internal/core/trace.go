@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pushadminer/internal/crawler"
+)
+
+// TraceRecord renders one WPN record as a forensic timeline — the
+// human-readable reconstruction of Figure 3's steps for a single
+// notification, in the spirit of the JSgraph-style audit logs the
+// paper's instrumentation produces.
+func TraceRecord(r *crawler.WPNRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WPN #%d (%s)\n", r.ID, r.Device)
+	fmt.Fprintf(&b, "  %s  subscription created at %s\n", stamp(r, r.RegisteredAt), r.SourceURL)
+	fmt.Fprintf(&b, "      service worker: %s\n", r.SWURL)
+	fmt.Fprintf(&b, "  %s  notification shown: %q / %q\n", stamp(r, r.ShownAt), r.Title, r.Body)
+
+	// SW network activity (push-time ad resolution + click trackers).
+	for _, req := range r.SWRequests {
+		status := fmt.Sprint(req.Status)
+		if req.Error != "" {
+			status = "error: " + req.Error
+		}
+		fmt.Fprintf(&b, "      sw fetch %s (%s)\n", req.URL, status)
+	}
+
+	fmt.Fprintf(&b, "  %s  auto-click", stamp(r, r.ClickedAt))
+	if r.TargetURL == "" {
+		b.WriteString(" — no target URL, no navigation\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, " → %s\n", r.TargetURL)
+	for i, hop := range r.RedirectChain {
+		fmt.Fprintf(&b, "      hop %d: %s\n", i+1, hop)
+	}
+	switch {
+	case r.Crashed:
+		b.WriteString("      landing: TAB CRASHED\n")
+	case r.LandingURL == "":
+		b.WriteString("      landing: none recorded\n")
+	default:
+		fmt.Fprintf(&b, "      landing: %q (%s)\n", r.LandingTitle, r.LandingURL)
+		fmt.Fprintf(&b, "      screenshot=%s simhash=%s\n", r.ScreenshotHash, r.LandingSimHash)
+	}
+	return b.String()
+}
+
+// stamp renders an event time with its offset from subscription, the
+// way an analyst reads a timeline.
+func stamp(r *crawler.WPNRecord, t time.Time) string {
+	off := t.Sub(r.RegisteredAt).Round(time.Second)
+	return fmt.Sprintf("%s (+%s)", t.Format("01-02 15:04:05"), off)
+}

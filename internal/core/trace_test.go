@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/serviceworker"
+)
+
+func TestTraceRecord(t *testing.T) {
+	reg := time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+	r := &crawler.WPNRecord{
+		ID: 7, Device: "desktop",
+		SourceURL: "https://pub.test/", SWURL: "https://cdn.net/sw.js",
+		Title: "Win", Body: "Claim now",
+		RegisteredAt: reg,
+		ShownAt:      reg.Add(2 * time.Minute),
+		ClickedAt:    reg.Add(2*time.Minute + 3*time.Second),
+		TargetURL:    "https://trk.net/r?u=x",
+		RedirectChain: []string{
+			"https://trk.net/r?u=x", "https://land.test/lp.html",
+		},
+		LandingURL: "https://land.test/lp.html", LandingTitle: "LP",
+		ScreenshotHash: "abcd", LandingSimHash: "00000000deadbeef",
+		SWRequests: []serviceworker.RequestRecord{
+			{URL: "https://ads.net/ad?id=1", Status: 200},
+			{URL: "https://dead.net/x", Error: "connection refused"},
+		},
+	}
+	out := TraceRecord(r)
+	for _, want := range []string{
+		"WPN #7", "subscription created", "(+2m0s)", "notification shown",
+		"sw fetch https://ads.net/ad?id=1 (200)", "error: connection refused",
+		"auto-click", "hop 1:", "hop 2:", `landing: "LP"`, "simhash=00000000deadbeef",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRecordNoTarget(t *testing.T) {
+	r := &crawler.WPNRecord{ID: 1, Title: "alert"}
+	out := TraceRecord(r)
+	if !strings.Contains(out, "no target URL") {
+		t.Errorf("targetless trace wrong:\n%s", out)
+	}
+}
+
+func TestTraceRecordCrashed(t *testing.T) {
+	r := &crawler.WPNRecord{
+		ID: 2, Title: "x", TargetURL: "https://t/x",
+		RedirectChain: []string{"https://t/x"}, Crashed: true,
+	}
+	if out := TraceRecord(r); !strings.Contains(out, "TAB CRASHED") {
+		t.Errorf("crash trace wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/report"
+	"pushadminer/internal/webeco"
+)
+
+// TrackingCheck reproduces the §8 observation that some ad networks
+// cookie-track browsers across sessions — and validates the crawler's
+// mitigation (one container, i.e. one cookie jar, per URL).
+type TrackingCheck struct {
+	Network string
+	// SharedBrowserPushes is the scheduled push count when ONE browser
+	// visits two of the network's publisher sites (the second
+	// subscription is recognized and frequency-capped).
+	SharedBrowserPushes int
+	// IsolatedPushes is the count when each site gets a fresh container.
+	IsolatedPushes int
+}
+
+// RunTrackingCheck visits two publisher sites of a cookie-tracking
+// network, once with a shared browser and once with isolated containers,
+// and compares the push volume the network schedules.
+func RunTrackingCheck(seed int64, scale float64) (*TrackingCheck, error) {
+	countScheduled := func(shared bool) (string, int, error) {
+		eco, err := webeco.New(webeco.Config{Seed: seed, Scale: scale})
+		if err != nil {
+			return "", 0, err
+		}
+		defer eco.Close()
+
+		// Two NPR publisher sites of one tracking network.
+		var network string
+		var sites []string
+		for _, s := range eco.Sites() {
+			if !s.NPR || s.Network == "" {
+				continue
+			}
+			if network == "" && isTracking(eco, s.Network) {
+				network = s.Network
+			}
+			if s.Network == network && network != "" {
+				sites = append(sites, s.URL)
+				if len(sites) == 2 {
+					break
+				}
+			}
+		}
+		if len(sites) < 2 {
+			return "", 0, fmt.Errorf("core: no tracking network with two NPR sites at scale %v", scale)
+		}
+
+		newBrowser := func(id string) *browser.Browser {
+			return browser.New(browser.Config{
+				Clock:    eco.Clock,
+				Client:   eco.Net.ClientNoRedirect(),
+				ClientID: id,
+			})
+		}
+		if shared {
+			br := newBrowser("shared")
+			for _, u := range sites {
+				if _, err := br.Visit(u); err != nil {
+					return "", 0, err
+				}
+			}
+		} else {
+			for i, u := range sites {
+				br := newBrowser(fmt.Sprintf("container-%d", i))
+				if _, err := br.Visit(u); err != nil {
+					return "", 0, err
+				}
+			}
+		}
+		return network, eco.PendingPushes(), nil
+	}
+
+	network, sharedN, err := countScheduled(true)
+	if err != nil {
+		return nil, err
+	}
+	_, isolatedN, err := countScheduled(false)
+	if err != nil {
+		return nil, err
+	}
+	return &TrackingCheck{Network: network, SharedBrowserPushes: sharedN, IsolatedPushes: isolatedN}, nil
+}
+
+func isTracking(eco *webeco.Ecosystem, name string) bool {
+	for _, an := range eco.Networks() {
+		if an.Spec.Name == name {
+			return an.Tracks()
+		}
+	}
+	return false
+}
+
+// Table renders the check.
+func (tc *TrackingCheck) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Cross-session tracking check (§8) — " + tc.Network,
+		Headers: []string{"Setup", "Pushes scheduled for 2 subscriptions"},
+		Note:    "tracking networks frequency-cap recognized browsers; one container per URL defeats it",
+	}
+	t.AddRow("one shared browser (cookie reused)", tc.SharedBrowserPushes)
+	t.AddRow("one container per URL (paper's mitigation)", tc.IsolatedPushes)
+	return t
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTrackingCheck(t *testing.T) {
+	tc, err := RunTrackingCheck(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Network == "" {
+		t.Fatal("no tracking network found")
+	}
+	if tc.SharedBrowserPushes >= tc.IsolatedPushes {
+		t.Errorf("tracking had no effect: shared=%d isolated=%d",
+			tc.SharedBrowserPushes, tc.IsolatedPushes)
+	}
+	if tc.SharedBrowserPushes == 0 {
+		t.Error("shared browser got no pushes at all; cap should allow one")
+	}
+	out := tc.Table().String()
+	if !strings.Contains(out, tc.Network) {
+		t.Errorf("table missing network:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+
+	"pushadminer/internal/cluster"
+	"pushadminer/internal/urlx"
+)
+
+// WPNCluster is one group of similar WPN messages (§5.1): the output of
+// the conservative first-stage clustering.
+type WPNCluster struct {
+	ID      int
+	Members []int // indices into the FeatureSet's record slice
+
+	// SourceDomains are the distinct eSLDs of the pages that pushed the
+	// member messages; more than one marks the cluster as an ad
+	// campaign.
+	SourceDomains []string
+	// LandingDomains are the distinct eSLDs of the members' landing
+	// pages.
+	LandingDomains []string
+
+	// IsAdCampaign is the §5.1.1 label: similar WPNs pushed from
+	// multiple distinct source domains.
+	IsAdCampaign bool
+}
+
+// Singleton reports whether the cluster holds a single message.
+func (c *WPNCluster) Singleton() bool { return len(c.Members) == 1 }
+
+// ClusterOptions configure the first-stage clustering.
+type ClusterOptions struct {
+	// MaxCutCandidates bounds the silhouette sweep (default 64).
+	MaxCutCandidates int
+	// FixedCutHeight, if > 0, bypasses the silhouette selection and cuts
+	// the dendrogram at this height (ablation A1).
+	FixedCutHeight float64
+	// ConservativeTol implements the paper's tight-cluster tuning: the
+	// lowest cut whose silhouette is within this tolerance of the best
+	// is chosen. Default 0.15; set negative for exact best-silhouette.
+	ConservativeTol float64
+	// Linkage selects the agglomeration rule (default cluster.Average,
+	// the paper's UPGMA; Single/Complete support the linkage ablation).
+	Linkage cluster.Linkage
+}
+
+func (o ClusterOptions) conservativeTol() float64 {
+	if o.ConservativeTol < 0 {
+		return 0
+	}
+	if o.ConservativeTol == 0 {
+		return 0.15
+	}
+	return o.ConservativeTol
+}
+
+// ClusterResult is the outcome of first-stage clustering.
+type ClusterResult struct {
+	Clusters   []*WPNCluster
+	CutHeight  float64
+	Silhouette float64
+	Labels     []int
+}
+
+// ClusterWPNs runs the §5.1.1 pipeline stage: pairwise distances,
+// average-linkage agglomerative clustering, and a silhouette-chosen
+// dendrogram cut, then derives per-cluster source/landing domain sets
+// and the ad-campaign label.
+func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
+	n := len(fs.Records)
+	dm := cluster.Compute(n, fs.Distance)
+	dend := cluster.AgglomerativeLinkage(dm, opts.Linkage)
+
+	var labels []int
+	var height, sil float64
+	if opts.FixedCutHeight > 0 {
+		labels = dend.CutByHeight(opts.FixedCutHeight)
+		height = opts.FixedCutHeight
+		sil = cluster.Silhouette(dm, labels)
+	} else {
+		best := cluster.BestCutConservative(dend, dm, opts.MaxCutCandidates, opts.conservativeTol())
+		labels, height, sil = best.Labels, best.Height, best.Silhouette
+	}
+
+	members := cluster.Members(labels)
+	ids := make([]int, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	res := &ClusterResult{CutHeight: height, Silhouette: sil, Labels: labels}
+	for _, id := range ids {
+		c := &WPNCluster{ID: id, Members: members[id]}
+		srcSet, landSet := map[string]bool{}, map[string]bool{}
+		for _, m := range c.Members {
+			r := fs.Records[m]
+			if d := r.SourceDomain; d != "" {
+				srcSet[d] = true
+			}
+			if d := urlx.ESLDOf(r.LandingURL); d != "" {
+				landSet[d] = true
+			}
+		}
+		c.SourceDomains = sortedKeys(srcSet)
+		c.LandingDomains = sortedKeys(landSet)
+		c.IsAdCampaign = !c.Singleton() && len(c.SourceDomains) > 1
+		res.Clusters = append(res.Clusters, c)
+	}
+	return res
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumSingletons counts singleton clusters.
+func (r *ClusterResult) NumSingletons() int {
+	n := 0
+	for _, c := range r.Clusters {
+		if c.Singleton() {
+			n++
+		}
+	}
+	return n
+}
+
+// AdCampaigns returns the clusters labeled as ad campaigns.
+func (r *ClusterResult) AdCampaigns() []*WPNCluster {
+	var out []*WPNCluster
+	for _, c := range r.Clusters {
+		if c.IsAdCampaign {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"pushadminer/internal/browser"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	eco := newEco(t, 0.002)
+	c, err := New(Config{
+		Clock:            eco.Clock,
+		NewClient:        func() *http.Client { return eco.Net.ClientNoRedirect() },
+		Driver:           eco,
+		Pending:          eco.Push,
+		Device:           browser.Desktop,
+		CollectionWindow: 7 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before it even starts
+	res, err := c.RunContext(ctx, eco.SeedURLs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("partial result missing")
+	}
+	if len(res.Records) != 0 {
+		t.Errorf("cancelled-before-start crawl produced %d records", len(res.Records))
+	}
+}
+
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	eco := newEco(t, 0.002)
+	c, err := New(Config{
+		Clock:            eco.Clock,
+		NewClient:        func() *http.Client { return eco.Net.ClientNoRedirect() },
+		Driver:           eco,
+		Pending:          eco.Push,
+		Device:           browser.Desktop,
+		CollectionWindow: 2 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunContext(context.Background(), eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Error("no records collected")
+	}
+}

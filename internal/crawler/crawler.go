@@ -1,0 +1,445 @@
+// Package crawler implements PushAdMiner's WPN crawler (§4 and §6.1):
+// it visits seed URLs with instrumented browsers ("containers"), grants
+// notification permission, keeps each container online for a monitoring
+// window after its service worker registers, then suspends it and
+// periodically resumes it to drain push messages queued at the push
+// service — producing the WPN message dataset the analysis module mines.
+//
+// Time is fully simulated: the crawler drives the shared virtual clock
+// and the ecosystem's push scheduler in one deterministic event loop.
+package crawler
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/serviceworker"
+	"pushadminer/internal/simclock"
+	"pushadminer/internal/urlx"
+)
+
+// PushDriver is the ecosystem surface the crawler drives: flushing due
+// push deliveries and peeking at the next scheduled one.
+type PushDriver interface {
+	Tick() int
+	NextPushAt() (time.Time, bool)
+}
+
+// PendingChecker optionally lets the crawler skip HTTP polls for
+// containers with no queued messages. The fcm.Service implements it.
+type PendingChecker interface {
+	Pending(token string) int
+}
+
+// Config configures a crawl.
+type Config struct {
+	// Clock is the shared simulated clock (the ecosystem's). Required.
+	Clock *simclock.Simulated
+	// NewClient returns an HTTP client routed through the virtual
+	// network, not following redirects. Required.
+	NewClient func() *http.Client
+	// Driver flushes scheduled pushes. Required.
+	Driver PushDriver
+	// Pending, if non-nil, suppresses no-op polls.
+	Pending PendingChecker
+	// PushHost selects the push service host ("" = default).
+	PushHost string
+
+	// Device and RealDevice select the crawl environment.
+	Device     browser.DeviceType
+	RealDevice bool
+
+	// MonitorWindow keeps a container online after SW registration
+	// (15 minutes in the paper, chosen so 98% of first notifications
+	// arrive while live).
+	MonitorWindow time.Duration
+	// ResumeInterval is how often suspended containers are resumed to
+	// drain queued messages.
+	ResumeInterval time.Duration
+	// CollectionWindow is the total crawl duration after seeding.
+	CollectionWindow time.Duration
+	// ClickDelay is the instrumented auto-click delay.
+	ClickDelay time.Duration
+	// MaxNotificationsPerContainer caps runaway subscriptions.
+	MaxNotificationsPerContainer int
+	// MaxContainers is the number of containers visiting seed URLs in
+	// parallel during the seeding phase (the paper ran 20–50 Docker
+	// sessions at a time). Default 32.
+	MaxContainers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MonitorWindow <= 0 {
+		c.MonitorWindow = 15 * time.Minute
+	}
+	if c.ResumeInterval <= 0 {
+		c.ResumeInterval = 24 * time.Hour
+	}
+	if c.CollectionWindow <= 0 {
+		c.CollectionWindow = 14 * 24 * time.Hour
+	}
+	if c.ClickDelay <= 0 {
+		c.ClickDelay = 3 * time.Second
+	}
+	if c.MaxNotificationsPerContainer <= 0 {
+		c.MaxNotificationsPerContainer = 64
+	}
+	if c.MaxContainers <= 0 {
+		c.MaxContainers = 32
+	}
+	return c
+}
+
+// WPNRecord is one collected web push notification with all metadata the
+// instrumented browser observed — the unit of analysis for the mining
+// pipeline (§5).
+type WPNRecord struct {
+	ID     int    `json:"id"`
+	Device string `json:"device"`
+
+	// SourceURL is the page whose visit created the subscription that
+	// pushed this message; SourceDomain is its eSLD.
+	SourceURL    string `json:"source_url"`
+	SourceDomain string `json:"source_domain"`
+	SWURL        string `json:"sw_url"`
+
+	Title   string `json:"title"`
+	Body    string `json:"body"`
+	IconURL string `json:"icon_url,omitempty"`
+
+	ShownAt      time.Time `json:"shown_at"`
+	RegisteredAt time.Time `json:"registered_at"`
+	ClickedAt    time.Time `json:"clicked_at"`
+
+	// Click consequences.
+	TargetURL      string   `json:"target_url,omitempty"`
+	RedirectChain  []string `json:"redirect_chain,omitempty"`
+	LandingURL     string   `json:"landing_url,omitempty"`
+	LandingTitle   string   `json:"landing_title,omitempty"`
+	LandingContent string   `json:"landing_content,omitempty"`
+	ScreenshotHash string   `json:"screenshot_hash,omitempty"`
+	// LandingSimHash is the landing page's locality-sensitive content
+	// fingerprint (hex), used for visual-similarity comparison during
+	// manual verification.
+	LandingSimHash string `json:"landing_simhash,omitempty"`
+	Crashed        bool   `json:"crashed,omitempty"`
+
+	// SW network activity during push handling and click handling.
+	SWRequests []serviceworker.RequestRecord `json:"sw_requests,omitempty"`
+
+	// PayloadAdID is ground-truth plumbing for evaluation only; the
+	// mining pipeline must not read it.
+	PayloadAdID string `json:"payload_ad_id,omitempty"`
+}
+
+// ValidLanding reports whether the click produced a usable landing page
+// (the §6.2 filter: 12,262 of 21,541 collected WPNs had one).
+func (r *WPNRecord) ValidLanding() bool {
+	return !r.Crashed && r.LandingURL != ""
+}
+
+// Result is the output of one crawl.
+type Result struct {
+	SeedURLs       []string
+	NPRURLs        []string // seed URLs that requested notification permission
+	AdditionalURLs []string // URLs discovered by clicking notifications that also requested permission
+	Records        []*WPNRecord
+	Containers     int
+}
+
+// container is one isolated browsing session (one Docker container in
+// the paper's deployment).
+type container struct {
+	id           int
+	seedURL      string
+	br           *browser.Browser
+	registeredAt time.Time
+	activeUntil  time.Time
+	nextResume   time.Time
+	collected    int
+	// sourceByToken maps each subscription token to the URL whose visit
+	// created it, so records name the right source when a container
+	// holds several registrations (seed + landing-page subscriptions).
+	sourceByToken map[string]string
+	// regTimeByToken maps each token to its registration instant.
+	regTimeByToken map[string]time.Time
+}
+
+type containerHeap []*container
+
+func (h containerHeap) Len() int            { return len(h) }
+func (h containerHeap) Less(i, j int) bool  { return h[i].nextResume.Before(h[j].nextResume) }
+func (h containerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *containerHeap) Push(x interface{}) { *h = append(*h, x.(*container)) }
+func (h *containerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// Crawler runs crawls.
+type Crawler struct {
+	cfg    Config
+	nextID int
+}
+
+// New creates a Crawler.
+func New(cfg Config) (*Crawler, error) {
+	if cfg.Clock == nil || cfg.NewClient == nil || cfg.Driver == nil {
+		return nil, fmt.Errorf("crawler: Clock, NewClient and Driver are required")
+	}
+	return &Crawler{cfg: cfg.withDefaults()}, nil
+}
+
+// Run crawls the seed URLs with background context; see RunContext.
+func (c *Crawler) Run(seeds []string) (*Result, error) {
+	return c.RunContext(context.Background(), seeds)
+}
+
+// RunContext crawls the seed URLs: visits each in its own container,
+// then runs the monitoring event loop for the collection window,
+// gathering every notification pushed to any container. Cancelling ctx
+// stops the crawl at the next safe point and returns the records
+// collected so far along with ctx.Err().
+func (c *Crawler) RunContext(ctx context.Context, seeds []string) (*Result, error) {
+	res := &Result{SeedURLs: seeds}
+
+	// Seeding phase: visit every URL in parallel container batches (the
+	// paper's 20–50 concurrent Docker sessions); keep containers whose
+	// visit produced a push subscription. Visits do not advance the
+	// simulated clock, so parallelism cannot reorder time.
+	type visitOutcome struct {
+		ct        *container
+		requested bool
+		token     string
+	}
+	outcomes := make([]visitOutcome, len(seeds))
+	sem := make(chan struct{}, c.cfg.MaxContainers)
+	var wg sync.WaitGroup
+	containers := make([]*container, len(seeds))
+	for i, u := range seeds {
+		containers[i] = c.newContainer(u)
+	}
+	for i, u := range seeds {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, u string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			ct := containers[i]
+			vr, err := ct.br.Visit(u)
+			if err != nil {
+				return // dead site: container discarded
+			}
+			oc := visitOutcome{requested: vr.RequestedPermission}
+			if vr.Registration != nil {
+				oc.ct = ct
+				oc.token = vr.Registration.Sub.Token
+			}
+			outcomes[i] = oc
+		}(i, u)
+	}
+	wg.Wait()
+
+	var live []*container
+	now := c.cfg.Clock.Now()
+	for i, oc := range outcomes {
+		if oc.requested {
+			res.NPRURLs = append(res.NPRURLs, seeds[i])
+		}
+		if oc.ct == nil {
+			continue
+		}
+		ct := oc.ct
+		ct.registeredAt = now
+		ct.activeUntil = now.Add(c.cfg.MonitorWindow)
+		ct.nextResume = now.Add(c.cfg.ResumeInterval)
+		ct.sourceByToken[oc.token] = seeds[i]
+		ct.regTimeByToken[oc.token] = now
+		live = append(live, ct)
+	}
+	res.Containers = len(live)
+
+	c.monitor(ctx, live, res)
+	return res, ctx.Err()
+}
+
+func (c *Crawler) newContainer(seedURL string) *container {
+	c.nextID++
+	return &container{
+		id:      c.nextID,
+		seedURL: seedURL,
+		br: browser.New(browser.Config{
+			Clock:      c.cfg.Clock,
+			Client:     c.cfg.NewClient(),
+			Device:     c.cfg.Device,
+			RealDevice: c.cfg.RealDevice,
+			ClickDelay: c.cfg.ClickDelay,
+			ClientID:   fmt.Sprintf("%s#%s", seedURL, c.cfg.Device),
+		}),
+		sourceByToken:  make(map[string]string),
+		regTimeByToken: make(map[string]time.Time),
+	}
+}
+
+// monitor is the unified event loop: it advances the simulated clock to
+// each push delivery or container resume, flushes the scheduler, pumps
+// online containers, and processes notification auto-clicks.
+func (c *Crawler) monitor(ctx context.Context, live []*container, res *Result) {
+	clock := c.cfg.Clock
+	end := clock.Now().Add(c.cfg.CollectionWindow)
+
+	resumes := make(containerHeap, len(live))
+	copy(resumes, live)
+	heap.Init(&resumes)
+
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		now := clock.Now()
+		if !now.Before(end) {
+			break
+		}
+		// Next event: a scheduled push or a container resume.
+		next := end
+		if at, ok := c.cfg.Driver.NextPushAt(); ok && at.Before(next) {
+			next = at
+		}
+		if len(resumes) > 0 && resumes[0].nextResume.Before(next) {
+			next = resumes[0].nextResume
+		}
+		if next.After(now) {
+			clock.Advance(next.Sub(now))
+			now = next
+		} else if next.Equal(now) && c.cfg.Driver == nil {
+			break
+		}
+
+		c.cfg.Driver.Tick()
+
+		// Resume containers due now.
+		for len(resumes) > 0 && !resumes[0].nextResume.After(now) {
+			ct := heap.Pop(&resumes).(*container)
+			c.pump(ct, res)
+			ct.nextResume = now.Add(c.cfg.ResumeInterval)
+			if ct.nextResume.Before(end) && ct.collected < c.cfg.MaxNotificationsPerContainer {
+				heap.Push(&resumes, ct)
+			}
+		}
+
+		// Pump containers still inside their live monitoring window.
+		for _, ct := range live {
+			if !now.After(ct.activeUntil) && ct.collected < c.cfg.MaxNotificationsPerContainer {
+				c.pump(ct, res)
+			}
+		}
+
+		// Safety: if nothing is scheduled and no resumes remain, stop.
+		if _, ok := c.cfg.Driver.NextPushAt(); !ok && len(resumes) == 0 {
+			break
+		}
+	}
+
+	// Final drain at the end of the window.
+	for _, ct := range live {
+		c.pump(ct, res)
+	}
+}
+
+// pump polls the push service for a container and, if anything arrived,
+// waits out the click delay and processes the auto-clicks into records.
+func (c *Crawler) pump(ct *container, res *Result) {
+	if c.cfg.Pending != nil && !c.hasPending(ct) {
+		return
+	}
+	n, err := ct.br.PumpPush(c.cfg.PushHost)
+	if err != nil || n == 0 {
+		return
+	}
+	c.cfg.Clock.Advance(c.cfg.ClickDelay)
+	for _, oc := range ct.br.ProcessClicks() {
+		rec := c.record(ct, oc)
+		res.Records = append(res.Records, rec)
+		ct.collected++
+		// Landing pages that themselves request permission are the
+		// additional URLs of §6.2: subscribe right there.
+		if nav := oc.Navigation; nav != nil && nav.Doc != nil &&
+			nav.Doc.RequestsNotification && !nav.Crashed {
+			if vr, err := ct.br.Visit(nav.FinalURL); err == nil && vr.Registration != nil {
+				res.AdditionalURLs = append(res.AdditionalURLs, nav.FinalURL)
+				ct.sourceByToken[vr.Registration.Sub.Token] = nav.FinalURL
+				ct.regTimeByToken[vr.Registration.Sub.Token] = c.cfg.Clock.Now()
+				// Re-opening the container's live window mirrors the
+				// paper keeping sessions alive after new registrations.
+				ct.activeUntil = c.cfg.Clock.Now().Add(c.cfg.MonitorWindow)
+			}
+		}
+	}
+}
+
+func (c *Crawler) hasPending(ct *container) bool {
+	for _, reg := range ct.br.Registrations() {
+		if c.cfg.Pending.Pending(reg.Sub.Token) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// record converts one click outcome into a WPNRecord.
+func (c *Crawler) record(ct *container, oc browser.ClickOutcome) *WPNRecord {
+	c.nextID++
+	dn := oc.Notification
+	src := ct.sourceByToken[dn.Registration.Sub.Token]
+	if src == "" {
+		src = ct.seedURL
+	}
+	regAt, ok := ct.regTimeByToken[dn.Registration.Sub.Token]
+	if !ok {
+		regAt = ct.registeredAt
+	}
+	rec := &WPNRecord{
+		ID:           c.nextID,
+		Device:       c.cfg.Device.String(),
+		SourceURL:    src,
+		SourceDomain: urlx.ESLDOf(src),
+		SWURL:        dn.Registration.Script.URL,
+		Title:        dn.Notification.Title,
+		Body:         dn.Notification.Body,
+		IconURL:      dn.Notification.Icon,
+		ShownAt:      dn.ShownAt,
+		RegisteredAt: regAt,
+		ClickedAt:    c.cfg.Clock.Now(),
+		TargetURL:    dn.Notification.TargetURL,
+		PayloadAdID:  dn.PayloadAdID,
+	}
+	rec.SWRequests = append(rec.SWRequests, dn.SWRequests...)
+	rec.SWRequests = append(rec.SWRequests, oc.SWRequests...)
+	if nav := oc.Navigation; nav != nil {
+		rec.RedirectChain = nav.RedirectChain
+		rec.Crashed = nav.Crashed
+		if !nav.Crashed && nav.Status == http.StatusOK {
+			rec.LandingURL = nav.FinalURL
+			rec.LandingTitle = nav.Title
+			rec.LandingContent = nav.Content
+			rec.ScreenshotHash = nav.ScreenshotHash
+			rec.LandingSimHash = nav.ContentSimHash.String()
+		}
+	}
+	return rec
+}

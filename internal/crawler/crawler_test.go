@@ -1,0 +1,213 @@
+package crawler
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/webeco"
+)
+
+func newEco(t *testing.T, scale float64) *webeco.Ecosystem {
+	t.Helper()
+	eco, err := webeco.New(webeco.Config{Seed: 11, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eco.Close() })
+	return eco
+}
+
+func newCrawler(t *testing.T, eco *webeco.Ecosystem, device browser.DeviceType, real bool) *Crawler {
+	t.Helper()
+	c, err := New(Config{
+		Clock:            eco.Clock,
+		NewClient:        func() *http.Client { return eco.Net.ClientNoRedirect() },
+		Driver:           eco,
+		Pending:          eco.Push,
+		Device:           device,
+		RealDevice:       real,
+		CollectionWindow: 7 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRequiresDeps(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted empty config")
+	}
+}
+
+func TestCrawlCollectsWPNs(t *testing.T) {
+	eco := newEco(t, 0.004)
+	c := newCrawler(t, eco, browser.Desktop, false)
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SeedURLs) == 0 {
+		t.Fatal("no seed URLs")
+	}
+	if len(res.NPRURLs) == 0 {
+		t.Fatal("no NPR URLs found")
+	}
+	if len(res.NPRURLs) >= len(res.SeedURLs) {
+		t.Errorf("NPR URLs (%d) should be a small subset of seeds (%d)", len(res.NPRURLs), len(res.SeedURLs))
+	}
+	if res.Containers == 0 {
+		t.Fatal("no containers registered service workers")
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no WPN records collected")
+	}
+
+	valid := 0
+	for _, r := range res.Records {
+		if r.Title == "" {
+			t.Errorf("record %d has no title", r.ID)
+		}
+		if r.SourceURL == "" || r.SourceDomain == "" {
+			t.Errorf("record %d missing source: %+v", r.ID, r)
+		}
+		if r.SWURL == "" {
+			t.Errorf("record %d missing SW URL", r.ID)
+		}
+		if r.Device != "desktop" {
+			t.Errorf("record %d device = %q", r.ID, r.Device)
+		}
+		if r.ValidLanding() {
+			valid++
+			if r.LandingURL == "" || r.ScreenshotHash == "" {
+				t.Errorf("valid landing without URL/screenshot: %+v", r)
+			}
+		}
+		if r.ShownAt.Before(r.RegisteredAt) {
+			t.Errorf("record %d shown before registration", r.ID)
+		}
+		if r.ClickedAt.Before(r.ShownAt) {
+			t.Errorf("record %d clicked before shown", r.ID)
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no records with valid landing pages")
+	}
+	t.Logf("seeds=%d npr=%d containers=%d records=%d valid=%d additional=%d",
+		len(res.SeedURLs), len(res.NPRURLs), res.Containers, len(res.Records), valid, len(res.AdditionalURLs))
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	run := func() *Result {
+		eco := newEco(t, 0.002)
+		c := newCrawler(t, eco, browser.Desktop, false)
+		res, err := c.Run(eco.SeedURLs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i].Title != b.Records[i].Title || a.Records[i].SourceURL != b.Records[i].SourceURL {
+			t.Fatalf("record %d differs: %q/%q vs %q/%q", i,
+				a.Records[i].Title, a.Records[i].SourceURL, b.Records[i].Title, b.Records[i].SourceURL)
+		}
+	}
+}
+
+func TestMobileGetsMobileTailoredAds(t *testing.T) {
+	eco := newEco(t, 0.004)
+	c := newCrawler(t, eco, browser.Mobile, true)
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("mobile crawl collected nothing")
+	}
+	sawMobileOnly := false
+	for _, r := range res.Records {
+		if r.Device != "mobile" {
+			t.Fatalf("record device = %q", r.Device)
+		}
+		if strings.Contains(r.Title, "Missed call") || strings.Contains(r.Title, "Voicemail") ||
+			strings.Contains(r.Title, "package") || strings.Contains(r.Title, "WhatsApp") ||
+			strings.Contains(r.Title, "delivery fee") || strings.Contains(r.Title, "friend request") {
+			sawMobileOnly = true
+		}
+	}
+	if !sawMobileOnly {
+		t.Error("no mobile-tailored malicious messages observed on a physical device")
+	}
+}
+
+func TestEmulatedMobileMissesRealDeviceCampaigns(t *testing.T) {
+	eco := newEco(t, 0.004)
+	c := newCrawler(t, eco, browser.Mobile, false) // emulator
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if strings.Contains(r.Title, "Missed call") || strings.Contains(r.Title, "Voicemail waiting") {
+			t.Errorf("emulator received real-device-only campaign: %q", r.Title)
+		}
+	}
+}
+
+func TestFirstNotificationLatency(t *testing.T) {
+	// The §6.1.2 pilot: ~98% of first notifications within 15 minutes.
+	eco := newEco(t, 0.004)
+	c := newCrawler(t, eco, browser.Desktop, false)
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBySource := map[string]time.Duration{}
+	for _, r := range res.Records {
+		d := r.ShownAt.Sub(r.RegisteredAt)
+		if prev, ok := firstBySource[r.SourceURL]; !ok || d < prev {
+			firstBySource[r.SourceURL] = d
+		}
+	}
+	if len(firstBySource) < 5 {
+		t.Skipf("too few sources (%d) for latency distribution", len(firstBySource))
+	}
+	within := 0
+	for _, d := range firstBySource {
+		if d <= 16*time.Minute { // small slack for click-delay advances
+			within++
+		}
+	}
+	frac := float64(within) / float64(len(firstBySource))
+	if frac < 0.85 {
+		t.Errorf("first-notification-within-15min fraction = %.2f, want >= 0.85", frac)
+	}
+}
+
+func TestQueuedWhileSuspendedDelivered(t *testing.T) {
+	// Messages scheduled long after the monitoring window must still be
+	// collected via container resumes.
+	eco := newEco(t, 0.002)
+	c := newCrawler(t, eco, browser.Desktop, false)
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := 0
+	for _, r := range res.Records {
+		if r.ShownAt.Sub(r.RegisteredAt) > time.Hour {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Error("no late (queued) notifications collected; resume path untested")
+	}
+}

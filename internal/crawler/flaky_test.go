@@ -1,0 +1,73 @@
+package crawler
+
+import (
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/fcm"
+	"pushadminer/internal/webeco"
+)
+
+// flakyHandler injects transient 503s: every third request fails.
+type flakyHandler struct {
+	inner http.Handler
+	n     int64
+	fails int64
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if atomic.AddInt64(&f.n, 1)%3 == 0 {
+		atomic.AddInt64(&f.fails, 1)
+		http.Error(w, "transient", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestCrawlSurvivesFlakyPushService injects a 33% transient failure rate
+// into the push service and requires the crawl to still complete and
+// collect: the httpx retry layer in the FCM client must absorb the
+// hiccups.
+func TestCrawlSurvivesFlakyPushService(t *testing.T) {
+	eco := newEco(t, 0.002)
+	flaky := &flakyHandler{inner: eco.Push}
+	eco.Net.Handle(fcm.DefaultHost, flaky)
+
+	c := newCrawler(t, eco, browser.Desktop, false)
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&flaky.fails) == 0 {
+		t.Fatal("failure injection never fired; test is vacuous")
+	}
+	if len(res.Records) == 0 {
+		t.Fatalf("flaky push service killed the crawl (injected %d failures)", flaky.fails)
+	}
+	t.Logf("survived %d injected 503s, collected %d WPNs", flaky.fails, len(res.Records))
+}
+
+// TestCrawlSurvivesDeadBlocklistHost: analysis-time blocklist outages
+// must not be fatal to lookup-capable clients either — the HTTP client
+// surfaces errors, which LabelKnownMalicious propagates; here we check
+// the crawl phase itself never touches blocklists (it must not).
+func TestCrawlIndependentOfBlocklists(t *testing.T) {
+	eco := newEco(t, 0.002)
+	// Unmount the blocklist hosts entirely.
+	eco.Net.Handle(webeco.VTHost, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	eco.Net.Handle(webeco.GSBHost, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	c := newCrawler(t, eco, browser.Desktop, false)
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("crawl failed with blocklists down; collection must not depend on them")
+	}
+}

@@ -1,0 +1,243 @@
+package detector
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pushadminer/internal/crawler"
+)
+
+func malRecord(i int) *crawler.WPNRecord {
+	return &crawler.WPNRecord{
+		Title:          "Congratulations! You have won an iPhone 11",
+		Body:           fmt.Sprintf("Claim your prize now before it expires %d", i),
+		SourceURL:      fmt.Sprintf("https://pub%d.test/", i),
+		LandingURL:     fmt.Sprintf("https://win-prize%d.icu/sweep/claim-prize.html?cid=%d", i%4, i),
+		LandingTitle:   "Claim Your Prize",
+		LandingContent: "congratulations winner survey enter your card for verification",
+		RedirectChain:  []string{"a", "b"},
+		Device:         "desktop",
+	}
+}
+
+func benignRecord(i int) *crawler.WPNRecord {
+	return &crawler.WPNRecord{
+		Title:          fmt.Sprintf("Markets close higher after rally %d", i),
+		Body:           "Tech stocks lift indexes to weekly gains",
+		SourceURL:      fmt.Sprintf("https://news%d.org/", i),
+		LandingURL:     fmt.Sprintf("https://news%d.org/finance/markets-recap.html?id=%d", i, i),
+		LandingTitle:   "Story",
+		LandingContent: "full article coverage reporting analysis",
+		RedirectChain:  []string{"a"},
+		Device:         "desktop",
+	}
+}
+
+func dataset(n int) []Sample {
+	var out []Sample
+	for i := 0; i < n; i++ {
+		out = append(out, Sample{Features: Featurize(malRecord(i)), Label: true})
+		out = append(out, Sample{Features: Featurize(benignRecord(i)), Label: false})
+	}
+	return out
+}
+
+func TestFeaturizeDeterministic(t *testing.T) {
+	a := Featurize(malRecord(1))
+	b := Featurize(malRecord(1))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("featurization not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("no features extracted")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Index <= a[i-1].Index {
+			t.Fatal("features not sorted/unique")
+		}
+	}
+	for _, f := range a {
+		if f.Index < 0 || f.Index >= FeatureDim {
+			t.Fatalf("feature index %d out of range", f.Index)
+		}
+	}
+}
+
+func TestFeaturizeDiscriminates(t *testing.T) {
+	m := Featurize(malRecord(0))
+	b := Featurize(benignRecord(0))
+	if reflect.DeepEqual(m, b) {
+		t.Error("malicious and benign records featurize identically")
+	}
+}
+
+func TestTrainSeparable(t *testing.T) {
+	samples := dataset(60)
+	train, test := SplitSamples(samples, 0.7, 1)
+	model, err := Train(train, TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := Evaluate(model, test)
+	if mt.F1() < 0.9 {
+		t.Errorf("F1 = %.3f on separable data, want >= 0.9 (metrics %+v)", mt.F1(), mt)
+	}
+	if mt.AUC < 0.95 {
+		t.Errorf("AUC = %.3f, want >= 0.95", mt.AUC)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	onlyPos := []Sample{{Features: Featurize(malRecord(0)), Label: true}}
+	if _, err := Train(onlyPos, TrainConfig{}); err == nil {
+		t.Error("single-class training set accepted")
+	}
+}
+
+func TestPredictAndScore(t *testing.T) {
+	samples := dataset(60)
+	model, err := Train(samples, TrainConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Predict(malRecord(999)) {
+		t.Error("unseen malicious record not detected")
+	}
+	if model.Predict(benignRecord(999)) {
+		t.Error("unseen benign record flagged")
+	}
+	s := model.Score(malRecord(999))
+	if s < 0 || s > 1 {
+		t.Errorf("score %v out of [0,1]", s)
+	}
+}
+
+func TestMetricsMath(t *testing.T) {
+	m := Metrics{TP: 8, FP: 2, TN: 85, FN: 5}
+	if p := m.Precision(); math.Abs(p-0.8) > 1e-9 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := m.Recall(); math.Abs(r-8.0/13.0) > 1e-9 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := m.F1(); f <= 0 || f >= 1 {
+		t.Errorf("f1 = %v", f)
+	}
+	var zero Metrics
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("zero metrics not handled")
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	// A model scoring positives strictly above negatives has AUC 1.
+	perfect := &Model{Weights: make([]float64, FeatureDim)}
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		pos := i%2 == 0
+		f := []Feature{{Index: i, Weight: 1}}
+		if pos {
+			perfect.Weights[i] = 5
+		} else {
+			perfect.Weights[i] = -5
+		}
+		samples = append(samples, Sample{Features: f, Label: pos})
+	}
+	if mt := Evaluate(perfect, samples); math.Abs(mt.AUC-1) > 1e-9 {
+		t.Errorf("perfect AUC = %v", mt.AUC)
+	}
+	// Constant scores → AUC 0.5 (all tied).
+	flat := &Model{Weights: make([]float64, FeatureDim)}
+	if mt := Evaluate(flat, samples); math.Abs(mt.AUC-0.5) > 1e-9 {
+		t.Errorf("flat AUC = %v", mt.AUC)
+	}
+}
+
+func TestSplitSamples(t *testing.T) {
+	samples := dataset(50)
+	train, test := SplitSamples(samples, 0.7, 3)
+	if len(train)+len(test) != len(samples) {
+		t.Fatalf("split lost samples: %d + %d != %d", len(train), len(test), len(samples))
+	}
+	if len(train) != int(0.7*float64(len(samples))) {
+		t.Errorf("train size = %d", len(train))
+	}
+	// Deterministic.
+	train2, _ := SplitSamples(samples, 0.7, 3)
+	if !reflect.DeepEqual(train, train2) {
+		t.Error("split not deterministic")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	samples := dataset(30)
+	a, err := Train(samples, TrainConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(samples, TrainConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bias != b.Bias {
+		t.Error("training not deterministic")
+	}
+}
+
+func TestNoisyLabelsStillLearnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := dataset(80)
+	// Flip 10% of labels.
+	for i := range samples {
+		if rng.Float64() < 0.1 {
+			samples[i].Label = !samples[i].Label
+		}
+	}
+	train, test := SplitSamples(samples, 0.7, 5)
+	model, err := Train(train, TrainConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := Evaluate(model, test)
+	if mt.AUC < 0.8 {
+		t.Errorf("AUC under 10%% label noise = %.3f, want >= 0.8", mt.AUC)
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	samples := dataset(60)
+	train, test := SplitSamples(samples, 0.7, 9)
+	model, err := Train(train, TrainConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := PRCurve(model, test, nil)
+	if len(curve) < 10 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Threshold <= curve[i-1].Threshold {
+			t.Fatal("thresholds not increasing")
+		}
+		// Recall is non-increasing as the threshold rises.
+		if curve[i].Recall > curve[i-1].Recall+1e-9 {
+			t.Errorf("recall increased with threshold: %+v -> %+v", curve[i-1], curve[i])
+		}
+	}
+	// On separable data, some operating point is near-perfect.
+	best := 0.0
+	for _, p := range curve {
+		if f := 2 * p.Precision * p.Recall / (p.Precision + p.Recall + 1e-12); f > best {
+			best = f
+		}
+	}
+	if best < 0.9 {
+		t.Errorf("best F1 on curve = %.3f", best)
+	}
+}

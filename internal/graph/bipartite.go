@@ -1,0 +1,146 @@
+// Package graph implements the bipartite-graph machinery behind the
+// paper's meta-clustering step (§5.3): one node set for WPN clusters, one
+// for landing-page domains, edges connecting each cluster to the domains
+// its messages point at, and connected-component extraction — each
+// component is a meta cluster.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bipartite is a bipartite graph between "left" nodes (WPN clusters in
+// the pipeline) identified by int ids and "right" nodes (landing
+// domains) identified by strings. The zero value is not ready; use
+// NewBipartite.
+type Bipartite struct {
+	left  map[int]map[string]bool
+	right map[string]map[int]bool
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite() *Bipartite {
+	return &Bipartite{
+		left:  make(map[int]map[string]bool),
+		right: make(map[string]map[int]bool),
+	}
+}
+
+// AddLeft ensures a left node exists even if it has no edges (a WPN
+// cluster whose messages had no recorded landing domain still forms its
+// own meta cluster).
+func (g *Bipartite) AddLeft(l int) {
+	if _, ok := g.left[l]; !ok {
+		g.left[l] = make(map[string]bool)
+	}
+}
+
+// AddEdge connects left node l to right node r, creating both as needed.
+func (g *Bipartite) AddEdge(l int, r string) {
+	g.AddLeft(l)
+	g.left[l][r] = true
+	if _, ok := g.right[r]; !ok {
+		g.right[r] = make(map[int]bool)
+	}
+	g.right[r][l] = true
+}
+
+// Lefts returns all left node ids, sorted.
+func (g *Bipartite) Lefts() []int {
+	out := make([]int, 0, len(g.left))
+	for l := range g.left {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Rights returns all right node ids, sorted.
+func (g *Bipartite) Rights() []string {
+	out := make([]string, 0, len(g.right))
+	for r := range g.right {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the number of right neighbors of left node l.
+func (g *Bipartite) Degree(l int) int { return len(g.left[l]) }
+
+// RightDegree returns the number of left neighbors of right node r.
+func (g *Bipartite) RightDegree(r string) int { return len(g.right[r]) }
+
+// Neighbors returns the sorted right neighbors of left node l.
+func (g *Bipartite) Neighbors(l int) []string {
+	out := make([]string, 0, len(g.left[l]))
+	for r := range g.left[l] {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumEdges returns the total edge count.
+func (g *Bipartite) NumEdges() int {
+	n := 0
+	for _, rs := range g.left {
+		n += len(rs)
+	}
+	return n
+}
+
+// Component is one connected component of a bipartite graph: a meta
+// cluster. Left and Right are sorted.
+type Component struct {
+	Left  []int
+	Right []string
+}
+
+// String summarizes the component.
+func (c Component) String() string {
+	return fmt.Sprintf("component(%d clusters, %d domains)", len(c.Left), len(c.Right))
+}
+
+// Components returns the connected components of g via breadth-first
+// search, ordered by their smallest left node id (components that contain
+// only right nodes cannot occur: right nodes exist only with edges).
+func (g *Bipartite) Components() []Component {
+	seenL := make(map[int]bool, len(g.left))
+	var comps []Component
+
+	lefts := g.Lefts()
+	for _, start := range lefts {
+		if seenL[start] {
+			continue
+		}
+		var comp Component
+		seenR := make(map[string]bool)
+		queueL := []int{start}
+		seenL[start] = true
+		for len(queueL) > 0 {
+			l := queueL[0]
+			queueL = queueL[1:]
+			comp.Left = append(comp.Left, l)
+			for r := range g.left[l] {
+				if seenR[r] {
+					continue
+				}
+				seenR[r] = true
+				comp.Right = append(comp.Right, r)
+				for l2 := range g.right[r] {
+					if !seenL[l2] {
+						seenL[l2] = true
+						queueL = append(queueL, l2)
+					}
+				}
+			}
+		}
+		sort.Ints(comp.Left)
+		sort.Strings(comp.Right)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Left[0] < comps[j].Left[0] })
+	return comps
+}

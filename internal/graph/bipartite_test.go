@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBipartite()
+	if got := g.Components(); len(got) != 0 {
+		t.Errorf("components of empty graph = %v", got)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestSingleComponent(t *testing.T) {
+	g := NewBipartite()
+	g.AddEdge(1, "a.com")
+	g.AddEdge(2, "a.com")
+	g.AddEdge(2, "b.com")
+	g.AddEdge(3, "b.com")
+	comps := g.Components()
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0].Left, []int{1, 2, 3}) {
+		t.Errorf("Left = %v", comps[0].Left)
+	}
+	if !reflect.DeepEqual(comps[0].Right, []string{"a.com", "b.com"}) {
+		t.Errorf("Right = %v", comps[0].Right)
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g := NewBipartite()
+	g.AddEdge(1, "a.com")
+	g.AddEdge(2, "b.com")
+	g.AddEdge(3, "b.com")
+	g.AddLeft(9) // isolated cluster with no landing domain
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3 (%v)", len(comps), comps)
+	}
+	// Ordered by smallest left id.
+	if comps[0].Left[0] != 1 || comps[1].Left[0] != 2 || comps[2].Left[0] != 9 {
+		t.Errorf("component order wrong: %v", comps)
+	}
+	if len(comps[2].Right) != 0 {
+		t.Errorf("isolated left node has right nodes: %v", comps[2])
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := NewBipartite()
+	g.AddEdge(1, "a.com")
+	g.AddEdge(1, "a.com")
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(1) != 1 || g.RightDegree("a.com") != 1 {
+		t.Errorf("degrees = %d, %d", g.Degree(1), g.RightDegree("a.com"))
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewBipartite()
+	g.AddEdge(1, "c.com")
+	g.AddEdge(1, "a.com")
+	g.AddEdge(1, "b.com")
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []string{"a.com", "b.com", "c.com"}) {
+		t.Errorf("Neighbors = %v", got)
+	}
+}
+
+func TestLeftsRights(t *testing.T) {
+	g := NewBipartite()
+	g.AddEdge(5, "z.com")
+	g.AddEdge(2, "y.com")
+	if got := g.Lefts(); !reflect.DeepEqual(got, []int{2, 5}) {
+		t.Errorf("Lefts = %v", got)
+	}
+	if got := g.Rights(); !reflect.DeepEqual(got, []string{"y.com", "z.com"}) {
+		t.Errorf("Rights = %v", got)
+	}
+}
+
+// TestComponentsPartition checks on random graphs that components form a
+// partition of the node sets and that no edge crosses components.
+func TestComponentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g := NewBipartite()
+		nL, nR := 1+rng.Intn(30), 1+rng.Intn(10)
+		for e := 0; e < rng.Intn(60); e++ {
+			g.AddEdge(rng.Intn(nL), domainName(rng.Intn(nR)))
+		}
+		for l := 0; l < nL; l++ {
+			if rng.Intn(3) == 0 {
+				g.AddLeft(l)
+			}
+		}
+		comps := g.Components()
+		seenL := make(map[int]int)
+		seenR := make(map[string]int)
+		for ci, c := range comps {
+			for _, l := range c.Left {
+				if prev, dup := seenL[l]; dup {
+					t.Fatalf("left %d in components %d and %d", l, prev, ci)
+				}
+				seenL[l] = ci
+			}
+			for _, r := range c.Right {
+				if prev, dup := seenR[r]; dup {
+					t.Fatalf("right %q in components %d and %d", r, prev, ci)
+				}
+				seenR[r] = ci
+			}
+		}
+		if len(seenL) != len(g.Lefts()) {
+			t.Fatalf("components cover %d lefts, graph has %d", len(seenL), len(g.Lefts()))
+		}
+		if len(seenR) != len(g.Rights()) {
+			t.Fatalf("components cover %d rights, graph has %d", len(seenR), len(g.Rights()))
+		}
+		for _, l := range g.Lefts() {
+			for _, r := range g.Neighbors(l) {
+				if seenL[l] != seenR[r] {
+					t.Fatalf("edge (%d,%q) crosses components", l, r)
+				}
+			}
+		}
+	}
+}
+
+func domainName(i int) string { return string(rune('a'+i)) + ".com" }
+
+func TestComponentString(t *testing.T) {
+	c := Component{Left: []int{1, 2}, Right: []string{"a.com"}}
+	if got := c.String(); got != "component(2 clusters, 1 domains)" {
+		t.Errorf("String = %q", got)
+	}
+}

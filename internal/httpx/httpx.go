@@ -1,0 +1,132 @@
+// Package httpx provides the retrying HTTP client used by the
+// simulation's service clients (push service, blocklists). Crawling
+// infrastructure lives or dies on tolerating transient failures: a
+// dropped connection or a 5xx from one poll must not kill a two-month
+// collection run. The wrapper retries idempotent-by-construction
+// requests with capped exponential backoff and deterministic jitter.
+package httpx
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"time"
+
+	"pushadminer/internal/simclock"
+)
+
+// RetryPolicy configures retry behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt
+	// included). Default 3.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay, doubled per retry. Default
+	// 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 2s.
+	MaxDelay time.Duration
+	// RetryOn decides whether a response status merits a retry.
+	// Default: 5xx and 429.
+	RetryOn func(status int) bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.RetryOn == nil {
+		p.RetryOn = func(status int) bool {
+			return status >= 500 || status == http.StatusTooManyRequests
+		}
+	}
+	return p
+}
+
+// Client wraps an http.Client with retries. The zero value is unusable;
+// use New.
+type Client struct {
+	http   *http.Client
+	clock  simclock.Clock
+	policy RetryPolicy
+}
+
+// New builds a retrying client. clock may be nil (real time).
+func New(httpClient *http.Client, clock simclock.Clock, policy RetryPolicy) *Client {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Client{http: httpClient, clock: clock, policy: policy.withDefaults()}
+}
+
+// Get issues a GET with retries.
+func (c *Client) Get(url string) (*http.Response, error) {
+	return c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	}, url)
+}
+
+// Post issues a POST with retries; the body is buffered so it can be
+// replayed on each attempt.
+func (c *Client) Post(url, contentType string, body []byte) (*http.Response, error) {
+	return c.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		return req, nil
+	}, url)
+}
+
+// do runs the attempt loop. Transport errors are retried and surface as
+// an error once attempts are exhausted; retryable HTTP statuses are
+// retried but the FINAL response is returned to the caller (never
+// swallowed), matching common retrying-client behaviour.
+func (c *Client) do(build func() (*http.Request, error), key string) (*http.Response, error) {
+	var lastErr error
+	delay := c.policy.BaseDelay
+	for attempt := 1; attempt <= c.policy.MaxAttempts; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("httpx: build request: %w", err)
+		}
+		resp, err := c.http.Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		case c.policy.RetryOn(resp.StatusCode) && attempt < c.policy.MaxAttempts:
+			// Drain so the connection can be reused, then retry.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
+			resp.Body.Close()
+			lastErr = fmt.Errorf("httpx: status %d", resp.StatusCode)
+		default:
+			return resp, nil
+		}
+		if attempt < c.policy.MaxAttempts {
+			c.clock.Sleep(jitter(delay, key, attempt))
+			delay *= 2
+			if delay > c.policy.MaxDelay {
+				delay = c.policy.MaxDelay
+			}
+		}
+	}
+	return nil, fmt.Errorf("httpx: %s: all %d attempts failed: %w", key, c.policy.MaxAttempts, lastErr)
+}
+
+// jitter perturbs a delay by ±25% deterministically per (key, attempt),
+// so simulations replay identically while a fleet of real clients
+// doesn't thunder in lockstep.
+func jitter(d time.Duration, key string, attempt int) time.Duration {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, attempt)
+	frac := float64(h.Sum64()%1000)/1000*0.5 - 0.25
+	return d + time.Duration(float64(d)*frac)
+}

@@ -1,0 +1,157 @@
+package httpx
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetSucceedsFirstTry(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	c := New(srv.Client(), nil, RetryPolicy{})
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" || atomic.LoadInt32(&calls) != 1 {
+		t.Errorf("body=%q calls=%d", body, calls)
+	}
+}
+
+func TestRetriesOn5xxThenSucceeds(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "finally")
+	}))
+	defer srv.Close()
+	c := New(srv.Client(), nil, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || atomic.LoadInt32(&calls) != 3 {
+		t.Errorf("status=%d calls=%d", resp.StatusCode, calls)
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := New(srv.Client(), nil, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond})
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("final response swallowed: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("final status = %d", resp.StatusCode)
+	}
+	if got := atomic.LoadInt32(&calls); got != 4 {
+		t.Errorf("calls = %d, want 4", got)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := New(srv.Client(), nil, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || atomic.LoadInt32(&calls) != 1 {
+		t.Errorf("status=%d calls=%d", resp.StatusCode, calls)
+	}
+}
+
+func TestPostBodyReplayedOnRetry(t *testing.T) {
+	var calls int32
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+		if atomic.AddInt32(&calls, 1) < 2 {
+			http.Error(w, "busy", http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+	defer srv.Close()
+	c := New(srv.Client(), nil, RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond})
+	resp, err := c.Post(srv.URL, "application/json", []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != bodies[1] || bodies[1] != `{"x":1}` {
+		t.Errorf("bodies = %q", bodies)
+	}
+}
+
+func TestRetriesOnConnectionError(t *testing.T) {
+	// A server that is immediately closed: connection refused.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	c := New(http.DefaultClient, nil, RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond})
+	if _, err := c.Get(url); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	d := 100 * time.Millisecond
+	a := jitter(d, "k", 1)
+	b := jitter(d, "k", 1)
+	if a != b {
+		t.Error("jitter not deterministic")
+	}
+	if a < 75*time.Millisecond || a > 125*time.Millisecond {
+		t.Errorf("jitter out of ±25%%: %v", a)
+	}
+	if jitter(d, "k", 2) == a && jitter(d, "other", 1) == a {
+		t.Error("jitter ignores key/attempt")
+	}
+}
+
+func TestCustomRetryOn(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "teapot", http.StatusTeapot)
+	}))
+	defer srv.Close()
+	c := New(srv.Client(), nil, RetryPolicy{
+		MaxAttempts: 2, BaseDelay: time.Millisecond,
+		RetryOn: func(status int) bool { return status == http.StatusTeapot },
+	})
+	c.Get(srv.URL) //nolint:errcheck
+	if atomic.LoadInt32(&calls) != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+}

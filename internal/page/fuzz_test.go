@@ -1,0 +1,21 @@
+package page
+
+import "testing"
+
+// FuzzDecode checks the page decoder never panics and that valid docs
+// round-trip.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"title":"x"}`))
+	f.Add([]byte(`{`))
+	f.Add((&Doc{Title: "t", RequestsNotification: true, SWURL: "https://x/sw.js"}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Re-encoding a decoded doc must parse again.
+		if _, err := Decode(d.Encode()); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Package page defines the document format the synthetic web serves and
+// the simulated browser renders. A Doc plays the role of a full HTML page
+// plus its JavaScript behaviour: visible text, the embedded ad-network
+// code snippets (searchable by the code-search engine), whether and how
+// the page asks for notification permission, which service worker it
+// registers, and where subscriptions are announced.
+package page
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ContentType identifies a serialized Doc on the wire.
+const ContentType = "application/vnd.sim.page+json"
+
+// Doc is one synthetic web page.
+type Doc struct {
+	// Title is the page title.
+	Title string `json:"title"`
+	// Content is the page's visible text (used for landing-page
+	// analysis and manual-verification simulation).
+	Content string `json:"content,omitempty"`
+	// Scripts holds the page's embedded script source snippets. The
+	// code-search engine indexes these; ad network tags place their
+	// signature keywords here.
+	Scripts []string `json:"scripts,omitempty"`
+
+	// RequestsNotification marks pages that ask for notification
+	// permission on visit.
+	RequestsNotification bool `json:"requests_notification,omitempty"`
+	// DoublePermission marks pages that first show a JavaScript-built
+	// prompt mimicking the browser dialog and only trigger the real
+	// permission request after that prompt is accepted (§8).
+	DoublePermission bool `json:"double_permission,omitempty"`
+	// SWURL is the service worker script the page registers after
+	// permission is granted.
+	SWURL string `json:"sw_url,omitempty"`
+	// PushHost is the push-service (FCM) host the subscription is
+	// created against.
+	PushHost string `json:"push_host,omitempty"`
+	// SubscribeURL, if set, receives a POST of the new subscription so
+	// the ad network's server learns the token and endpoint.
+	SubscribeURL string `json:"subscribe_url,omitempty"`
+
+	// Crash marks landing pages that crash the browser tab when
+	// rendered (§6.2 — such WPNs are filtered from the dataset).
+	Crash bool `json:"crash,omitempty"`
+}
+
+// Encode serializes the Doc.
+func (d *Doc) Encode() []byte {
+	b, err := json.Marshal(d)
+	if err != nil {
+		panic(fmt.Sprintf("page: marshal: %v", err))
+	}
+	return b
+}
+
+// Decode parses a serialized Doc.
+func Decode(b []byte) (*Doc, error) {
+	var d Doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("page: decode: %w", err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,55 @@
+package page
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := &Doc{
+		Title:                "Example",
+		Content:              "hello world",
+		Scripts:              []string{"tag-a", "tag-b"},
+		RequestsNotification: true,
+		DoublePermission:     true,
+		SWURL:                "https://cdn.test/sw.js",
+		PushHost:             "fcm.simpush.test",
+		SubscribeURL:         "https://ads.test/subscribe",
+		Crash:                false,
+	}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("malformed doc accepted")
+	}
+}
+
+func TestZeroValueEncodes(t *testing.T) {
+	d := &Doc{}
+	out, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestsNotification || out.Crash || out.SWURL != "" {
+		t.Errorf("zero doc decoded dirty: %+v", out)
+	}
+}
+
+func TestOmittedFieldsStayCompact(t *testing.T) {
+	d := &Doc{Title: "x"}
+	b := d.Encode()
+	for _, forbidden := range []string{"sw_url", "crash", "double_permission", "subscribe_url"} {
+		if strings.Contains(string(b), forbidden) {
+			t.Errorf("zero field %q serialized: %s", forbidden, b)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package report renders the study's tables in aligned plain text, shared
+// by the CLI, the examples, and the benchmark harness so every surface
+// prints the paper's tables the same way.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Note is printed under the table (e.g. paper-vs-measured caveats).
+	Note string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if w := len([]rune(c)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+		b.WriteString(strings.Repeat("=", len([]rune(t.Title))))
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// MarshalJSON renders the table as a machine-readable object with
+// title, headers, rows and note — the CLI's -format json output.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers,omitempty"`
+		Rows    [][]string `json:"rows"`
+		Note    string     `json:"note,omitempty"`
+	}{t.Title, t.Headers, t.Rows, t.Note})
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}

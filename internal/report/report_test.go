@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "count"},
+		Note:    "a note",
+	}
+	tab.AddRow("alpha", 1)
+	tab.AddRow("beta-longer", 22)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[1] != "====" {
+		t.Errorf("underline = %q", lines[1])
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "note: a note") {
+		t.Errorf("note missing:\n%s", out)
+	}
+	// Columns aligned: every data line has the count column starting at
+	// the same offset.
+	idx := strings.Index(lines[2], "count")
+	for _, l := range lines[4:6] {
+		if len(l) < idx {
+			t.Errorf("row %q shorter than header alignment", l)
+		}
+	}
+}
+
+func TestAddRowFormatsFloats(t *testing.T) {
+	tab := &Table{Headers: []string{"v"}}
+	tab.AddRow(3.14159)
+	if tab.Rows[0][0] != "3.14" {
+		t.Errorf("float cell = %q", tab.Rows[0][0])
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("x", "y")
+	out := tab.String()
+	if !strings.Contains(out, "x") || strings.Contains(out, "===") {
+		t.Errorf("bare table rendering wrong: %q", out)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := &Table{Headers: []string{"a"}}
+	tab.AddRow("1", "2", "3") // wider than headers
+	out := tab.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra columns dropped: %q", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1, 4); got != "25.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(5, 0); got != "n/a" {
+		t.Errorf("Pct div0 = %q", got)
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a"}, Note: "n"}
+	tab.AddRow("x")
+	b, err := tab.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title":"T"`, `"headers":["a"]`, `"rows":[["x"]]`, `"note":"n"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("JSON missing %s: %s", want, b)
+		}
+	}
+}

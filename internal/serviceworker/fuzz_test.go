@@ -1,0 +1,34 @@
+package serviceworker
+
+import "testing"
+
+// FuzzParse checks SW script parsing never panics and round-trips.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"url":"https://x/sw.js"}`))
+	f.Add([]byte(`{"on_push":[{"do":"fetch","url":"{{a}}"}]}`))
+	f.Add([]byte(`broken`))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(s.Source()); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}
+
+// FuzzExpand checks template expansion never panics and never grows
+// unboundedly relative to its input.
+func FuzzExpand(f *testing.F) {
+	f.Add("{{a}}-{{b}}", "x", "y")
+	f.Add("{{unclosed", "x", "y")
+	f.Add("}}{{", "x", "y")
+	f.Fuzz(func(t *testing.T, tpl, va, vb string) {
+		env := Env{"a": va, "b": vb}
+		out := expand(tpl, env)
+		if len(out) > len(tpl)+len(va)*len(tpl)+len(vb)*len(tpl)+16 {
+			t.Fatalf("expansion exploded: %d bytes from %d", len(out), len(tpl))
+		}
+	})
+}

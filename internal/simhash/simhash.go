@@ -1,0 +1,109 @@
+// Package simhash implements 64-bit SimHash fingerprints over token
+// streams. The paper's manual verification judges landing pages by
+// visual similarity to known malicious pages (§5.4, factor 1); since the
+// simulated browser renders pages as text, a locality-sensitive content
+// fingerprint is the faithful stand-in for screenshot comparison: nearly
+// identical scam pages (same kit, different domain) hash within a few
+// bits of each other, while unrelated pages are ~32 bits apart.
+package simhash
+
+import (
+	"hash/fnv"
+	"math/bits"
+	"strconv"
+)
+
+// Hash is a 64-bit SimHash fingerprint.
+type Hash uint64
+
+// Of computes the SimHash of a token sequence. Tokens contribute their
+// FNV-64a hashes; per-bit majority voting forms the fingerprint. An
+// empty sequence hashes to 0.
+func Of(tokens []string) Hash {
+	if len(tokens) == 0 {
+		return 0
+	}
+	var counts [64]int
+	for _, tok := range tokens {
+		h := fnv.New64a()
+		h.Write([]byte(tok)) //nolint:errcheck
+		v := h.Sum64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				counts[b]++
+			} else {
+				counts[b]--
+			}
+		}
+	}
+	var out Hash
+	for b := 0; b < 64; b++ {
+		if counts[b] > 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Distance returns the Hamming distance between two fingerprints
+// (0..64).
+func Distance(a, b Hash) int { return bits.OnesCount64(uint64(a ^ b)) }
+
+// Near reports whether two fingerprints are within k bits.
+func Near(a, b Hash, k int) bool { return Distance(a, b) <= k }
+
+// String renders the hash as fixed-width hex.
+func (h Hash) String() string {
+	s := strconv.FormatUint(uint64(h), 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}
+
+// Parse reads a hash back from String's output. It returns 0 for
+// malformed input.
+func Parse(s string) Hash {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return Hash(v)
+}
+
+// Index is a simple set of fingerprints supporting nearest-neighbour
+// queries by linear scan — adequate for the study's page counts.
+type Index struct {
+	hashes []Hash
+}
+
+// Add inserts a fingerprint.
+func (ix *Index) Add(h Hash) { ix.hashes = append(ix.hashes, h) }
+
+// Len returns the number of stored fingerprints.
+func (ix *Index) Len() int { return len(ix.hashes) }
+
+// AnyNear reports whether any stored fingerprint is within k bits of h.
+func (ix *Index) AnyNear(h Hash, k int) bool {
+	for _, x := range ix.hashes {
+		if Near(x, h, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Nearest returns the closest stored fingerprint and its distance, or
+// (0, 65, false) when empty.
+func (ix *Index) Nearest(h Hash) (Hash, int, bool) {
+	if len(ix.hashes) == 0 {
+		return 0, 65, false
+	}
+	best, bestD := ix.hashes[0], Distance(ix.hashes[0], h)
+	for _, x := range ix.hashes[1:] {
+		if d := Distance(x, h); d < bestD {
+			best, bestD = x, d
+		}
+	}
+	return best, bestD, true
+}

@@ -1,0 +1,100 @@
+package simhash
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func toks(s string) []string { return strings.Fields(s) }
+
+func TestIdenticalContentSameHash(t *testing.T) {
+	a := Of(toks("your computer has been blocked call now"))
+	b := Of(toks("your computer has been blocked call now"))
+	if a != b {
+		t.Fatalf("identical content hashed differently: %v vs %v", a, b)
+	}
+}
+
+func TestSimilarContentNearHash(t *testing.T) {
+	base := "congratulations lucky winner complete this short survey to receive your exclusive reward enter your shipping details and card for verification today"
+	variant := base + " bonus777.icu" // same kit, different domain appended
+	a, b := Of(toks(base)), Of(toks(variant))
+	if d := Distance(a, b); d > 12 {
+		t.Errorf("near-duplicate pages %d bits apart, want <= 12", d)
+	}
+	unrelated := Of(toks("hourly forecast radar temperature precipitation wind humidity alerts for your local area today and tomorrow morning"))
+	if d := Distance(a, unrelated); d < 16 {
+		t.Errorf("unrelated pages only %d bits apart, want >= 16", d)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if Of(nil) != 0 {
+		t.Error("empty token stream must hash to 0")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ha, hb := Hash(a), Hash(b)
+		d := Distance(ha, hb)
+		if d < 0 || d > 64 {
+			return false
+		}
+		if Distance(ha, ha) != 0 {
+			return false
+		}
+		return Distance(ha, hb) == Distance(hb, ha)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNear(t *testing.T) {
+	if !Near(0b1011, 0b1010, 1) {
+		t.Error("1-bit difference not near with k=1")
+	}
+	if Near(0b1011, 0b0000, 2) {
+		t.Error("3-bit difference near with k=2")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	h := Of(toks("some page text"))
+	if got := Parse(h.String()); got != h {
+		t.Errorf("round trip: %v -> %q -> %v", h, h.String(), got)
+	}
+	if len(h.String()) != 16 {
+		t.Errorf("String length %d", len(h.String()))
+	}
+	if Parse("zz") != 0 {
+		t.Error("malformed parse did not return 0")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	var ix Index
+	if _, _, ok := ix.Nearest(5); ok {
+		t.Error("empty index returned a neighbour")
+	}
+	if ix.AnyNear(5, 64) {
+		t.Error("empty index claims a near match")
+	}
+	scam := Of(toks("call the toll free number your computer is blocked"))
+	ix.Add(scam)
+	ix.Add(Of(toks("daily horoscope love career money lucky numbers")))
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	variantTokens := toks("call the toll free number your computer is blocked error 0x80072ee7")
+	v := Of(variantTokens)
+	nearest, d, ok := ix.Nearest(v)
+	if !ok || nearest != scam {
+		t.Errorf("Nearest = %v, %d, %v; want the scam hash", nearest, d, ok)
+	}
+	if !ix.AnyNear(v, 16) {
+		t.Error("variant not near the stored scam page")
+	}
+}

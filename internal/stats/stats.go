@@ -1,0 +1,132 @@
+// Package stats provides the small distribution toolkit the measurement
+// harness uses: empirical CDFs, quantiles, and fixed-bucket histograms
+// over durations and floats.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ECDF is an empirical cumulative distribution over float64 samples.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF (copies and sorts the input).
+func NewECDF(samples []float64) *ECDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by the nearest-rank
+// method. It panics on an empty distribution.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		panic("stats: quantile of empty ECDF")
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(q*float64(len(e.sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// Mean returns the sample mean (0 for empty).
+func (e *ECDF) Mean() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range e.sorted {
+		sum += v
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// DurationECDF wraps an ECDF over time.Durations.
+type DurationECDF struct{ e *ECDF }
+
+// NewDurationECDF builds a duration ECDF.
+func NewDurationECDF(samples []time.Duration) *DurationECDF {
+	fs := make([]float64, len(samples))
+	for i, d := range samples {
+		fs[i] = float64(d)
+	}
+	return &DurationECDF{e: NewECDF(fs)}
+}
+
+// Len returns the sample count.
+func (d *DurationECDF) Len() int { return d.e.Len() }
+
+// At returns P(X <= x).
+func (d *DurationECDF) At(x time.Duration) float64 { return d.e.At(float64(x)) }
+
+// Quantile returns the q-th quantile duration.
+func (d *DurationECDF) Quantile(q float64) time.Duration {
+	return time.Duration(d.e.Quantile(q))
+}
+
+// Mean returns the mean duration.
+func (d *DurationECDF) Mean() time.Duration { return time.Duration(d.e.Mean()) }
+
+// Bucket is one histogram bar.
+type Bucket struct {
+	Label string
+	Count int
+}
+
+// DurationHistogram buckets samples at the given boundaries; a final
+// overflow bucket collects the rest. Boundaries must be ascending.
+func DurationHistogram(samples []time.Duration, bounds []time.Duration) []Bucket {
+	buckets := make([]Bucket, len(bounds)+1)
+	for i, b := range bounds {
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		buckets[i].Label = fmt.Sprintf("%s–%s", lo, b)
+	}
+	buckets[len(bounds)].Label = fmt.Sprintf("> %s", bounds[len(bounds)-1])
+	for _, s := range samples {
+		placed := false
+		for i, b := range bounds {
+			if s <= b {
+				buckets[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			buckets[len(bounds)].Count++
+		}
+	}
+	return buckets
+}

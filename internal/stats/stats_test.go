@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 4})
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if m := e.Mean(); math.Abs(m-2.5) > 1e-9 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 || e.Mean() != 0 {
+		t.Error("empty ECDF not zeroed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile on empty ECDF did not panic")
+		}
+	}()
+	e.Quantile(0.5)
+}
+
+func TestQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	if q := e.Quantile(0.5); q != 50 {
+		t.Errorf("median = %v", q)
+	}
+	if q := e.Quantile(0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := e.Quantile(1); q != 100 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := e.Quantile(0.9); q != 90 {
+		t.Errorf("q90 = %v", q)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewECDF(raw)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return e.At(lo) <= e.At(hi) && e.At(hi) <= 1 && e.At(lo) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationECDF(t *testing.T) {
+	d := NewDurationECDF([]time.Duration{time.Minute, 2 * time.Minute, time.Hour})
+	if got := d.At(5 * time.Minute); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("At(5m) = %v", got)
+	}
+	if q := d.Quantile(0.5); q != 2*time.Minute {
+		t.Errorf("median = %v", q)
+	}
+	if d.Mean() <= 0 {
+		t.Error("mean not positive")
+	}
+	if d.Len() != 3 {
+		t.Error("len wrong")
+	}
+}
+
+func TestDurationHistogram(t *testing.T) {
+	samples := []time.Duration{
+		30 * time.Second, 10 * time.Minute, 14 * time.Minute, 2 * time.Hour, 90 * time.Hour,
+	}
+	bounds := []time.Duration{time.Minute, 15 * time.Minute, 24 * time.Hour}
+	buckets := DurationHistogram(samples, bounds)
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	wantCounts := []int{1, 2, 1, 1}
+	total := 0
+	for i, b := range buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d (%s) = %d, want %d", i, b.Label, b.Count, wantCounts[i])
+		}
+		total += b.Count
+	}
+	if total != len(samples) {
+		t.Errorf("histogram lost samples: %d != %d", total, len(samples))
+	}
+}

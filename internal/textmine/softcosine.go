@@ -1,0 +1,166 @@
+package textmine
+
+import (
+	"math"
+	"sort"
+)
+
+// BOW is a sparse bag-of-words vector: term-id → weight, stored as
+// parallel sorted slices for cache-friendly pairwise operations.
+type BOW struct {
+	ids     []int
+	weights []float64
+}
+
+// NewBOW builds a term-frequency bag-of-words vector from token ids.
+func NewBOW(ids []int) BOW {
+	counts := make(map[int]float64, len(ids))
+	for _, id := range ids {
+		counts[id]++
+	}
+	out := BOW{
+		ids:     make([]int, 0, len(counts)),
+		weights: make([]float64, 0, len(counts)),
+	}
+	for id := range counts {
+		out.ids = append(out.ids, id)
+	}
+	sort.Ints(out.ids)
+	for _, id := range out.ids {
+		out.weights = append(out.weights, counts[id])
+	}
+	return out
+}
+
+// Len returns the number of distinct terms.
+func (b BOW) Len() int { return len(b.ids) }
+
+// Terms returns the sorted term ids. The slice aliases internal storage.
+func (b BOW) Terms() []int { return b.ids }
+
+// SoftCosineOptions mirror gensim's term-similarity-matrix knobs: a raw
+// cosine below Threshold is treated as zero, and surviving similarities
+// are raised to Exponent.
+type SoftCosineOptions struct {
+	// Threshold zeroes term similarities below it. Default 0 (negative
+	// similarities are dropped, as in gensim).
+	Threshold float64
+	// Exponent is applied to surviving similarities. Default 2.0
+	// (gensim's default), which sharpens the matrix toward identity.
+	Exponent float64
+}
+
+func (o SoftCosineOptions) withDefaults() SoftCosineOptions {
+	if o.Exponent == 0 {
+		o.Exponent = 2
+	}
+	return o
+}
+
+// termSim returns the (thresholded, exponentiated) similarity entry
+// S[i][j] used by soft cosine.
+func termSim(e *Embeddings, i, j int, o SoftCosineOptions) float64 {
+	if i == j {
+		return 1
+	}
+	s := e.Similarity(i, j)
+	if s <= o.Threshold || s <= 0 {
+		return 0
+	}
+	if o.Exponent != 1 {
+		s = math.Pow(s, o.Exponent)
+	}
+	return s
+}
+
+// quadForm computes aᵀ·S·b for sparse vectors a and b under the implied
+// term-similarity matrix S.
+func quadForm(a, b BOW, e *Embeddings, o SoftCosineOptions) float64 {
+	var sum float64
+	for x, i := range a.ids {
+		wa := a.weights[x]
+		for y, j := range b.ids {
+			s := termSim(e, i, j, o)
+			if s != 0 {
+				sum += wa * s * b.weights[y]
+			}
+		}
+	}
+	return sum
+}
+
+// SoftCosine returns the soft cosine similarity of two bag-of-words
+// vectors in [0, 1], using embedding cosines as the term-similarity
+// matrix (Sidorov et al., as implemented by gensim softcossim). Two empty
+// vectors have similarity 1; an empty versus non-empty vector, 0.
+func SoftCosine(a, b BOW, e *Embeddings, opts SoftCosineOptions) float64 {
+	opts = opts.withDefaults()
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	num := quadForm(a, b, e, opts)
+	if num <= 0 {
+		return 0
+	}
+	den := math.Sqrt(quadForm(a, a, e, opts)) * math.Sqrt(quadForm(b, b, e, opts))
+	if den == 0 {
+		return 0
+	}
+	s := num / den
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// SoftCosineDistance is 1 − SoftCosine.
+func SoftCosineDistance(a, b BOW, e *Embeddings, opts SoftCosineOptions) float64 {
+	return 1 - SoftCosine(a, b, e, opts)
+}
+
+// DocVector returns the L2-normalized sum of (normalized) term embeddings
+// weighted by term frequency — the fast document representation whose
+// plain cosine approximates soft cosine without the threshold/exponent
+// adjustments. The pipeline uses exact SoftCosine; DocVector backs the
+// large-scale fast path and validation tooling.
+func DocVector(b BOW, e *Embeddings) []float32 {
+	out := make([]float32, e.Dim())
+	for x, id := range b.ids {
+		w := float32(b.weights[x])
+		v := e.Vector(id)
+		for k := range out {
+			out[k] += w * v[k]
+		}
+	}
+	var norm float64
+	for _, x := range out {
+		norm += float64(x) * float64(x)
+	}
+	if norm > 0 {
+		n := float32(math.Sqrt(norm))
+		for k := range out {
+			out[k] /= n
+		}
+	}
+	return out
+}
+
+// CosineDistance returns 1 − dot(a, b) for two L2-normalized vectors,
+// clamped to [0, 2].
+func CosineDistance(a, b []float32) float64 {
+	var dot float64
+	for k := range a {
+		dot += float64(a[k]) * float64(b[k])
+	}
+	d := 1 - dot
+	if d < 0 {
+		d = 0
+	}
+	if d > 2 {
+		d = 2
+	}
+	return d
+}

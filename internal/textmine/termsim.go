@@ -1,0 +1,103 @@
+package textmine
+
+import "math"
+
+// TermSimMatrix is the dense precomputed term-similarity matrix S used by
+// soft cosine at scale: S[i][j] = max(0, cos(wᵢ, wⱼ))^exponent with the
+// threshold applied, exactly as termSim computes lazily. Precomputing S
+// turns each pairwise document comparison into table lookups, which is
+// what makes clustering thousands of WPN messages tractable.
+type TermSimMatrix struct {
+	n    int
+	data []float32
+}
+
+// NewTermSimMatrix materializes S for all vocabulary pairs.
+func NewTermSimMatrix(e *Embeddings, opts SoftCosineOptions) *TermSimMatrix {
+	opts = opts.withDefaults()
+	n := e.Vocab().Len()
+	m := &TermSimMatrix{n: n, data: make([]float32, n*n)}
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+		for j := i + 1; j < n; j++ {
+			s := float32(termSim(e, i, j, opts))
+			m.data[i*n+j] = s
+			m.data[j*n+i] = s
+		}
+	}
+	return m
+}
+
+// Len returns the vocabulary size.
+func (m *TermSimMatrix) Len() int { return m.n }
+
+// At returns S[i][j].
+func (m *TermSimMatrix) At(i, j int) float64 { return float64(m.data[i*m.n+j]) }
+
+func quadFormM(a, b BOW, m *TermSimMatrix) float64 {
+	var sum float64
+	for x, i := range a.ids {
+		wa := a.weights[x]
+		row := m.data[i*m.n : (i+1)*m.n]
+		for y, j := range b.ids {
+			if s := row[j]; s != 0 {
+				sum += wa * float64(s) * b.weights[y]
+			}
+		}
+	}
+	return sum
+}
+
+// SoftCosineWith computes soft cosine using a precomputed matrix. It
+// matches SoftCosine exactly when the matrix was built with the same
+// options.
+func SoftCosineWith(a, b BOW, m *TermSimMatrix) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	num := quadFormM(a, b, m)
+	if num <= 0 {
+		return 0
+	}
+	den := math.Sqrt(quadFormM(a, a, m)) * math.Sqrt(quadFormM(b, b, m))
+	if den == 0 {
+		return 0
+	}
+	s := num / den
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// SelfNorm precomputes sqrt(aᵀ·S·a) for reuse across many comparisons of
+// the same document.
+func SelfNorm(a BOW, m *TermSimMatrix) float64 {
+	return math.Sqrt(quadFormM(a, a, m))
+}
+
+// SoftCosineNormed computes soft cosine given precomputed self-norms.
+func SoftCosineNormed(a, b BOW, m *TermSimMatrix, normA, normB float64) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	num := quadFormM(a, b, m)
+	if num <= 0 {
+		return 0
+	}
+	den := normA * normB
+	if den == 0 {
+		return 0
+	}
+	s := num / den
+	if s > 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package textmine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTermSimMatrixMatchesLazy(t *testing.T) {
+	emb := trainTiny(t)
+	opts := SoftCosineOptions{}
+	m := NewTermSimMatrix(emb, opts)
+	if m.Len() != emb.Vocab().Len() {
+		t.Fatalf("Len = %d, want %d", m.Len(), emb.Vocab().Len())
+	}
+	optsD := opts.withDefaults()
+	for i := 0; i < m.Len(); i++ {
+		for j := 0; j < m.Len(); j++ {
+			lazy := termSim(emb, i, j, optsD)
+			if math.Abs(m.At(i, j)-lazy) > 1e-6 {
+				t.Fatalf("S[%d][%d] = %v, lazy = %v", i, j, m.At(i, j), lazy)
+			}
+		}
+	}
+}
+
+func TestSoftCosineWithMatchesExact(t *testing.T) {
+	emb := trainTiny(t)
+	v := emb.Vocab()
+	m := NewTermSimMatrix(emb, SoftCosineOptions{})
+	texts := []string{
+		"claim your prize now", "weather storm alert", "winner reward",
+		"congratulations you won a prize", "rain warning",
+	}
+	bows := make([]BOW, len(texts))
+	for i, s := range texts {
+		bows[i] = NewBOW(v.LookupIDs(Tokenize(s)))
+	}
+	for i := range bows {
+		for j := range bows {
+			exact := SoftCosine(bows[i], bows[j], emb, SoftCosineOptions{})
+			fast := SoftCosineWith(bows[i], bows[j], m)
+			if math.Abs(exact-fast) > 1e-6 {
+				t.Fatalf("pair (%d,%d): exact %v fast %v", i, j, exact, fast)
+			}
+		}
+	}
+}
+
+func TestSoftCosineNormed(t *testing.T) {
+	emb := trainTiny(t)
+	v := emb.Vocab()
+	m := NewTermSimMatrix(emb, SoftCosineOptions{})
+	a := NewBOW(v.LookupIDs(Tokenize("claim your prize")))
+	b := NewBOW(v.LookupIDs(Tokenize("winner reward today")))
+	na, nb := SelfNorm(a, m), SelfNorm(b, m)
+	want := SoftCosineWith(a, b, m)
+	got := SoftCosineNormed(a, b, m, na, nb)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("normed %v, want %v", got, want)
+	}
+	empty := NewBOW(nil)
+	if s := SoftCosineNormed(empty, empty, m, 0, 0); s != 1 {
+		t.Errorf("normed(∅,∅) = %v", s)
+	}
+	if s := SoftCosineNormed(empty, a, m, 0, na); s != 0 {
+		t.Errorf("normed(∅,a) = %v", s)
+	}
+}

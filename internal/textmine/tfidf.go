@@ -1,0 +1,53 @@
+package textmine
+
+import "math"
+
+// IDF holds inverse-document-frequency weights for a vocabulary, the
+// standard smooth variant: idf(t) = ln((1+N)/(1+df(t))) + 1.
+type IDF struct {
+	weights []float64
+	numDocs int
+}
+
+// ComputeIDF builds IDF weights from a corpus of token-id documents over
+// a vocabulary of the given size. Ids outside [0, vocabSize) are
+// ignored.
+func ComputeIDF(docs [][]int, vocabSize int) *IDF {
+	df := make([]int, vocabSize)
+	for _, doc := range docs {
+		seen := make(map[int]bool, len(doc))
+		for _, id := range doc {
+			if id >= 0 && id < vocabSize && !seen[id] {
+				seen[id] = true
+				df[id]++
+			}
+		}
+	}
+	idf := &IDF{weights: make([]float64, vocabSize), numDocs: len(docs)}
+	for t, d := range df {
+		idf.weights[t] = math.Log(float64(1+len(docs))/float64(1+d)) + 1
+	}
+	return idf
+}
+
+// Weight returns idf(t), or 0 for out-of-range ids.
+func (i *IDF) Weight(t int) float64 {
+	if t < 0 || t >= len(i.weights) {
+		return 0
+	}
+	return i.weights[t]
+}
+
+// NumDocs returns the corpus size the weights were computed from.
+func (i *IDF) NumDocs() int { return i.numDocs }
+
+// NewBOWTFIDF builds a TF-IDF-weighted bag-of-words vector: term counts
+// scaled by IDF. Rare, distinctive terms (brand names, scam keywords)
+// dominate; boilerplate words fade.
+func NewBOWTFIDF(ids []int, idf *IDF) BOW {
+	bow := NewBOW(ids)
+	for x, id := range bow.ids {
+		bow.weights[x] *= idf.Weight(id)
+	}
+	return bow
+}

@@ -1,0 +1,251 @@
+package textmine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Word2VecConfig controls skip-gram-with-negative-sampling training.
+type Word2VecConfig struct {
+	// Dim is the embedding dimensionality. Default 32 — WPN corpora are
+	// small and short; larger vectors overfit.
+	Dim int
+	// Window is the maximum skip-gram context distance. Default 4.
+	Window int
+	// Negative is the number of negative samples per positive pair.
+	// Default 5.
+	Negative int
+	// Epochs is the number of passes over the corpus. Default 5.
+	Epochs int
+	// LearningRate is the initial SGD step size, decayed linearly to
+	// LearningRate/10 over training. Default 0.025.
+	LearningRate float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c Word2VecConfig) withDefaults() Word2VecConfig {
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.Negative <= 0 {
+		c.Negative = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+	return c
+}
+
+// Embeddings holds trained word vectors for a vocabulary. Rows are
+// L2-normalized copies of the input vectors, so Similarity is a plain dot
+// product.
+type Embeddings struct {
+	vocab *Vocab
+	dim   int
+	vecs  []float32 // len = vocab.Len() * dim, L2-normalized rows
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embeddings) Dim() int { return e.dim }
+
+// Vocab returns the vocabulary the embeddings were trained over.
+func (e *Embeddings) Vocab() *Vocab { return e.vocab }
+
+// Vector returns the L2-normalized embedding row for term id. The returned
+// slice aliases internal storage; callers must not modify it.
+func (e *Embeddings) Vector(id int) []float32 {
+	return e.vecs[id*e.dim : (id+1)*e.dim]
+}
+
+// Similarity returns the cosine similarity of two term ids in [-1, 1].
+func (e *Embeddings) Similarity(i, j int) float64 {
+	a, b := e.Vector(i), e.Vector(j)
+	var dot float32
+	for k := range a {
+		dot += a[k] * b[k]
+	}
+	// Guard against float drift outside [-1, 1].
+	d := float64(dot)
+	if d > 1 {
+		d = 1
+	} else if d < -1 {
+		d = -1
+	}
+	return d
+}
+
+// TrainWord2Vec trains skip-gram-with-negative-sampling embeddings over
+// docs, where each document is a token sequence (stopwords included —
+// they provide context). It returns the trained embeddings and the
+// vocabulary built from the corpus. An empty corpus is an error.
+func TrainWord2Vec(docs [][]string, cfg Word2VecConfig) (*Embeddings, error) {
+	cfg = cfg.withDefaults()
+	vocab := NewVocab()
+	corpus := make([][]int, 0, len(docs))
+	totalTokens := 0
+	for _, d := range docs {
+		if len(d) == 0 {
+			continue
+		}
+		corpus = append(corpus, vocab.IDs(d))
+		totalTokens += len(d)
+	}
+	if vocab.Len() == 0 {
+		return nil, fmt.Errorf("textmine: empty corpus")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := cfg.Dim
+	n := vocab.Len()
+
+	// Input (syn0) and output (syn1) matrices. syn0 random-initialized in
+	// (-0.5/dim, 0.5/dim) as in the reference implementation; syn1 zeroed.
+	syn0 := make([]float32, n*dim)
+	syn1 := make([]float32, n*dim)
+	for i := range syn0 {
+		syn0[i] = (rng.Float32() - 0.5) / float32(dim)
+	}
+
+	table := buildUnigramTable(vocab, rng)
+	sig := buildSigmoidTable()
+
+	steps := 0
+	totalSteps := cfg.Epochs * totalTokens
+	if totalSteps == 0 {
+		totalSteps = 1
+	}
+	grad := make([]float32, dim)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, doc := range corpus {
+			for pos, center := range doc {
+				steps++
+				alpha := float32(cfg.LearningRate * (1 - 0.9*float64(steps)/float64(totalSteps)))
+				w := 1 + rng.Intn(cfg.Window) // dynamic window, as in word2vec.c
+				lo, hi := pos-w, pos+w
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(doc) {
+					hi = len(doc) - 1
+				}
+				for cpos := lo; cpos <= hi; cpos++ {
+					if cpos == pos {
+						continue
+					}
+					ctx := doc[cpos]
+					in := syn0[ctx*dim : ctx*dim+dim]
+					for k := range grad {
+						grad[k] = 0
+					}
+					// One positive and cfg.Negative negative samples.
+					for s := 0; s <= cfg.Negative; s++ {
+						var target int
+						var label float32
+						if s == 0 {
+							target, label = center, 1
+						} else {
+							target = table[rng.Intn(len(table))]
+							if target == center {
+								continue
+							}
+							label = 0
+						}
+						out := syn1[target*dim : target*dim+dim]
+						var dot float32
+						for k := range in {
+							dot += in[k] * out[k]
+						}
+						g := (label - sig.at(dot)) * alpha
+						for k := range in {
+							grad[k] += g * out[k]
+							out[k] += g * in[k]
+						}
+					}
+					for k := range in {
+						in[k] += grad[k]
+					}
+				}
+			}
+		}
+	}
+
+	// Normalize rows into the Embeddings.
+	vecs := make([]float32, n*dim)
+	for i := 0; i < n; i++ {
+		row := syn0[i*dim : i*dim+dim]
+		var norm float64
+		for _, x := range row {
+			norm += float64(x) * float64(x)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			norm = 1
+		}
+		dst := vecs[i*dim : i*dim+dim]
+		for k, x := range row {
+			dst[k] = float32(float64(x) / norm)
+		}
+	}
+	return &Embeddings{vocab: vocab, dim: dim, vecs: vecs}, nil
+}
+
+// buildUnigramTable builds the negative-sampling table with the standard
+// count^0.75 smoothing.
+func buildUnigramTable(v *Vocab, rng *rand.Rand) []int {
+	const tableSize = 1 << 16
+	table := make([]int, 0, tableSize)
+	var total float64
+	pows := make([]float64, v.Len())
+	for i := 0; i < v.Len(); i++ {
+		pows[i] = math.Pow(float64(v.Count(i)), 0.75)
+		total += pows[i]
+	}
+	for i := 0; i < v.Len(); i++ {
+		slots := int(pows[i] / total * tableSize)
+		if slots < 1 {
+			slots = 1
+		}
+		for s := 0; s < slots; s++ {
+			table = append(table, i)
+		}
+	}
+	// Shuffle so truncated sampling (rng.Intn(len)) stays unbiased.
+	rng.Shuffle(len(table), func(i, j int) { table[i], table[j] = table[j], table[i] })
+	return table
+}
+
+// sigmoidTable is a precomputed logistic function over [-6, 6].
+type sigmoidTable []float32
+
+func buildSigmoidTable() sigmoidTable {
+	const size = 1024
+	t := make(sigmoidTable, size)
+	for i := range t {
+		x := (float64(i)/size*2 - 1) * 6
+		t[i] = float32(1 / (1 + math.Exp(-x)))
+	}
+	return t
+}
+
+func (t sigmoidTable) at(x float32) float32 {
+	if x >= 6 {
+		return 1
+	}
+	if x <= -6 {
+		return 0
+	}
+	i := int((x + 6) / 12 * float32(len(t)))
+	if i >= len(t) {
+		i = len(t) - 1
+	}
+	return t[i]
+}

@@ -1,0 +1,23 @@
+package urlx
+
+import "testing"
+
+// FuzzURLHelpers checks the URL toolkit never panics on arbitrary input
+// and keeps its invariants.
+func FuzzURLHelpers(f *testing.F) {
+	f.Add("https://a.b.example.co.uk/x/y.html?q=1&r=2")
+	f.Add("not a url")
+	f.Add("://")
+	f.Add("https://192.168.0.1/x")
+	f.Fuzz(func(t *testing.T, raw string) {
+		_ = ESLD(raw)
+		_ = HostOf(raw)
+		_ = ESLDOf(raw)
+		toks := PathTokens(raw)
+		if d := Jaccard(toks, toks); len(toks) > 0 && d != 0 {
+			t.Fatalf("J(x,x) = %v", d)
+		}
+		_ = SameOrigin(raw, raw)
+		_ = SameESLD(raw, raw)
+	})
+}

@@ -1,0 +1,183 @@
+package urlx
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestESLD(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"www.example.com", "example.com"},
+		{"example.com", "example.com"},
+		{"a.b.c.example.com", "example.com"},
+		{"news.bbc.co.uk", "bbc.co.uk"},
+		{"bbc.co.uk", "bbc.co.uk"},
+		{"localhost", "localhost"},
+		{"EXAMPLE.COM.", "example.com"},
+		{"192.168.1.10", "192.168.1.10"},
+		{"shop.com.au", "shop.com.au"},
+		{"www.shop.com.au", "shop.com.au"},
+		{"", ""},
+		{"aurolog.ru", "aurolog.ru"},
+		{"cdn.aurolog.ru", "aurolog.ru"},
+	}
+	for _, c := range cases {
+		if got := ESLD(c.host); got != c.want {
+			t.Errorf("ESLD(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestHostAndESLDOf(t *testing.T) {
+	if got := HostOf("https://www.example.com:8443/a/b?x=1"); got != "www.example.com" {
+		t.Errorf("HostOf = %q", got)
+	}
+	if got := ESLDOf("https://push.ads.example.com/p"); got != "example.com" {
+		t.Errorf("ESLDOf = %q", got)
+	}
+	if got := HostOf("://bad"); got != "" {
+		t.Errorf("HostOf(bad) = %q, want empty", got)
+	}
+}
+
+func TestPathTokens(t *testing.T) {
+	got := PathTokens("https://ads.example.com/click/landing-page_v2.html?cid=42&src=push")
+	want := []string{"?cid", "?src", "click", "html", "landing", "page", "v2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PathTokens = %v, want %v", got, want)
+	}
+}
+
+func TestPathTokensExcludesDomainAndValues(t *testing.T) {
+	toks := PathTokens("https://evil.example.com/offer?user=SECRETVALUE")
+	for _, tok := range toks {
+		if tok == "evil" || tok == "example" || tok == "com" {
+			t.Errorf("domain token %q leaked into path tokens", tok)
+		}
+		if tok == "secretvalue" {
+			t.Errorf("query value leaked into path tokens")
+		}
+	}
+}
+
+func TestPathTokensEmptyAndRoot(t *testing.T) {
+	if toks := PathTokens("https://example.com/"); len(toks) != 0 {
+		t.Errorf("root path tokens = %v, want none", toks)
+	}
+	if toks := PathTokens("://bad"); toks != nil {
+		t.Errorf("bad URL tokens = %v, want nil", toks)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 1},
+		{[]string{"a", "b"}, []string{"a", "b"}, 0},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1 - 1.0/3.0},
+		{[]string{"a"}, []string{"b"}, 1},
+		{[]string{"a", "a", "b"}, []string{"a", "b", "b"}, 0}, // duplicates ignored
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); !almost(got, c.want) {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestJaccardProperties(t *testing.T) {
+	gen := func(r *rand.Rand) []string {
+		n := r.Intn(8)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = string(rune('a' + r.Intn(6)))
+		}
+		return out
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := gen(r), gen(r)
+		dab, dba := Jaccard(a, b), Jaccard(b, a)
+		if !almost(dab, dba) {
+			t.Fatalf("not symmetric: J(%v,%v)=%v J(%v,%v)=%v", a, b, dab, b, a, dba)
+		}
+		if dab < 0 || dab > 1 {
+			t.Fatalf("out of range: J(%v,%v)=%v", a, b, dab)
+		}
+		if !almost(Jaccard(a, a), 0) {
+			t.Fatalf("J(a,a) != 0 for %v", a)
+		}
+	}
+}
+
+func TestJaccardTriangleInequality(t *testing.T) {
+	// Jaccard distance is a true metric; spot-check the triangle
+	// inequality with random token sets.
+	f := func(xa, xb, xc uint8) bool {
+		mk := func(x uint8) []string {
+			var s []string
+			for i := 0; i < 8; i++ {
+				if x&(1<<i) != 0 {
+					s = append(s, string(rune('a'+i)))
+				}
+			}
+			return s
+		}
+		a, b, c := mk(xa), mk(xb), mk(xc)
+		return Jaccard(a, c) <= Jaccard(a, b)+Jaccard(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathDistance(t *testing.T) {
+	same := PathDistance(
+		"https://a.com/lp/win-prize.html?cid=1",
+		"https://b.net/lp/win-prize.html?cid=9",
+	)
+	if !almost(same, 0) {
+		t.Errorf("identical paths on different domains: distance %v, want 0", same)
+	}
+	diff := PathDistance("https://a.com/news/today", "https://a.com/lp/win-prize.html?cid=1")
+	if diff <= same {
+		t.Errorf("unrelated paths should be farther: %v <= %v", diff, same)
+	}
+}
+
+func TestSameOrigin(t *testing.T) {
+	if !SameOrigin("https://a.com/x", "https://a.com/y?z=1") {
+		t.Error("same host+scheme should be same origin")
+	}
+	if SameOrigin("https://a.com/x", "http://a.com/x") {
+		t.Error("different scheme is a different origin")
+	}
+	if SameOrigin("https://a.com/x", "https://b.com/x") {
+		t.Error("different host is a different origin")
+	}
+	if SameOrigin("://bad", "https://a.com") {
+		t.Error("unparseable URL must not match")
+	}
+}
+
+func TestSameESLD(t *testing.T) {
+	if !SameESLD("https://www.a.com/x", "https://push.a.com/y") {
+		t.Error("subdomains of one eSLD should match")
+	}
+	if SameESLD("https://a.com/x", "https://b.com/x") {
+		t.Error("different eSLDs must not match")
+	}
+	if SameESLD("://bad", "://worse") {
+		t.Error("unparseable URLs must not match")
+	}
+}

@@ -1,0 +1,188 @@
+// Package vnet provides the virtual network the simulated web runs on: a
+// single real TCP listener on loopback serving an arbitrary number of
+// virtual HTTPS hosts, plus http.Clients whose transport resolves every
+// hostname to that listener. All traffic between the crawler's browsers,
+// the push service, ad networks, and landing pages crosses a real
+// net/http stack; only name resolution and TLS are virtualized (URLs use
+// the https scheme, carried over plaintext HTTP on loopback).
+package vnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/cookiejar"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Network is a virtual internet. Register hosts with Handle, then create
+// clients with Client. Close releases the listener.
+type Network struct {
+	mu       sync.RWMutex
+	hosts    map[string]http.Handler
+	fallback http.Handler
+
+	listener net.Listener
+	server   *http.Server
+	addr     string
+	// base is the single shared Transport all clients dial through; one
+	// connection pool per network keeps file-descriptor usage bounded
+	// no matter how many browser containers exist.
+	base *http.Transport
+
+	reqCount map[string]int // per-host request counter, for tests/metrics
+}
+
+// New starts a virtual network on an ephemeral loopback port.
+func New() (*Network, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("vnet: listen: %w", err)
+	}
+	n := &Network{
+		hosts:    make(map[string]http.Handler),
+		listener: ln,
+		addr:     ln.Addr().String(),
+		base: &http.Transport{
+			MaxIdleConns:        128,
+			MaxIdleConnsPerHost: 64,
+			MaxConnsPerHost:     256,
+			IdleConnTimeout:     2 * time.Second,
+		},
+		reqCount: make(map[string]int),
+	}
+	n.server = &http.Server{Handler: http.HandlerFunc(n.dispatch)}
+	go n.server.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return n, nil
+}
+
+// Close shuts the network down.
+func (n *Network) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return n.server.Shutdown(ctx)
+}
+
+// Addr returns the real listener address (host:port on loopback).
+func (n *Network) Addr() string { return n.addr }
+
+// Handle registers a handler for a virtual hostname (no port, lowercase).
+// Registering the same host twice replaces the handler.
+func (n *Network) Handle(host string, h http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[strings.ToLower(host)] = h
+}
+
+// HandleFunc registers a handler function for a virtual hostname.
+func (n *Network) HandleFunc(host string, f func(http.ResponseWriter, *http.Request)) {
+	n.Handle(host, http.HandlerFunc(f))
+}
+
+// SetFallback registers a handler used for hosts with no registration.
+// Without a fallback, unknown hosts get 502 Bad Gateway — the virtual
+// equivalent of DNS resolution failure.
+func (n *Network) SetFallback(h http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fallback = h
+}
+
+// Hosts returns the registered virtual hostnames, sorted.
+func (n *Network) Hosts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.hosts))
+	for h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RequestCount returns how many requests the given host has served.
+func (n *Network) RequestCount(host string) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.reqCount[strings.ToLower(host)]
+}
+
+func (n *Network) dispatch(w http.ResponseWriter, r *http.Request) {
+	host := strings.ToLower(r.Host)
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	n.mu.Lock()
+	n.reqCount[host]++
+	h := n.hosts[host]
+	if h == nil {
+		h = n.fallback
+	}
+	n.mu.Unlock()
+	if h == nil {
+		http.Error(w, "vnet: no such host "+host, http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// transport routes every request to the network's loopback listener,
+// preserving the virtual Host, and downgrades the https scheme to plain
+// HTTP on the wire.
+type transport struct {
+	network *Network
+	base    *http.Transport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	if clone.URL.Scheme == "https" {
+		clone.URL.Scheme = "http"
+	}
+	if clone.Host == "" {
+		clone.Host = req.URL.Host
+	}
+	clone.URL.Host = t.network.addr
+	resp, err := t.base.RoundTrip(clone)
+	if resp != nil {
+		// Restore the virtual URL so callers (and the redirect
+		// resolver) see the request they actually made, not the
+		// loopback rewrite.
+		resp.Request = req
+	}
+	return resp, err
+}
+
+// Client returns an http.Client that resolves all hosts through the
+// virtual network. Redirects are followed up to the standard limit; use
+// ClientNoRedirect to observe redirect chains hop by hop.
+func (n *Network) Client() *http.Client {
+	return &http.Client{Transport: n.newTransport(), Timeout: 10 * time.Second}
+}
+
+// ClientNoRedirect returns a client that does not follow redirects,
+// letting callers record each hop of a redirection chain. The client
+// carries its own cookie jar: each crawler container is an isolated
+// browsing session, which is exactly why the paper ran one Docker
+// container per URL — some ad networks track browsers across sessions
+// via cookies (§8).
+func (n *Network) ClientNoRedirect() *http.Client {
+	jar, _ := cookiejar.New(nil) // error is impossible with nil options
+	return &http.Client{
+		Transport: n.newTransport(),
+		Jar:       jar,
+		Timeout:   10 * time.Second,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+func (n *Network) newTransport() http.RoundTripper {
+	return &transport{network: n, base: n.base}
+}

@@ -1,0 +1,250 @@
+package webeco
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer/internal/serviceworker"
+)
+
+// httpGet fetches a URL through the ecosystem's virtual network.
+func httpGet(t *testing.T, e *Ecosystem, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := e.Net.Client().Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, body
+}
+
+func TestAdNetworkSWScriptServed(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	resp, body := httpGet(t, e, an.SWURL())
+	if resp.StatusCode != 200 {
+		t.Fatalf("sw.js status %d", resp.StatusCode)
+	}
+	script, err := serviceworker.Parse(body)
+	if err != nil {
+		t.Fatalf("SW script unparseable: %v", err)
+	}
+	if len(script.OnPush) == 0 || len(script.OnClick) == 0 {
+		t.Error("network SW has no handlers")
+	}
+}
+
+func TestServeAdCampaignCreative(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	camp := an.Campaigns[0]
+	id := camp.AdID(0, 0, 42)
+	_, body := httpGet(t, e, "https://"+an.Host+"/ad?id="+id)
+	var resp struct {
+		Title, Body, Icon, Target string
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("ad response unparseable: %v (%s)", err, body)
+	}
+	if resp.Title != camp.Creatives[0].Title {
+		t.Errorf("title = %q, want %q", resp.Title, camp.Creatives[0].Title)
+	}
+	if resp.Target == "" {
+		t.Error("no target URL")
+	}
+	// Deterministic: same id serves the same creative + target.
+	_, body2 := httpGet(t, e, "https://"+an.Host+"/ad?id="+id)
+	if string(body) != string(body2) {
+		t.Error("ad decisioning not deterministic per id")
+	}
+	// Ground truth registered.
+	tr, ok := e.Truth().AdTruth(id)
+	if !ok || !tr.IsAd || tr.Network != an.Spec.Name {
+		t.Errorf("ad truth = %+v, %v", tr, ok)
+	}
+}
+
+func TestServeAdErrors(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	if resp, _ := httpGet(t, e, "https://"+an.Host+"/ad?id=garbage"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage id status = %d", resp.StatusCode)
+	}
+	if resp, _ := httpGet(t, e, "https://"+an.Host+"/ad?id=c999999.k0.d0.n1"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign status = %d", resp.StatusCode)
+	}
+	if resp, _ := httpGet(t, e, "https://"+an.Host+"/ad?id=lt.c1.n999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown longtail status = %d", resp.StatusCode)
+	}
+}
+
+func TestAlertAdIDRoundTrip(t *testing.T) {
+	id := alertAdID("my.site.com", 77)
+	domain, nonce, err := parseAlertAdID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if domain != "my.site.com" || nonce != 77 {
+		t.Errorf("parsed %q %d", domain, nonce)
+	}
+	if _, _, err := parseAlertAdID("al.bad"); err == nil {
+		t.Error("bad alert id parsed")
+	}
+}
+
+func TestServeAlertAd(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	id := alertAdID("somesite.com", 5)
+	_, body := httpGet(t, e, "https://"+an.Host+"/ad?id="+id)
+	var resp struct{ Title, Target string }
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Title == "" {
+		t.Error("alert has no title")
+	}
+	if resp.Target != "" && !strings.Contains(resp.Target, "somesite.com") {
+		t.Errorf("alert target %q not same-origin", resp.Target)
+	}
+	tr, ok := e.Truth().AdTruth(id)
+	if !ok || tr.IsAd {
+		t.Errorf("alert truth = %+v (must not be an ad)", tr)
+	}
+}
+
+func TestTrackRedirector(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	client := e.Net.ClientNoRedirect()
+	resp, err := client.Get("https://" + an.TrackHost + "/r?u=https%3A%2F%2Fland.test%2Fx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("redirector status %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "https://land.test/x" {
+		t.Errorf("Location = %q", loc)
+	}
+	resp, err = client.Get("https://" + an.TrackHost + "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing u status %d", resp.StatusCode)
+	}
+}
+
+func TestSubscribeSchedulesPushes(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	sub := e.Push.Register("https://somepub.com", an.SWURL())
+	body := `{"token":"` + sub.Token + `","endpoint":"` + sub.Endpoint + `","origin":"https://somepub.com","device":"desktop","hw":"desktop"}`
+	resp, err := e.Net.Client().Post(an.SubscribeURL(), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if e.PendingPushes() == 0 {
+		t.Fatal("subscription scheduled no pushes")
+	}
+	// Deliver them.
+	at, ok := e.NextPushAt()
+	if !ok {
+		t.Fatal("no next push")
+	}
+	e.Clock.Advance(at.Sub(e.Clock.Now()) + 100*24*time.Hour)
+	if n := e.Tick(); n == 0 {
+		t.Fatal("tick delivered nothing")
+	}
+	if e.Push.Pending(sub.Token) == 0 {
+		t.Error("push service has no queued messages after delivery")
+	}
+}
+
+func TestSubscribeRejectsBadBody(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	resp, err := e.Net.Client().Post(an.SubscribeURL(), "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status %d", resp.StatusCode)
+	}
+}
+
+func TestDormancySuppressesScheduling(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	e.SetDormancy(1.0) // everything dormant
+	an := e.Networks()[0]
+	sub := e.Push.Register("https://somepub.com", an.SWURL())
+	body := `{"token":"` + sub.Token + `","endpoint":"` + sub.Endpoint + `","origin":"https://somepub.com","device":"desktop","hw":"desktop"}`
+	resp, err := e.Net.Client().Post(an.SubscribeURL(), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e.PendingPushes() != 0 {
+		t.Errorf("dormant origin scheduled %d pushes", e.PendingPushes())
+	}
+}
+
+func TestLongtailResolve(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	an := e.Networks()[0]
+	camp := an.Campaigns[0]
+	gen := e.adEco.Longtail
+	id := gen.NewAdID(camp, nil)
+	ad, err := gen.Resolve(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.CampaignID != camp.ID {
+		t.Errorf("campaign id = %d", ad.CampaignID)
+	}
+	if ad.Malicious != camp.Category.Malicious {
+		t.Error("longtail maliciousness does not inherit from campaign")
+	}
+	found := false
+	for _, d := range camp.LandingDomains {
+		if strings.Contains(ad.Landing, d) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("longtail landing %q not on a campaign domain", ad.Landing)
+	}
+	// Two longtail ads differ.
+	id2 := gen.NewAdID(camp, nil)
+	ad2, _ := gen.Resolve(id2)
+	if ad.Title == ad2.Title && ad.Landing == ad2.Landing {
+		t.Error("longtail ads not diverse")
+	}
+	if _, err := gen.Resolve("lt.c1.n99999"); err == nil {
+		t.Error("unknown longtail resolved")
+	}
+}
+
+func TestComposeHeadlineDiverse(t *testing.T) {
+	rng := subRNG(1, "headlines")
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[composeHeadline(rng)] = true
+	}
+	if len(seen) < 150 {
+		t.Errorf("only %d distinct headlines in 200 draws", len(seen))
+	}
+}

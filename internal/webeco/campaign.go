@@ -1,0 +1,152 @@
+package webeco
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Creative is one ad variant within a campaign: fixed phrasing with slot
+// values filled in.
+type Creative struct {
+	Title string
+	Body  string
+	Icon  string
+}
+
+// Campaign is one WPN ad campaign: a content category instantiated with
+// concrete creatives and a set of landing domains the ads rotate
+// through. Malicious campaigns use multiple domains to survive
+// blocklisting (§5.4); some benign ones (jobs, horoscope) do too, which
+// is exactly the false-suspicious source the paper reports.
+type Campaign struct {
+	ID       int
+	Network  string // owning ad network name; "" for self-notifier content
+	Category Category
+
+	Creatives      []Creative
+	LandingDomains []string
+	// PathFlavor is the campaign-specific landing path segment: real
+	// campaigns run their own landing pages, so two campaigns of the
+	// same category still differ in URL path.
+	PathFlavor string
+	// UseRedirector routes clicks through the network's tracking
+	// redirector before the landing page.
+	UseRedirector bool
+	// Weight biases campaign selection during scheduling.
+	Weight int
+}
+
+// newCampaign instantiates a campaign from a category.
+func newCampaign(id int, network string, cat Category, gen *nameGen, rng *rand.Rand) *Campaign {
+	c := &Campaign{
+		ID: id, Network: network, Category: cat, Weight: 1 + rng.Intn(4),
+		PathFlavor: fmt.Sprintf("%s-%s%d",
+			landingWords[rng.Intn(len(landingWords))],
+			landingWords[rng.Intn(len(landingWords))], rng.Intn(100)),
+	}
+
+	nCreatives := 2 + rng.Intn(3)
+	seen := map[string]bool{}
+	for i := 0; i < nCreatives; i++ {
+		title := fillSlots(cat.Titles[rng.Intn(len(cat.Titles))], rng)
+		body := fillSlots(cat.Bodies[rng.Intn(len(cat.Bodies))], rng)
+		key := title + "|" + body
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		c.Creatives = append(c.Creatives, Creative{
+			Title: title,
+			Body:  body,
+			Icon:  fmt.Sprintf("https://icons.simpush.test/%s-%d.png", cat.Name, rng.Intn(8)),
+		})
+	}
+
+	nDomains := 1
+	if cat.Malicious {
+		nDomains = 2 + rng.Intn(6) // evasion via domain rotation
+	} else if cat.Name == "jobs" || cat.Name == "horoscope" || rng.Intn(4) == 0 {
+		nDomains = 2 + rng.Intn(3) // benign duplicate-ad violators
+	}
+	for i := 0; i < nDomains; i++ {
+		if cat.Malicious {
+			// Throwaway scam domains ("claim-prize123.icu").
+			c.LandingDomains = append(c.LandingDomains, gen.landingDomain())
+		} else {
+			// Legitimate advertisers use ordinary brand domains.
+			c.LandingDomains = append(c.LandingDomains, gen.domain())
+		}
+	}
+	c.UseRedirector = cat.Malicious || rng.Intn(3) == 0
+	return c
+}
+
+// LandingPath returns the campaign's landing URL path (shared across its
+// domains — the URL-path feature the clustering stage uses).
+func (c *Campaign) LandingPath() string {
+	return "/" + strings.Join(c.Category.PathTokens, "/") + "/" + c.PathFlavor + ".html"
+}
+
+// LandingDomainAt returns the campaign's nominal landing domain for an
+// index (wrapping).
+func (c *Campaign) LandingDomainAt(idx int) string {
+	if len(c.LandingDomains) == 0 {
+		return ""
+	}
+	return c.LandingDomains[idx%len(c.LandingDomains)]
+}
+
+// LandingURL builds a concrete landing URL on the domain with the given
+// index, with query parameter values that vary per impression.
+func (c *Campaign) LandingURL(domainIdx int, rng *rand.Rand) string {
+	return c.LandingURLOn(c.LandingDomainAt(domainIdx), rng)
+}
+
+// LandingURLOn builds a landing URL on an explicit domain (used when the
+// evasion controller substitutes a fresh domain for a burned one).
+func (c *Campaign) LandingURLOn(d string, rng *rand.Rand) string {
+	if d == "" {
+		return ""
+	}
+	u := "https://" + d + c.LandingPath()
+	if len(c.Category.QueryParams) > 0 {
+		// Query values vary per impression but draw from a small pool:
+		// real campaigns reuse tracking ids, so full landing URLs repeat
+		// across impressions — which is what lets a URL blocklist that
+		// flagged one impression also flag later ones.
+		var parts []string
+		for _, p := range c.Category.QueryParams {
+			parts = append(parts, fmt.Sprintf("%s=%d", p, rng.Intn(8)))
+		}
+		u += "?" + strings.Join(parts, "&")
+	}
+	return u
+}
+
+// AdID encodes a concrete impression: campaign, creative, landing domain
+// index, and a nonce (the tracking blob real networks embed).
+func (c *Campaign) AdID(creativeIdx, domainIdx, nonce int) string {
+	return fmt.Sprintf("c%d.k%d.d%d.n%d", c.ID, creativeIdx, domainIdx, nonce)
+}
+
+// ParseAdID decodes an AdID.
+func ParseAdID(id string) (campaignID, creativeIdx, domainIdx, nonce int, err error) {
+	_, err = fmt.Sscanf(id, "c%d.k%d.d%d.n%d", &campaignID, &creativeIdx, &domainIdx, &nonce)
+	if err != nil {
+		err = fmt.Errorf("webeco: bad ad id %q: %w", id, err)
+	}
+	return
+}
+
+// EligibleFor reports whether the campaign may be served to a
+// subscription with the given device profile.
+func (c *Campaign) EligibleFor(device string, physicalDevice bool) bool {
+	if c.Category.MobileOnly && device != "mobile" {
+		return false
+	}
+	if c.Category.RealDeviceOnly && !physicalDevice {
+		return false
+	}
+	return true
+}

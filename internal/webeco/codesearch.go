@@ -1,0 +1,70 @@
+package webeco
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CodeSearch is the stand-in for the publicwww.com source-code search
+// engine (§6.1.1): it indexes the script snippets embedded in every
+// generated page and answers keyword queries with the URLs of pages
+// whose source contains the keyword.
+type CodeSearch struct {
+	mu    sync.RWMutex
+	index map[string][]string // keyword → URLs (sorted, deduped)
+}
+
+// NewCodeSearch returns an empty index.
+func NewCodeSearch() *CodeSearch {
+	return &CodeSearch{index: make(map[string][]string)}
+}
+
+// IndexPage records that url's source contains the given script
+// snippets. Indexing is exact-substring per registered keyword at query
+// time, so this simply stores the page source keyed by URL.
+func (cs *CodeSearch) IndexPage(url string, scripts []string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	src := strings.ToLower(strings.Join(scripts, "\n"))
+	cs.index[url] = []string{src}
+}
+
+// Search returns the URLs of pages whose source contains keyword
+// (case-insensitive), sorted.
+func (cs *CodeSearch) Search(keyword string) []string {
+	kw := strings.ToLower(keyword)
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	var out []string
+	for url, srcs := range cs.index {
+		if strings.Contains(srcs[0], kw) {
+			out = append(out, url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SearchAll unions results over several keywords, deduplicating.
+func (cs *CodeSearch) SearchAll(keywords []string) []string {
+	seen := make(map[string]bool)
+	for _, kw := range keywords {
+		for _, u := range cs.Search(kw) {
+			seen[u] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumPages reports how many pages are indexed.
+func (cs *CodeSearch) NumPages() int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return len(cs.index)
+}

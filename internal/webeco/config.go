@@ -1,0 +1,159 @@
+// Package webeco builds the synthetic web ecosystem PushAdMiner crawls:
+// push ad networks (the 15 seed networks of Table 1), publisher sites
+// embedding their tags, self-hosted push sites found via generic
+// keywords, ad campaigns with rotated landing domains, benign and
+// malicious landing pages, a code-search engine standing in for
+// publicwww.com, Alexa-style popularity ranks, and the push scheduling
+// that delivers WPNs to subscribed browsers. Everything is served over a
+// real HTTP stack (internal/vnet); the generator is fully deterministic
+// per seed.
+package webeco
+
+import (
+	"time"
+
+	"pushadminer/internal/blocklist"
+)
+
+// NetworkSpec describes one seed ad network from Table 1 of the paper:
+// how many URLs the code search finds for its keyword and how many of
+// those actually request notification permission (NPRs).
+type NetworkSpec struct {
+	Name      string
+	Keyword   string // code-search signature embedded in publisher pages
+	PaperURLs int    // Table 1 "URLs" column
+	PaperNPRs int    // Table 1 "NPRs" column
+}
+
+// SeedNetworks reproduces Table 1's 15 ad networks.
+var SeedNetworks = []NetworkSpec{
+	{"Ad-Maven", "admaven-push-tag", 49769, 1168},
+	{"PushCrew", "pushcrew-sdk", 15177, 427},
+	{"OneSignal", "onesignal-init", 11317, 2933},
+	{"PopAds", "popads-pop-code", 1582, 73},
+	{"PushEngage", "pushengage-widget", 796, 215},
+	{"iZooto", "izooto-notify", 676, 278},
+	{"PubMatic", "pubmatic-pushads", 647, 7},
+	{"PropellerAds", "propeller-zone-tag", 335, 9},
+	{"Criteo", "criteo-push-loader", 154, 5},
+	{"AdsTerra", "adsterra-pushunit", 115, 2},
+	{"AirPush", "airpush-web-sdk", 52, 0},
+	{"HillTopAds", "hilltopads-push", 21, 3},
+	{"RichPush", "richpush-tag", 12, 0},
+	{"AdCash", "adcash-autopush", 10, 0},
+	{"PushMonetization", "pushmonetization-js", 9, 5},
+}
+
+// GenericSpec describes one of Table 1's generic push-related keywords.
+type GenericSpec struct {
+	Keyword   string
+	PaperURLs int
+	PaperNPRs int
+}
+
+// GenericKeywords reproduces Table 1's generic keyword rows.
+var GenericKeywords = []GenericSpec{
+	{"NotificationrequestPermission", 3965, 538},
+	{"pushmanagersubscribe", 2667, 158},
+	{"addEventListener('Push'", 263, 9},
+	{"adsblockkpushcom", 55, 19},
+}
+
+// PaperTotalURLs and PaperTotalNPRs are Table 1's totals.
+const (
+	PaperTotalURLs = 87622
+	PaperTotalNPRs = 5849
+)
+
+// Config controls ecosystem generation.
+type Config struct {
+	// Seed drives all randomness. Same seed → identical ecosystem.
+	Seed int64
+	// Scale is the fraction of the paper's URL counts to generate.
+	// 1.0 rebuilds Table 1 exactly; the default 0.05 yields a crawl of
+	// ~4,400 URLs and a few thousand WPNs, large enough for every
+	// experiment's shape to hold.
+	Scale float64
+	// Start is the simulation epoch (the paper's collection started
+	// September 2019).
+	Start time.Time
+
+	// PushesPerSubMin/Max bound how many notifications each
+	// subscription receives over the collection window (the paper
+	// observed ~2.7 on average).
+	PushesPerSubMin, PushesPerSubMax int
+	// FirstPushWithin is the window in which 98% of first notifications
+	// arrive (15 minutes per the paper's pilot, §6.1.2).
+	FirstPushWithin time.Duration
+	// LatePushMax is the maximum delay for the remaining 2%.
+	LatePushMax time.Duration
+	// CrashFraction is the fraction of ad landing pages that crash the
+	// tab (part of why only ~57% of collected WPNs had valid landings).
+	CrashFraction float64
+	// NoTargetFraction is the fraction of non-ad notifications carrying
+	// no target URL (pure alerts).
+	NoTargetFraction float64
+	// LandingSubscribeFraction is the fraction of malicious landing
+	// pages that themselves request notification permission, producing
+	// the "additional URLs" discovered by clicking (§6.2).
+	LandingSubscribeFraction float64
+	// DoublePermissionFraction is the fraction of NPR sites using the
+	// JS pre-prompt (double permission, §8). The paper found ~1/4 on
+	// revisit; the initial 2019 crawl saw almost none, so this defaults
+	// to 0 and the revisit experiment raises it.
+	DoublePermissionFraction float64
+	// EvasionEnabled lets malicious campaigns actively rotate landing
+	// domains once the operator sees them blocklisted (§5.2). Off by
+	// default; the evasion experiment and ablation bench turn it on.
+	EvasionEnabled bool
+	// VTOverride / GSBOverride replace the default blocklist-service
+	// configurations (e.g. the evasion experiment uses aggressive
+	// coverage so domains burn within the crawl window).
+	VTOverride  *blocklist.Config
+	GSBOverride *blocklist.Config
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.PushesPerSubMin <= 0 {
+		c.PushesPerSubMin = 1
+	}
+	if c.PushesPerSubMax < c.PushesPerSubMin {
+		c.PushesPerSubMax = c.PushesPerSubMin + 4
+	}
+	if c.FirstPushWithin <= 0 {
+		c.FirstPushWithin = 15 * time.Minute
+	}
+	if c.LatePushMax <= 0 {
+		c.LatePushMax = 96 * time.Hour
+	}
+	if c.CrashFraction == 0 {
+		c.CrashFraction = 0.12
+	}
+	if c.NoTargetFraction == 0 {
+		c.NoTargetFraction = 0.35
+	}
+	if c.LandingSubscribeFraction == 0 {
+		c.LandingSubscribeFraction = 0.30
+	}
+	return c
+}
+
+// scaled scales a paper count, keeping zeros at zero and flooring
+// nonzero counts at 1.
+func (c Config) scaled(paper int) int {
+	if paper == 0 {
+		return 0
+	}
+	n := int(float64(paper)*c.Scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package webeco
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EvasionController implements the blocklist-evasion behaviour the paper
+// observes (§5.2): "similar malicious WPN messages often lead to
+// different domain names, mainly as an attempt to evade blocking by URL
+// blocklists." Real operators watch whether their landing domains get
+// flagged and rotate to fresh throwaway domains when they do. The
+// controller probes the blocklist the way an attacker would (a public
+// lookup of its own URL) and, once a campaign domain is burned, serves
+// subsequent impressions from a replacement domain — which it also
+// mounts and reports to ground truth.
+type EvasionController struct {
+	// Probe reports whether a URL is currently blocklisted (the
+	// operator's own VT/GSB lookups).
+	Probe func(url string, now time.Time) bool
+	// Fresh returns the n-th replacement domain for a campaign;
+	// deterministic per (campaign, n).
+	Fresh func(campaignID, n int) string
+	// Mount serves landing pages for a new domain.
+	Mount func(camp *Campaign, domain string)
+	// OnRotate observes rotations (metrics, ground truth).
+	OnRotate func(camp *Campaign, burned, fresh string)
+
+	mu sync.Mutex
+	// replacement maps a burned domain (per campaign) to its current
+	// replacement.
+	replacement map[string]string
+	rotations   map[int]int // campaign → rotation count
+}
+
+// NewEvasionController returns a controller with empty state; the
+// function fields must be set before use.
+func NewEvasionController() *EvasionController {
+	return &EvasionController{
+		replacement: make(map[string]string),
+		rotations:   make(map[int]int),
+	}
+}
+
+// Rotations reports how many domain rotations a campaign has performed.
+func (ec *EvasionController) Rotations(campaignID int) int {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.rotations[campaignID]
+}
+
+// TotalRotations reports rotations across all campaigns.
+func (ec *EvasionController) TotalRotations() int {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	n := 0
+	for _, c := range ec.rotations {
+		n += c
+	}
+	return n
+}
+
+// ResolveDomain returns the domain a campaign should serve from, given
+// its nominally chosen domain: the original while it is clean, or the
+// latest replacement once burned. Replacements that get burned in turn
+// are rotated again.
+func (ec *EvasionController) ResolveDomain(camp *Campaign, domain string, now time.Time) string {
+	if !camp.Category.Malicious {
+		return domain // legitimate advertisers don't rotate
+	}
+	for depth := 0; depth < 8; depth++ {
+		ec.mu.Lock()
+		repl, ok := ec.replacement[rotKey(camp.ID, domain)]
+		ec.mu.Unlock()
+		if ok {
+			domain = repl
+			continue
+		}
+		// Operator probes its own canonical landing URL.
+		probe := "https://" + domain + camp.LandingPath()
+		if ec.Probe == nil || !ec.Probe(probe, now) {
+			return domain
+		}
+		fresh := ec.rotate(camp, domain)
+		domain = fresh
+	}
+	return domain
+}
+
+func rotKey(campID int, domain string) string {
+	return fmt.Sprintf("%d|%s", campID, domain)
+}
+
+// rotate mints, mounts and records a replacement for a burned domain.
+func (ec *EvasionController) rotate(camp *Campaign, burned string) string {
+	ec.mu.Lock()
+	if repl, ok := ec.replacement[rotKey(camp.ID, burned)]; ok {
+		ec.mu.Unlock()
+		return repl // lost the race: someone already rotated
+	}
+	ec.rotations[camp.ID]++
+	n := ec.rotations[camp.ID]
+	fresh := ec.Fresh(camp.ID, n)
+	ec.replacement[rotKey(camp.ID, burned)] = fresh
+	ec.mu.Unlock()
+
+	if ec.Mount != nil {
+		ec.Mount(camp, fresh)
+	}
+	if ec.OnRotate != nil {
+		ec.OnRotate(camp, burned, fresh)
+	}
+	return fresh
+}

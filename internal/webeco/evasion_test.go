@@ -1,0 +1,167 @@
+package webeco
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func evasionFixture() (*EvasionController, *Campaign, map[string]bool, *[]string) {
+	burned := map[string]bool{}
+	var mounted []string
+	camp := &Campaign{
+		ID:             9,
+		Category:       CategoryByName("sweepstakes"),
+		LandingDomains: []string{"scam-a.icu", "scam-b.icu"},
+		PathFlavor:     "x-y1",
+	}
+	ec := NewEvasionController()
+	ec.Probe = func(url string, _ time.Time) bool {
+		for d := range burned {
+			if len(url) >= len(d) && containsSub(url, d) {
+				return true
+			}
+		}
+		return false
+	}
+	ec.Fresh = func(campID, n int) string {
+		return "fresh" + string(rune('0'+n)) + ".icu"
+	}
+	ec.Mount = func(_ *Campaign, d string) { mounted = append(mounted, d) }
+	return ec, camp, burned, &mounted
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestResolveDomainCleanPassThrough(t *testing.T) {
+	ec, camp, _, mounted := evasionFixture()
+	now := time.Now()
+	if got := ec.ResolveDomain(camp, "scam-a.icu", now); got != "scam-a.icu" {
+		t.Errorf("clean domain rotated to %q", got)
+	}
+	if len(*mounted) != 0 {
+		t.Error("mounted domains without burning")
+	}
+	if ec.TotalRotations() != 0 {
+		t.Error("rotations counted without burning")
+	}
+}
+
+func TestResolveDomainRotatesBurned(t *testing.T) {
+	ec, camp, burned, mounted := evasionFixture()
+	now := time.Now()
+	burned["scam-a.icu"] = true
+	got := ec.ResolveDomain(camp, "scam-a.icu", now)
+	if got != "fresh1.icu" {
+		t.Fatalf("rotated to %q, want fresh1.icu", got)
+	}
+	if len(*mounted) != 1 || (*mounted)[0] != "fresh1.icu" {
+		t.Errorf("mounted = %v", *mounted)
+	}
+	if ec.Rotations(camp.ID) != 1 {
+		t.Errorf("rotations = %d", ec.Rotations(camp.ID))
+	}
+	// Stable: the same burned domain keeps resolving to its replacement
+	// without re-rotating.
+	if again := ec.ResolveDomain(camp, "scam-a.icu", now); again != "fresh1.icu" {
+		t.Errorf("second resolve = %q", again)
+	}
+	if ec.Rotations(camp.ID) != 1 {
+		t.Errorf("re-resolve rotated again: %d", ec.Rotations(camp.ID))
+	}
+	// Unburned sibling domain untouched.
+	if sib := ec.ResolveDomain(camp, "scam-b.icu", now); sib != "scam-b.icu" {
+		t.Errorf("sibling rotated to %q", sib)
+	}
+}
+
+func TestResolveDomainChainsWhenReplacementBurns(t *testing.T) {
+	ec, camp, burned, _ := evasionFixture()
+	now := time.Now()
+	burned["scam-a.icu"] = true
+	first := ec.ResolveDomain(camp, "scam-a.icu", now)
+	burned[first] = true
+	second := ec.ResolveDomain(camp, "scam-a.icu", now)
+	if second == first || second == "scam-a.icu" {
+		t.Fatalf("chained rotation failed: %q", second)
+	}
+	if ec.Rotations(camp.ID) != 2 {
+		t.Errorf("rotations = %d, want 2", ec.Rotations(camp.ID))
+	}
+}
+
+func TestBenignCampaignsNeverRotate(t *testing.T) {
+	ec, _, burned, _ := evasionFixture()
+	benign := &Campaign{ID: 4, Category: CategoryByName("shopping"), LandingDomains: []string{"deals.com"}}
+	burned["deals.com"] = true
+	if got := ec.ResolveDomain(benign, "deals.com", time.Now()); got != "deals.com" {
+		t.Errorf("benign campaign rotated to %q", got)
+	}
+}
+
+func TestResolveDomainConcurrent(t *testing.T) {
+	ec, camp, burned, _ := evasionFixture()
+	burned["scam-a.icu"] = true
+	var wg sync.WaitGroup
+	results := make([]string, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = ec.ResolveDomain(camp, "scam-a.icu", time.Now())
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r != results[0] {
+			t.Fatalf("concurrent resolves disagree: %v", results)
+		}
+	}
+	if ec.Rotations(camp.ID) != 1 {
+		t.Errorf("concurrent burn rotated %d times", ec.Rotations(camp.ID))
+	}
+}
+
+// TestEvasionEndToEnd drives a crawl against an evasion-enabled
+// ecosystem with aggressive blocklists and checks that campaigns rotate
+// domains, growing their observed landing-domain set.
+func TestEvasionEndToEnd(t *testing.T) {
+	eco := newEco(t, Config{Seed: 6, Scale: 0.004, EvasionEnabled: true})
+	// Aggressive blocklist coverage so domains burn during the crawl.
+	// (VT/GSB configs are fixed; instead force-burn by marking ads as
+	// the crawl progresses — the default lag already flags ~11% after a
+	// month, so run the probe after advancing time.)
+	an := eco.Networks()[0]
+	var camp *Campaign
+	for _, c := range an.Campaigns {
+		if c.Category.Malicious {
+			camp = c
+			break
+		}
+	}
+	if camp == nil {
+		t.Skip("no malicious campaign on first network at this scale")
+	}
+	// Serve an ad to register its landing URL with ground truth + VT.
+	id := camp.AdID(0, 0, 1)
+	httpGet(t, eco, "https://"+an.Host+"/ad?id="+id)
+	// Force the blocklist to flag the canonical probe URL, then advance
+	// time and serve again: the controller must rotate.
+	probe := "https://" + camp.LandingDomainAt(0) + camp.LandingPath()
+	eco.VT.Force(probe)
+	eco.Clock.Advance(time.Hour)
+	_, body := httpGet(t, eco, "https://"+an.Host+"/ad?id="+camp.AdID(0, 0, 2))
+	if eco.Evasion().Rotations(camp.ID) == 0 {
+		t.Fatalf("campaign did not rotate after its domain burned (resp %s)", body)
+	}
+	if containsSub(string(body), camp.LandingDomainAt(0)) {
+		t.Errorf("post-burn ad still targets the burned domain: %s", body)
+	}
+}

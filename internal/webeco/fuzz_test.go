@@ -1,0 +1,25 @@
+package webeco
+
+import "testing"
+
+// FuzzParseAdID checks ad-id parsing never panics and accepts its own
+// encodings.
+func FuzzParseAdID(f *testing.F) {
+	f.Add("c1.k2.d3.n4")
+	f.Add("garbage")
+	f.Add("c-1.k0.d0.n0")
+	f.Fuzz(func(t *testing.T, id string) {
+		ParseAdID(id) //nolint:errcheck
+	})
+}
+
+// FuzzParseAlertAdID checks alert-id parsing never panics and
+// round-trips its own encodings.
+func FuzzParseAlertAdID(f *testing.F) {
+	f.Add("al.site.com.n5")
+	f.Add("al.bad")
+	f.Add("al..n")
+	f.Fuzz(func(t *testing.T, id string) {
+		parseAlertAdID(id) //nolint:errcheck
+	})
+}

@@ -1,0 +1,133 @@
+package webeco
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// longtailTitles/Bodies are one-off spammy creatives: each long-tail ad
+// draws fresh slot values and a unique number, so no two cluster
+// together — they form the singleton clusters (§6.3.1, 7,731 of 8,780)
+// that meta-clustering later reconnects through shared landing domains.
+var longtailTitles = []string{
+	"Enter now to spin the wheel and win {prize}",
+	"Hot singles in {city} want to meet you tonight ({n})",
+	"Your {brand} points expire in {n} hours",
+	"Only {n} boxes of the miracle diet pill left",
+	"Breaking: celebrity secret revealed #{n}",
+	"Get paid ${n}0 a day working from home",
+	"Your horoscope for today is unusually lucky ({n})",
+	"Flash giveaway #{n}: claim before midnight",
+	"New crypto pays {n}% daily — early access",
+	"Doctor discovers {n}-second trick for joint pain",
+	"You have ({n}) unread messages waiting",
+	"Final reminder {n}: verify your entry",
+}
+
+var longtailBodies = []string{
+	"Limited time offer, tap to continue",
+	"Click here before this disappears",
+	"You were chosen from {city} visitors",
+	"No purchase necessary, see details",
+	"Act now, only a few spots remain",
+	"Tap to reveal your exclusive code {n}",
+}
+
+// topicWords diversify long-tail creatives so each is near-unique.
+var topicWords = []string{
+	"keto", "bitcoin", "casino", "insurance", "mortgage", "pills", "serum",
+	"gadget", "hearing", "solar", "warranty", "refund", "jackpot", "tarot",
+	"psychic", "detox", "botox", "forex", "sweeps", "hosting", "antenna",
+	"mattress", "cruise", "timeshare", "lawsuit", "settlement", "gutter",
+	"walk-in", "reverse", "annuity", "cbd", "vape", "streamer", "firestick",
+	"iptv", "unlocked", "clearance", "liquidation", "overstock", "auction",
+}
+
+// LongtailAd is a resolved one-off ad.
+type LongtailAd struct {
+	ID         string
+	CampaignID int
+	Title      string
+	Body       string
+	Icon       string
+	Target     string
+	Landing    string
+	Malicious  bool
+}
+
+// longtailGen mints and resolves long-tail ad ids.
+type longtailGen struct {
+	seed int64
+
+	mu   sync.Mutex
+	byID map[string]*LongtailAd
+	next int
+}
+
+func newLongtailGen(seed int64) *longtailGen {
+	return &longtailGen{seed: seed, byID: make(map[string]*LongtailAd)}
+}
+
+// NewAdID creates a one-off ad anchored to one of camp's landing domains
+// and returns its id. The id is derived from the caller's (schedule)
+// RNG rather than a global counter so crawl parallelism cannot reorder
+// it; colliding ids simply reuse the already-minted ad.
+func (g *longtailGen) NewAdID(camp *Campaign, rng *rand.Rand) string {
+	var n int64
+	if rng != nil {
+		n = rng.Int63n(1 << 40)
+	} else {
+		g.mu.Lock()
+		g.next++
+		n = int64(g.next)
+		g.mu.Unlock()
+	}
+	id := fmt.Sprintf("lt.c%d.n%d", camp.ID, n)
+	g.mu.Lock()
+	if _, exists := g.byID[id]; exists {
+		g.mu.Unlock()
+		return id
+	}
+	g.mu.Unlock()
+
+	crng := subRNG(g.seed, "lt|"+id)
+	domain := camp.LandingDomains[crng.Intn(len(camp.LandingDomains))]
+	landing := fmt.Sprintf("https://%s/x/%s-%s-%d.html?z=%d",
+		domain,
+		landingWords[crng.Intn(len(landingWords))],
+		landingWords[crng.Intn(len(landingWords))],
+		crng.Intn(1<<20), crng.Intn(100000))
+	// Compose a mostly unique one-off creative: template + extra topic
+	// words + fresh slot values. Real spam long tails are this diverse;
+	// without the extra words, template reuse would cluster them.
+	title := fillSlots(longtailTitles[crng.Intn(len(longtailTitles))], crng)
+	title += " " + topicWords[crng.Intn(len(topicWords))] + " " + topicWords[crng.Intn(len(topicWords))]
+	body := fillSlots(longtailBodies[crng.Intn(len(longtailBodies))], crng)
+	body += " " + topicWords[crng.Intn(len(topicWords))] + fmt.Sprintf(" %d", crng.Intn(1000))
+	ad := &LongtailAd{
+		ID:         id,
+		CampaignID: camp.ID,
+		Title:      title,
+		Body:       body,
+		Icon:       fmt.Sprintf("https://icons.simpush.test/lt-%d.png", crng.Intn(8)),
+		Target:     landing,
+		Landing:    landing,
+		Malicious:  camp.Category.Malicious,
+	}
+	g.mu.Lock()
+	g.byID[id] = ad
+	g.mu.Unlock()
+	return id
+}
+
+// Resolve returns the ad for a long-tail id.
+func (g *longtailGen) Resolve(id string) (*LongtailAd, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ad, ok := g.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("webeco: unknown longtail ad %q", id)
+	}
+	return ad, nil
+}

@@ -1,0 +1,87 @@
+package webeco
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Wordlists for generating plausible domain names and content. Size
+// matters more than style: enough entropy to avoid collisions at paper
+// scale.
+var (
+	nameA = []string{
+		"best", "top", "daily", "free", "my", "the", "super", "mega", "go",
+		"hot", "new", "all", "pro", "fast", "easy", "smart", "prime", "viva",
+		"ultra", "insta", "live", "true", "pure", "next", "open", "fine",
+		"metro", "urban", "global", "local", "vital", "alpha", "nova", "zen",
+	}
+	nameB = []string{
+		"movie", "stream", "news", "sport", "game", "tech", "health", "food",
+		"travel", "music", "video", "deal", "coupon", "recipe", "weather",
+		"finance", "crypto", "auto", "style", "photo", "book", "job", "home",
+		"shop", "media", "world", "life", "buzz", "trend", "flix", "tube",
+		"portal", "planet", "hub", "zone", "spot", "base", "city", "land",
+	}
+	tlds = []string{
+		".com", ".net", ".org", ".info", ".xyz", ".club", ".online", ".site",
+		".ru", ".icu", ".pw", ".top", ".live", ".space",
+	}
+	landingWords = []string{
+		"prize", "offer", "win", "claim", "bonus", "lucky", "deal", "gift",
+		"reward", "secure", "verify", "account", "update", "alert", "support",
+		"sweep", "promo", "cash", "club", "vip", "now", "direct", "track",
+	}
+)
+
+// nameGen deterministically generates unique domain names.
+type nameGen struct {
+	rng  *rand.Rand
+	used map[string]bool
+}
+
+func newNameGen(seed int64) *nameGen {
+	return &nameGen{rng: rand.New(rand.NewSource(seed)), used: make(map[string]bool)}
+}
+
+// domain returns a fresh registrable domain name.
+func (g *nameGen) domain() string {
+	for {
+		a := nameA[g.rng.Intn(len(nameA))]
+		b := nameB[g.rng.Intn(len(nameB))]
+		tld := tlds[g.rng.Intn(len(tlds))]
+		d := a + b + tld
+		if g.rng.Intn(3) == 0 {
+			d = fmt.Sprintf("%s%s%d%s", a, b, g.rng.Intn(100), tld)
+		}
+		if !g.used[d] {
+			g.used[d] = true
+			return d
+		}
+	}
+}
+
+// landingDomain returns a fresh scammy-looking landing domain.
+func (g *nameGen) landingDomain() string {
+	for {
+		a := landingWords[g.rng.Intn(len(landingWords))]
+		b := landingWords[g.rng.Intn(len(landingWords))]
+		tld := tlds[g.rng.Intn(len(tlds))]
+		d := a + "-" + b + tld
+		if g.rng.Intn(2) == 0 {
+			d = fmt.Sprintf("%s%s%d%s", a, b, g.rng.Intn(1000), tld)
+		}
+		if !g.used[d] {
+			g.used[d] = true
+			return d
+		}
+	}
+}
+
+// slug lowercases a network name into a hostname label.
+func slug(name string) string {
+	s := strings.ToLower(name)
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, "-", "")
+	return s
+}

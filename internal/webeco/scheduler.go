@@ -1,0 +1,106 @@
+package webeco
+
+import (
+	"container/heap"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"pushadminer/internal/fcm"
+)
+
+// pushJob is one scheduled push delivery.
+type pushJob struct {
+	at       time.Time
+	endpoint string
+	payload  json.RawMessage
+	seq      int
+}
+
+type jobHeap []*pushJob
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*pushJob)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// scheduler holds future push deliveries and flushes the due ones to the
+// push service over HTTP, playing the role of all the ad-network sending
+// infrastructure.
+type scheduler struct {
+	mu   sync.Mutex
+	jobs jobHeap
+	seq  int
+	sent int
+}
+
+func newScheduler() *scheduler { return &scheduler{} }
+
+// Schedule enqueues a delivery.
+func (s *scheduler) Schedule(at time.Time, endpoint string, payload json.RawMessage) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	heap.Push(&s.jobs, &pushJob{at: at, endpoint: endpoint, payload: payload, seq: s.seq})
+}
+
+// Pending reports queued (not yet delivered) jobs.
+func (s *scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Sent reports deliveries flushed so far.
+func (s *scheduler) Sent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// NextAt returns the earliest pending delivery time, if any.
+func (s *scheduler) NextAt() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return time.Time{}, false
+	}
+	return s.jobs[0].at, true
+}
+
+// Flush delivers every job due at or before now using the given push
+// client. Send errors (e.g. expired registrations) are counted but do not
+// stop the flush; real sending infrastructure tolerates them.
+func (s *scheduler) Flush(now time.Time, client *fcm.Client) (delivered, failed int) {
+	for {
+		s.mu.Lock()
+		if len(s.jobs) == 0 || s.jobs[0].at.After(now) {
+			s.mu.Unlock()
+			return delivered, failed
+		}
+		job := heap.Pop(&s.jobs).(*pushJob)
+		s.mu.Unlock()
+
+		if err := client.Send(job.endpoint, job.payload); err != nil {
+			failed++
+			continue
+		}
+		s.mu.Lock()
+		s.sent++
+		s.mu.Unlock()
+		delivered++
+	}
+}

@@ -1,0 +1,168 @@
+package webeco
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer/internal/page"
+	"pushadminer/internal/serviceworker"
+	"pushadminer/internal/webpush"
+)
+
+// findSelfSite returns some generated self-notifier site.
+func findSelfSite(t *testing.T, e *Ecosystem, malicious bool) *Site {
+	t.Helper()
+	for _, s := range e.Sites() {
+		if s.Self == nil {
+			continue
+		}
+		if malicious == (len(s.Self.ExternalLanding) > 0) {
+			return s
+		}
+	}
+	t.Skipf("no self site (malicious=%v) at this scale", malicious)
+	return nil
+}
+
+func TestSelfSiteFrontPage(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	site := findSelfSite(t, e, false)
+	resp, body := httpGet(t, e, site.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	doc, err := page.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.RequestsNotification || doc.SWURL == "" || doc.SubscribeURL == "" {
+		t.Errorf("self site front page incomplete: %+v", doc)
+	}
+	if !strings.HasPrefix(doc.SWURL, "https://"+site.Domain) {
+		t.Errorf("self site SW not same-origin: %s", doc.SWURL)
+	}
+}
+
+func TestSelfSiteSWIsDefault(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	site := findSelfSite(t, e, false)
+	_, body := httpGet(t, e, "https://"+site.Domain+"/sw.js")
+	script, err := serviceworker.Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.OnPush) != 0 || len(script.OnClick) != 0 {
+		t.Errorf("self SW should use default handlers: %+v", script)
+	}
+}
+
+func TestSelfSiteSchedulesAlerts(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	site := findSelfSite(t, e, false)
+	sub := e.Push.Register("https://"+site.Domain, "https://"+site.Domain+"/sw.js")
+	body := `{"token":"` + sub.Token + `","endpoint":"` + sub.Endpoint + `","origin":"https://` + site.Domain + `","device":"desktop","hw":"desktop","client":"c1"}`
+	resp, err := e.Net.Client().Post("https://"+site.Domain+"/subscribe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if e.PendingPushes() == 0 {
+		t.Fatal("self site scheduled nothing")
+	}
+	// Deliver and inspect: payload embeds a complete notification.
+	e.Clock.Advance(200 * 24 * time.Hour)
+	e.Tick()
+	msgs := e.Push.Poll([]string{sub.Token})
+	if len(msgs) == 0 {
+		t.Fatal("no messages delivered")
+	}
+	p, err := webpush.DecodePayload(msgs[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Notification == nil || p.Notification.Title == "" {
+		t.Errorf("self push payload lacks a notification: %+v", p)
+	}
+	if p.Notification.TargetURL != "" && !strings.Contains(p.Notification.TargetURL, site.Domain) {
+		t.Errorf("benign self alert targets foreign origin: %s", p.Notification.TargetURL)
+	}
+}
+
+func TestMaliciousSelfSiteTargetsExternalScam(t *testing.T) {
+	e := newEco(t, Config{Seed: 12, Scale: 0.01})
+	site := findSelfSite(t, e, true)
+	sub := e.Push.Register("https://"+site.Domain, "https://"+site.Domain+"/sw.js")
+	body := `{"token":"` + sub.Token + `","endpoint":"` + sub.Endpoint + `","origin":"https://` + site.Domain + `","device":"desktop","hw":"desktop","client":"c1"}`
+	resp, err := e.Net.Client().Post("https://"+site.Domain+"/subscribe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	e.Clock.Advance(200 * 24 * time.Hour)
+	e.Tick()
+	msgs := e.Push.Poll([]string{sub.Token})
+	if len(msgs) == 0 {
+		t.Fatal("no messages delivered")
+	}
+	sawExternal := false
+	for _, m := range msgs {
+		p, err := webpush.DecodePayload(m.Data)
+		if err != nil || p.Notification == nil {
+			continue
+		}
+		tgt := p.Notification.TargetURL
+		if tgt == "" {
+			continue
+		}
+		for _, d := range site.Self.ExternalLanding {
+			if strings.Contains(tgt, d) {
+				sawExternal = true
+				if !e.Truth().IsMaliciousURL(tgt) {
+					t.Errorf("scam target %s not in ground truth", tgt)
+				}
+				// The scam landing actually serves content.
+				r2, b2 := httpGet(t, e, tgt)
+				if r2.StatusCode != http.StatusOK {
+					t.Errorf("scam landing status %d", r2.StatusCode)
+				}
+				if _, err := page.Decode(b2); err != nil {
+					t.Errorf("scam landing unparseable: %v", err)
+				}
+			}
+		}
+	}
+	if !sawExternal {
+		t.Error("malicious self site never targeted its external landing")
+	}
+}
+
+func TestSelfSiteArticlePages(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	site := findSelfSite(t, e, false)
+	_, body := httpGet(t, e, "https://"+site.Domain+"/news/story/a1.html?id=1")
+	doc, err := page.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.RequestsNotification {
+		t.Error("article page re-requests permission")
+	}
+}
+
+func TestSelfSiteSubscribeRejectsBadBody(t *testing.T) {
+	e := newEco(t, tinyConfig())
+	site := findSelfSite(t, e, false)
+	r, err := e.Net.Client().Post("https://"+site.Domain+"/subscribe", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status %d", r.StatusCode)
+	}
+}

@@ -1,0 +1,388 @@
+package webeco
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Category describes one kind of WPN campaign content: its message
+// templates, landing-page content, maliciousness, whether it is
+// advertising (multi-source) or a self alert, and device targeting.
+// Message templates contain slots ({prize}, {brand}, {n}) whose values
+// vary across a campaign's creatives while the surrounding phrasing stays
+// fixed — the within-campaign similarity the clustering stage exploits.
+type Category struct {
+	Name      string
+	Malicious bool
+	Ad        bool // delivered by ad networks from multiple sources
+	// MobileOnly restricts the category to mobile subscriptions;
+	// RealDeviceOnly further requires a physical device (malicious
+	// mobile campaigns fingerprint emulators, §6.1.3).
+	MobileOnly     bool
+	RealDeviceOnly bool
+
+	Titles         []string
+	Bodies         []string
+	LandingTitle   string
+	LandingContent string
+	// PathTokens is the landing URL path template shared by the
+	// campaign's landing pages across domains.
+	PathTokens []string
+	// QueryParams are the query parameter names on landing URLs.
+	QueryParams []string
+}
+
+var slotValues = map[string][]string{
+	"{prize}": {
+		"iPhone 11 Pro", "Samsung Galaxy S10", "$1000 Walmart gift card",
+		"PlayStation 5", "$500 Amazon voucher", "MacBook Air",
+	},
+	"{brand}":   {"PayPal", "Amazon", "Netflix", "Chase Bank", "Apple", "Wells Fargo"},
+	"{carrier}": {"FedEx", "UPS", "DHL", "USPS"},
+	"{store}":   {"Walmart", "Target", "BestBuy", "Costco"},
+	"{country}": {"USA", "Canada", "UK", "Australia"},
+	"{job}":     {"warehouse associate", "delivery driver", "remote data entry clerk", "customer support agent"},
+	"{sign}":    {"Aries", "Taurus", "Leo", "Virgo", "Scorpio", "Pisces"},
+	"{city}":    {"Atlanta", "Denver", "Austin", "Phoenix", "Seattle"},
+}
+
+// Categories is the content library the generator draws campaigns from.
+var Categories = []Category{
+	// --- malicious ad campaigns ---
+	{
+		Name: "sweepstakes", Malicious: true, Ad: true,
+		Titles: []string{
+			"Congratulations! You have won a {prize}",
+			"You are today's lucky visitor — {prize} inside",
+		},
+		Bodies: []string{
+			"Answer 3 quick questions and claim your {prize} before it expires",
+			"Your {prize} is reserved. Complete the short survey to claim it now",
+		},
+		LandingTitle:   "Claim Your Prize",
+		LandingContent: "congratulations lucky winner complete this short survey to receive your exclusive reward enter your shipping details and card for verification",
+		PathTokens:     []string{"sweep", "claim-prize"},
+		QueryParams:    []string{"cid", "sub"},
+	},
+	{
+		Name: "techsupport", Malicious: true, Ad: true,
+		Titles: []string{
+			"Warning: Your payment info has been leaked",
+			"Security alert: your computer is infected",
+		},
+		Bodies: []string{
+			"Immediate action required. Click to secure your device now",
+			"We detected (4) viruses. Call support before your files are lost",
+		},
+		LandingTitle:   "Microsoft Support Alert",
+		LandingContent: "your computer has been blocked call the toll free number now do not shut down your pc windows support technician error 0x80072ee7",
+		PathTokens:     []string{"alert", "support-case"},
+		QueryParams:    []string{"case", "src"},
+	},
+	{
+		Name: "fakealert", Malicious: true, Ad: true,
+		Titles: []string{
+			"{brand}: unusual sign-in activity detected",
+			"{brand} alert: your account will be suspended",
+		},
+		Bodies: []string{
+			"Verify your {brand} account information immediately to avoid suspension",
+			"Confirm your identity now to restore full access to your {brand} account",
+		},
+		LandingTitle:   "Account Verification",
+		LandingContent: "verify your account sign in with your email and password to confirm your identity unusual activity suspended restore access billing information",
+		PathTokens:     []string{"secure", "verify-account"},
+		QueryParams:    []string{"uid", "ref"},
+	},
+	{
+		Name: "scareware", Malicious: true, Ad: true,
+		Titles: []string{
+			"Your battery is damaged by (4) viruses!",
+			"System cleaner required: storage 98% full",
+		},
+		Bodies: []string{
+			"Download the recommended cleaner app now to repair the damage",
+			"Your device will slow down. Install the free repair tool today",
+		},
+		LandingTitle:   "Device Repair Center",
+		LandingContent: "scan results critical your device is infected download the cleaner application immediately free scan repair boost",
+		PathTokens:     []string{"clean", "scan-download"},
+		QueryParams:    []string{"aff", "os"},
+	},
+	{
+		Name: "lottery", Malicious: true, Ad: true,
+		Titles: []string{
+			"Final notice: unclaimed cash prize in {country}",
+			"You have been selected: {country} national draw",
+		},
+		Bodies: []string{
+			"Your entry won the weekly draw. Claim the transfer before midnight",
+			"A pending payout is waiting for verification. Respond today",
+		},
+		LandingTitle:   "Prize Transfer Desk",
+		LandingContent: "winner notification pending transfer claim processing fee wire your verification deposit lottery international draw",
+		PathTokens:     []string{"draw", "payout"},
+		QueryParams:    []string{"ticket", "geo"},
+	},
+	// --- mobile-tailored malicious (real devices only) ---
+	{
+		Name: "missedcall", Malicious: true, Ad: true, MobileOnly: true, RealDeviceOnly: true,
+		Titles: []string{
+			"✆ Missed call from +1 (202) 555-01{n}",
+			"Voicemail waiting: +44 7700 900{n}",
+		},
+		Bodies: []string{
+			"Tap to listen to your new voicemail message",
+			"1 new voice message. Tap to play",
+		},
+		LandingTitle:   "Voicemail Portal",
+		LandingContent: "listen to your message premium line connect now charges may apply enter your number to continue",
+		PathTokens:     []string{"vm", "play-message"},
+		QueryParams:    []string{"msg"},
+	},
+	{
+		Name: "fakedelivery", Malicious: true, Ad: true, MobileOnly: true, RealDeviceOnly: true,
+		Titles: []string{
+			"{carrier}: your package could not be delivered",
+			"{carrier} notice: delivery fee outstanding",
+		},
+		Bodies: []string{
+			"Schedule redelivery and confirm your address within 24 hours",
+			"Pay the $1.99 customs fee to release your parcel",
+		},
+		LandingTitle:   "Package Redelivery",
+		LandingContent: "track your parcel confirm address pay small fee card details redelivery schedule customs clearance",
+		PathTokens:     []string{"track", "redelivery"},
+		QueryParams:    []string{"pkg", "zip"},
+	},
+	{
+		Name: "spoofchat", Malicious: true, Ad: true, MobileOnly: true, RealDeviceOnly: true,
+		Titles: []string{
+			"WhatsApp: {n} new messages",
+			"You have (1) new friend request",
+		},
+		Bodies: []string{
+			"Someone near {city} sent you a private message. Tap to view",
+			"A contact shared a photo with you. Open to see it",
+		},
+		LandingTitle:   "Chat Login",
+		LandingContent: "sign in to view your messages nearby singles chat now verify your age create profile",
+		PathTokens:     []string{"chat", "inbox"},
+		QueryParams:    []string{"u"},
+	},
+	// --- benign ad campaigns ---
+	{
+		Name: "shopping", Ad: true,
+		Titles: []string{
+			"{store} flash sale: up to 70% off today",
+			"Hot deal at {store}: extra 30% off electronics",
+		},
+		Bodies: []string{
+			"Limited stock. Browse today's clearance picks before they sell out",
+			"Member prices unlocked for the next 6 hours only",
+		},
+		LandingTitle:   "Today's Deals",
+		LandingContent: "shop the sale free shipping on orders over 35 clearance electronics home fashion add to cart",
+		PathTokens:     []string{"deals", "flash-sale"},
+		QueryParams:    []string{"utm_source", "utm_campaign"},
+	},
+	{
+		Name: "vpnapp", Ad: true,
+		Titles: []string{
+			"Your IP is exposed — protect your privacy",
+			"Browse faster and safer with SecureLine VPN",
+		},
+		Bodies: []string{
+			"Get 80% off the annual privacy plan. 30-day money back guarantee",
+			"One tap to encrypt your connection on every network",
+		},
+		LandingTitle:   "SecureLine VPN",
+		LandingContent: "protect your privacy military grade encryption servers in 60 countries subscribe annual plan discount",
+		PathTokens:     []string{"vpn", "offer"},
+		QueryParams:    []string{"plan", "aff"},
+	},
+	{
+		Name: "jobs", Ad: true,
+		Titles: []string{
+			"New {job} positions near you",
+			"{job} wanted: apply in 2 minutes",
+		},
+		Bodies: []string{
+			"Local employers are hiring {job} roles this week. See openings",
+			"Flexible hours, weekly pay. View the latest {job} listings",
+		},
+		LandingTitle:   "Job Listings",
+		LandingContent: "browse openings apply now upload resume full time part time weekly pay benefits local employers hiring",
+		PathTokens:     []string{"jobs", "listings"},
+		QueryParams:    []string{"q", "loc"},
+	},
+	{
+		Name: "horoscope", Ad: true,
+		Titles: []string{
+			"{sign}: your luck changes this week",
+			"Daily {sign} reading is ready",
+		},
+		Bodies: []string{
+			"See what the stars have planned for {sign} today",
+			"Your personalized {sign} forecast has arrived",
+		},
+		LandingTitle:   "Daily Horoscope",
+		LandingContent: "daily weekly monthly horoscope love career money lucky numbers compatibility reading",
+		PathTokens:     []string{"horoscope", "daily"},
+		QueryParams:    []string{"sign"},
+	},
+	{
+		Name: "streaming", Ad: true,
+		Titles: []string{
+			"Watch new releases free for 30 days",
+			"Tonight's top movies are streaming now",
+		},
+		Bodies: []string{
+			"No subscription needed this weekend. Start watching instantly",
+			"Thousands of titles unlocked. Create your free account",
+		},
+		LandingTitle:   "Stream Now",
+		LandingContent: "watch movies and shows online free trial hd streaming no ads create account browse catalog",
+		PathTokens:     []string{"watch", "free-trial"},
+		QueryParams:    []string{"title", "src"},
+	},
+	{
+		Name: "adult", Ad: true,
+		Titles: []string{
+			"New profiles near {city}",
+			"3 people viewed your profile today",
+		},
+		Bodies: []string{
+			"See who is online in your area tonight",
+			"Your matches are waiting. Reply now",
+		},
+		LandingTitle:   "Meet Nearby",
+		LandingContent: "adult dating profiles online now chat meet tonight age verification 18+",
+		PathTokens:     []string{"dating", "nearby"},
+		QueryParams:    []string{"geo"},
+	},
+	// --- non-ad self notifications ---
+	{
+		Name: "news",
+		Titles: []string{
+			"Breaking: {city} council passes new transit plan",
+			"Markets close higher after tech rally",
+			"Storm system expected across the {city} metro",
+			"Local team advances to the finals",
+			"New study links sleep to memory in adults",
+			"Fuel prices dip for the third straight week",
+		},
+		Bodies: []string{
+			"Full coverage and analysis on our site",
+			"Read the developing story and expert commentary",
+			"Live updates as the situation develops",
+		},
+		LandingTitle:   "Story",
+		LandingContent: "full article coverage reporting analysis subscribe newsletter comments share",
+		PathTokens:     []string{"news", "story"},
+		QueryParams:    []string{"id"},
+	},
+	{
+		Name: "weather",
+		Titles: []string{
+			"Weather alert: heavy rain expected tonight",
+			"Heat advisory issued for your area",
+			"Frost warning for {city} suburbs",
+		},
+		Bodies: []string{
+			"See the hourly forecast for your location",
+			"Advisory in effect until tomorrow morning",
+		},
+		LandingTitle:   "Forecast",
+		LandingContent: "hourly forecast radar temperature precipitation wind humidity alerts",
+		PathTokens:     []string{"forecast", "alert"},
+		QueryParams:    []string{"zip"},
+	},
+	{
+		Name: "bankalert",
+		Titles: []string{
+			"Pre-approved personal loan at 8.5% APR",
+		},
+		Bodies: []string{
+			"You qualify for an instant loan up to $25,000. Apply in minutes",
+		},
+		LandingTitle:   "Loan Center",
+		LandingContent: "personal loan application rates terms apply online member services secure banking",
+		PathTokens:     []string{"loans", "personal"},
+		QueryParams:    []string{"offer"},
+	},
+	{
+		Name: "welcome",
+		Titles: []string{
+			"Thanks for subscribing!",
+			"You're in — notifications enabled",
+		},
+		Bodies: []string{
+			"We'll keep you posted with the latest updates",
+			"Welcome aboard. Manage your preferences anytime",
+		},
+		LandingTitle:   "Welcome",
+		LandingContent: "thank you for subscribing to our notifications stay tuned updates preferences unsubscribe",
+		PathTokens:     []string{"welcome"},
+		QueryParams:    nil,
+	},
+}
+
+// CategoryByName looks a category up; it panics on unknown names (the
+// library is a compile-time constant).
+func CategoryByName(name string) Category {
+	for _, c := range Categories {
+		if c.Name == name {
+			return c
+		}
+	}
+	panic("webeco: unknown category " + name)
+}
+
+// fillSlots replaces template slots with values chosen by rng.
+func fillSlots(tpl string, rng *rand.Rand) string {
+	out := tpl
+	for slot, values := range slotValues {
+		for strings.Contains(out, slot) {
+			out = strings.Replace(out, slot, values[rng.Intn(len(values))], 1)
+		}
+	}
+	for strings.Contains(out, "{n}") {
+		out = strings.Replace(out, "{n}", twoDigits(rng), 1)
+	}
+	return out
+}
+
+func twoDigits(rng *rand.Rand) string {
+	return string([]byte{byte('0' + rng.Intn(10)), byte('0' + rng.Intn(10))})
+}
+
+// Headline pools for composed news alerts: 14×13×14 ≈ 2,500 distinct
+// combinations keep the non-ad tail as diverse as real news pushes.
+var (
+	headlineSubjects = []string{
+		"City council", "Local startup", "School board", "State senate",
+		"Port authority", "Transit agency", "Hospital network", "Union",
+		"Weather service", "Tech giant", "Retail chain", "Energy firm",
+		"Film festival", "University lab",
+	}
+	headlineVerbs = []string{
+		"approves", "unveils", "delays", "expands", "cancels", "reviews",
+		"announces", "rejects", "funds", "launches", "suspends", "audits",
+		"debates",
+	}
+	headlineObjects = []string{
+		"new budget plan", "downtown project", "transit overhaul",
+		"hiring freeze", "research grant", "safety program", "merger deal",
+		"tax proposal", "housing initiative", "water upgrade",
+		"stadium renovation", "broadband rollout", "arts funding",
+		"recycling scheme",
+	}
+)
+
+// composeHeadline builds a near-unique news headline.
+func composeHeadline(rng *rand.Rand) string {
+	return headlineSubjects[rng.Intn(len(headlineSubjects))] + " " +
+		headlineVerbs[rng.Intn(len(headlineVerbs))] + " " +
+		headlineObjects[rng.Intn(len(headlineObjects))]
+}

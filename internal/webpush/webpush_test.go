@@ -1,0 +1,74 @@
+package webpush
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNotificationValidate(t *testing.T) {
+	if err := (Notification{Title: "Hello"}).Validate(); err != nil {
+		t.Errorf("valid notification rejected: %v", err)
+	}
+	if err := (Notification{Body: "no title"}).Validate(); err == nil {
+		t.Error("notification without title accepted")
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	in := Payload{
+		Notification: &Notification{
+			Title:     "Your payment info has been leaked",
+			Body:      "Click to secure your account",
+			Icon:      "https://cdn.test/alert.png",
+			TargetURL: "https://landing.test/fix",
+			Actions:   []Action{{Action: "open", Title: "Fix now"}},
+		},
+		AdID:         "ad-123",
+		CampaignHint: "xyz",
+	}
+	raw := EncodePayload(in)
+	out, err := DecodePayload(raw)
+	if err != nil {
+		t.Fatalf("DecodePayload: %v", err)
+	}
+	if out.AdID != in.AdID || out.CampaignHint != in.CampaignHint {
+		t.Errorf("scalar fields lost: %+v", out)
+	}
+	if out.Notification == nil || *&out.Notification.Title != in.Notification.Title {
+		t.Errorf("notification lost: %+v", out.Notification)
+	}
+	if len(out.Notification.Actions) != 1 || out.Notification.Actions[0].Action != "open" {
+		t.Errorf("actions lost: %+v", out.Notification.Actions)
+	}
+}
+
+func TestDecodePayloadErrors(t *testing.T) {
+	if _, err := DecodePayload(json.RawMessage(`{bad`)); err == nil {
+		t.Error("malformed payload accepted")
+	}
+	p, err := DecodePayload(json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatalf("empty object: %v", err)
+	}
+	if p.Notification != nil {
+		t.Error("empty payload grew a notification")
+	}
+}
+
+func TestMessageJSONOmitsExpired(t *testing.T) {
+	m := Message{Token: "t1", Data: json.RawMessage(`{}`), Expired: true}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := round["Expired"]; ok {
+		t.Error("Expired field serialized")
+	}
+	if round["token"] != "t1" {
+		t.Errorf("token = %v", round["token"])
+	}
+}

@@ -1,0 +1,67 @@
+package pushadminer_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer"
+	"pushadminer/internal/core"
+)
+
+// TestFacadeEndToEnd exercises the public API the README documents: run
+// a study, render tables, evaluate, export, re-analyze.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
+		Eco:              pushadminer.EcosystemConfig{Seed: 3, Scale: 0.004},
+		CollectionWindow: 7 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+
+	for name, tab := range map[string]*pushadminer.Table{
+		"Table3":  pushadminer.Table3(study),
+		"Table6":  pushadminer.Table6(study),
+		"Figure6": pushadminer.Figure6Table(study),
+	} {
+		if out := tab.String(); !strings.Contains(out, "—") {
+			t.Errorf("%s did not render: %q", name, out)
+		}
+	}
+
+	ev := study.Evaluate()
+	if ev.Precision() < 0.9 {
+		t.Errorf("precision = %.3f", ev.Precision())
+	}
+
+	// Export → offline re-analysis (the wpncrawl/wpnanalyze flow).
+	export := core.ExportFromStudy(study)
+	a, err := pushadminer.RunPipeline(export.Records, pushadminer.PipelineOptions{
+		Services: core.LookupsFromExport(export),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.ValidLanding == 0 || a.Report.Clusters == 0 {
+		t.Errorf("offline re-analysis empty: %+v", a.Report)
+	}
+}
+
+func TestNewEcosystemFacade(t *testing.T) {
+	eco, err := pushadminer.NewEcosystem(pushadminer.EcosystemConfig{Seed: 1, Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eco.Close()
+	if len(eco.SeedURLs()) == 0 {
+		t.Error("no seed URLs")
+	}
+	if len(eco.SeedKeywords()) != 19 {
+		t.Errorf("seed keywords = %d, want 19", len(eco.SeedKeywords()))
+	}
+}
