@@ -1,0 +1,22 @@
+# Developer entry points. The repo is plain Go; everything below is a
+# thin wrapper over the toolchain so CI and local runs stay identical.
+
+GO ?= go
+
+.PHONY: build test race vet verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify runs the whole gate: build, vet, tests, race tests.
+verify:
+	sh scripts/verify.sh

@@ -7,6 +7,16 @@
 // Usage:
 //
 //	wpncrawl -out wpns.json [-seed N] [-scale F] [-days N]
+//	         [-chaos-profile P] [-checkpoint PATH] [-resume]
+//
+// -chaos-profile wraps the virtual network with the deterministic fault
+// injector (internal/chaos): presets "mild", "acceptance", "harsh", or
+// a comma-separated spec with k=v overrides, e.g.
+// "acceptance,seed=7,resets=0.08,outage=72h:24h". -checkpoint makes the
+// crawls crash-tolerant: state is periodically written to per-device
+// JSON files derived from the given base path, and -resume merges an
+// existing checkpoint so a killed crawl converges to the same record
+// set as an uninterrupted one.
 package main
 
 import (
@@ -15,22 +25,33 @@ import (
 	"time"
 
 	"pushadminer"
+	"pushadminer/internal/chaos"
 	"pushadminer/internal/core"
 )
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 1, "ecosystem seed")
-		scale = flag.Float64("scale", 0.05, "fraction of paper-scale crawl")
-		days  = flag.Int("days", 14, "collection window in simulated days")
-		out   = flag.String("out", "wpns.json", "output JSON path")
+		seed    = flag.Int64("seed", 1, "ecosystem seed")
+		scale   = flag.Float64("scale", 0.05, "fraction of paper-scale crawl")
+		days    = flag.Int("days", 14, "collection window in simulated days")
+		out     = flag.String("out", "wpns.json", "output JSON path")
+		profile = flag.String("chaos-profile", "", "fault-injection profile (mild|acceptance|harsh, with k=v overrides)")
+		ckpt    = flag.String("checkpoint", "", "base path for crash-tolerant crawl checkpoints")
+		resume  = flag.Bool("resume", false, "resume crawls from existing checkpoints")
 	)
 	flag.Parse()
 
+	prof, err := chaos.ParseProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	start := time.Now()
 	study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
-		Eco:              pushadminer.EcosystemConfig{Seed: *seed, Scale: *scale},
+		Eco:              pushadminer.EcosystemConfig{Seed: *seed, Scale: *scale, Chaos: prof},
 		CollectionWindow: time.Duration(*days) * 24 * time.Hour,
+		CheckpointPath:   *ckpt,
+		Resume:           *resume,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -44,6 +65,9 @@ func main() {
 	log.Printf("crawled %d WPNs (%d desktop, %d mobile) in %s → %s",
 		len(export.Records), len(study.Desktop.Records), mobileCount(study),
 		time.Since(start).Round(time.Millisecond), *out)
+	if deg := study.Desktop.Degradation; deg.Faults != nil || deg.ContainersLost > 0 {
+		log.Printf("desktop degradation: %+v", deg)
+	}
 }
 
 func mobileCount(s *pushadminer.Study) int {

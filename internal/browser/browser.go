@@ -11,7 +11,9 @@ import (
 	"sync"
 	"time"
 
+	"pushadminer/internal/chaos"
 	"pushadminer/internal/fcm"
+	"pushadminer/internal/httpx"
 	"pushadminer/internal/page"
 	"pushadminer/internal/serviceworker"
 	"pushadminer/internal/simclock"
@@ -78,10 +80,21 @@ type Config struct {
 	ClickDelay time.Duration
 	// MaxRedirects bounds navigation redirect chains. Default 10.
 	MaxRedirects int
+	// NavRetries is how many extra attempts each navigation hop gets
+	// when it fails transiently (transport error, 5xx, or 429). A
+	// faulted hop otherwise kills the whole redirect chain — the
+	// landing page, its screenshot, and any permission prompt it would
+	// have shown. Default 5.
+	NavRetries int
 	// ClientID is a stable identifier for this browser instance,
 	// announced with subscriptions so server-side scheduling stays
-	// deterministic regardless of crawl parallelism.
+	// deterministic regardless of crawl parallelism. It is also stamped
+	// on every outgoing request (chaos.ClientHeader) so fault injection
+	// keys on the browser identity, not on goroutine scheduling.
 	ClientID string
+	// PushBreaker, if set, is the shared per-host circuit breaker used
+	// for push-service calls (register, poll).
+	PushBreaker *httpx.Breaker
 }
 
 // Browser is one instrumented browser instance (one crawler container).
@@ -96,6 +109,9 @@ type Browser struct {
 	events []Event
 	regs   []*serviceworker.Registration
 	notifs []*DisplayedNotification
+	// droppedNotifs counts notifications the browser refused to display
+	// (e.g. untitled after a failed ad fetch) — degradation accounting.
+	droppedNotifs int
 
 	// currentSWRequests collects SW request records during a dispatch.
 	currentSWRequests *[]serviceworker.RequestRecord
@@ -128,12 +144,25 @@ func New(cfg Config) *Browser {
 	if cfg.MaxRedirects <= 0 {
 		cfg.MaxRedirects = 10
 	}
+	if cfg.NavRetries <= 0 {
+		cfg.NavRetries = 5
+	}
 	if cfg.Client == nil {
 		panic("browser: Config.Client is required")
 	}
+	if cfg.ClientID != "" {
+		chaos.TagClient(cfg.Client, cfg.ClientID)
+	}
 	b := &Browser{cfg: cfg}
 	b.runtime = &serviceworker.Runtime{
-		Client:             cfg.Client,
+		Client: cfg.Client,
+		// Transient-failure retries on SW ad fetches: a failed fetch
+		// eats the notification being assembled (it displays untitled
+		// and is refused), and a lost notification also loses every
+		// record behind its click chain, so the budget is sized for
+		// double-digit per-request fault rates (at 15% faults, six
+		// attempts leave ~1e-5 loss per fetch).
+		FetchRetries:       5,
 		OnRequest:          b.onSWRequest,
 		OnShowNotification: nil, // bound per dispatch
 		OnOpenWindow:       nil,
@@ -168,6 +197,14 @@ func (b *Browser) EventsOfKind(kind EventKind) []Event {
 		}
 	}
 	return out
+}
+
+// DroppedNotifications reports how many notifications were refused
+// display (failed validation), so record loss is never silent.
+func (b *Browser) DroppedNotifications() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.droppedNotifs
 }
 
 // Registrations returns the browser's service worker registrations.
@@ -256,6 +293,12 @@ func (b *Browser) Navigate(rawURL string) (*Navigation, error) {
 		}
 		nav.RedirectChain = append(nav.RedirectChain, cur)
 		resp, body, err := b.get(cur, EvNavigation)
+		// Hop-level retries: a transiently failed hop (reset, 5xx,
+		// 429) would otherwise abort the chain or render an error page
+		// with no document, silently losing the landing page.
+		for retry := 0; retry < b.cfg.NavRetries && transientHop(resp, err); retry++ {
+			resp, body, err = b.get(cur, EvNavigation)
+		}
 		if err != nil {
 			return nav, err
 		}
@@ -299,6 +342,12 @@ func (b *Browser) render(nav *Navigation, resp *http.Response, body []byte) {
 	b.log(EvLandingPage, map[string]string{
 		"url": nav.FinalURL, "title": nav.Title, "screenshot": nav.ScreenshotHash,
 	})
+}
+
+// transientHop reports whether a navigation hop failed in a way worth
+// retrying: transport error, server error, or rate limiting.
+func transientHop(resp *http.Response, err error) bool {
+	return err != nil || resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 }
 
 func isRedirect(code int) bool {
@@ -402,7 +451,7 @@ func (b *Browser) registerServiceWorker(origin string, doc *page.Doc) (*servicew
 	if pushHost == "" {
 		pushHost = fcm.DefaultHost
 	}
-	pushClient := fcm.NewClient(b.cfg.Client, pushHost)
+	pushClient := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker)
 	sub, err := pushClient.Register(origin, doc.SWURL)
 	if err != nil {
 		return nil, fmt.Errorf("browser: push subscribe: %w", err)
@@ -418,14 +467,26 @@ func (b *Browser) registerServiceWorker(origin string, doc *page.Doc) (*servicew
 
 	if doc.SubscribeURL != "" {
 		// Announce token+endpoint to the ad network server (step 4).
+		// The announce is load-bearing — a subscription the network
+		// never learns about receives no pushes — so it retries
+		// transient failures and treats a non-2xx answer as an error
+		// the caller can recover from (the crawler re-visits).
 		payload := fmt.Sprintf(`{"token":%q,"endpoint":%q,"origin":%q,"device":%q,"hw":%q,"client":%q}`,
 			sub.Token, sub.Endpoint, origin, b.cfg.Device.String(), b.hardware(), b.cfg.ClientID)
-		resp, err := b.cfg.Client.Post(doc.SubscribeURL, "application/json", strings.NewReader(payload))
+		announce := httpx.New(b.cfg.Client, nil, httpx.RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		})
+		resp, err := announce.Post(doc.SubscribeURL, "application/json", []byte(payload))
 		if err != nil {
 			return reg, fmt.Errorf("browser: announce subscription: %w", err)
 		}
 		resp.Body.Close()
 		b.log(EvPageRequest, map[string]string{"url": doc.SubscribeURL, "status": fmt.Sprint(resp.StatusCode)})
+		if resp.StatusCode/100 != 2 {
+			return reg, fmt.Errorf("browser: announce subscription: status %d", resp.StatusCode)
+		}
 	}
 	return reg, nil
 }

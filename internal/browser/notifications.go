@@ -24,7 +24,7 @@ func (b *Browser) PumpPush(pushHost string) (int, error) {
 		byToken[r.Sub.Token] = r
 		tokens = append(tokens, r.Sub.Token)
 	}
-	client := fcm.NewClient(b.cfg.Client, pushHost)
+	client := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker)
 	msgs, err := client.Poll(tokens)
 	if err != nil {
 		return 0, err
@@ -55,7 +55,12 @@ func (b *Browser) dispatchPush(reg *serviceworker.Registration, msg webpush.Mess
 	}
 	b.runtime.OnShowNotification = func(n webpush.Notification) {
 		if err := n.Validate(); err != nil {
-			return // browser refuses to display an untitled notification
+			// The browser refuses to display an untitled notification;
+			// count it so the loss shows up in degradation reports.
+			b.mu.Lock()
+			b.droppedNotifs++
+			b.mu.Unlock()
+			return
 		}
 		dn := &DisplayedNotification{
 			Notification: n,

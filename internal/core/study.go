@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +30,13 @@ type StudyConfig struct {
 	// RescanAfter is the delay before the second blocklist scan
 	// (§6.3.2's one-month rescan).
 	RescanAfter time.Duration
+	// CheckpointPath enables crash-tolerant crawling: each device's
+	// crawl periodically checkpoints to a per-device file derived from
+	// this base path ("wpns.ckpt.json" → "wpns.ckpt.desktop.json").
+	CheckpointPath string
+	// Resume merges existing checkpoints into the crawls, so a study
+	// killed mid-crawl converges to the same record set on rerun.
+	Resume bool
 	// Pipeline tweaks analysis stages (ablations). Services and Scans
 	// are filled in from the ecosystem.
 	Pipeline PipelineOptions
@@ -92,6 +100,10 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			Device:           device,
 			RealDevice:       real,
 			CollectionWindow: cfg.CollectionWindow,
+			CrashPlan:        eco.CrashPlan(),
+			FaultCounts:      eco.FaultCounts,
+			CheckpointPath:   checkpointPathFor(cfg.CheckpointPath, device),
+			Resume:           cfg.Resume,
 		})
 		if err != nil {
 			return nil, err
@@ -126,6 +138,16 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	s.Analysis.Report.TotalCollected = len(s.Records)
 	s.PerNetwork = s.perNetworkStats()
 	return s, nil
+}
+
+// checkpointPathFor derives the per-device checkpoint file from the
+// study's base path: "wpns.ckpt.json" → "wpns.ckpt.desktop.json".
+func checkpointPathFor(base string, device browser.DeviceType) string {
+	if base == "" {
+		return ""
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + device.String() + ext
 }
 
 // Close releases the study's ecosystem.

@@ -37,6 +37,51 @@ func TestRunContextCancelled(t *testing.T) {
 	}
 }
 
+// TestRunContextCancelledMidMonitor kills the crawl from inside the
+// monitor loop (after a fixed number of scheduler ticks) and checks the
+// final drain returns a coherent partial result: some but not all
+// records, the context error, and no duplicates.
+func TestRunContextCancelledMidMonitor(t *testing.T) {
+	// Reference run to know the full record count and tick budget.
+	ecoA := newEco(t, 0.002)
+	counter := &tickCancelDriver{PushDriver: ecoA}
+	full, err := chaosCrawler(t, ecoA, func(c *Config) { c.Driver = counter }).Run(ecoA.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) == 0 || counter.n < 4 {
+		t.Fatalf("reference run too small (records=%d ticks=%d)", len(full.Records), counter.n)
+	}
+
+	ecoB := newEco(t, 0.002)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killer := &tickCancelDriver{PushDriver: ecoB, limit: counter.n / 2, cancel: cancel}
+	partial, err := chaosCrawler(t, ecoB, func(c *Config) { c.Driver = killer }).RunContext(ctx, ecoB.SeedURLs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if partial == nil {
+		t.Fatal("partial result missing")
+	}
+	if len(partial.Records) == 0 {
+		t.Error("mid-monitor cancel returned no records despite collecting before the kill")
+	}
+	if len(partial.Records) >= len(full.Records) {
+		t.Errorf("cancel fired too late: partial=%d full=%d", len(partial.Records), len(full.Records))
+	}
+	// The final drain must not re-emit anything already collected.
+	assertUniqueIDs(t, partial.Records)
+	seen := make(map[string]bool, len(partial.Records))
+	for _, r := range partial.Records {
+		k := recordKey(r)
+		if seen[k] {
+			t.Errorf("duplicate record after cancel drain: %s %q", r.SourceURL, r.Title)
+		}
+		seen[k] = true
+	}
+}
+
 func TestRunContextBackgroundCompletes(t *testing.T) {
 	eco := newEco(t, 0.002)
 	c, err := New(Config{

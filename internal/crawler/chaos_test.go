@@ -1,0 +1,309 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/chaos"
+	"pushadminer/internal/webeco"
+)
+
+// newChaosEco builds the standard test ecosystem with a chaos profile.
+func newChaosEco(t *testing.T, scale float64, prof *chaos.Profile) *webeco.Ecosystem {
+	t.Helper()
+	eco, err := webeco.New(webeco.Config{Seed: 11, Scale: scale, Chaos: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eco.Close() })
+	return eco
+}
+
+// chaosCrawler builds a crawler wired for fault injection and recovery,
+// with optional config overrides.
+func chaosCrawler(t *testing.T, eco *webeco.Ecosystem, mod func(*Config)) *Crawler {
+	t.Helper()
+	cfg := Config{
+		Clock:            eco.Clock,
+		NewClient:        func() *http.Client { return eco.Net.ClientNoRedirect() },
+		Driver:           eco,
+		Pending:          eco.Push,
+		Device:           browser.Desktop,
+		CollectionWindow: 7 * 24 * time.Hour,
+		CrashPlan:        eco.CrashPlan(),
+		FaultCounts:      eco.FaultCounts,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// acceptanceProfile is the ISSUE scenario: 5% connection resets, 10%
+// 503s, and one 24-hour push-service outage, all from a fixed seed.
+func acceptanceProfile() *chaos.Profile {
+	p, ok := chaos.Preset("acceptance")
+	if !ok {
+		panic("acceptance preset missing")
+	}
+	p.Seed = 5
+	return &p
+}
+
+func assertUniqueIDs(t *testing.T, recs []*WPNRecord) {
+	t.Helper()
+	seen := make(map[int]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate record ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+// TestCrawlUnderAcceptanceChaos is the headline robustness bound: under
+// the acceptance fault profile a full crawl must still collect at least
+// 95% of the fault-free record count, mint no duplicate IDs, and
+// account for the faults it survived in the Degradation report.
+func TestCrawlUnderAcceptanceChaos(t *testing.T) {
+	baselineEco := newChaosEco(t, 0.002, nil)
+	baseline, err := chaosCrawler(t, baselineEco, nil).Run(baselineEco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Records) == 0 {
+		t.Fatal("fault-free baseline collected nothing")
+	}
+
+	eco := newChaosEco(t, 0.002, acceptanceProfile())
+	res, err := chaosCrawler(t, eco, nil).Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertUniqueIDs(t, res.Records)
+	if min := (len(baseline.Records)*95 + 99) / 100; len(res.Records) < min {
+		t.Errorf("chaos crawl collected %d records, want >= %d (95%% of baseline %d)\ndegradation: %+v",
+			len(res.Records), min, len(baseline.Records), res.Degradation)
+	}
+
+	deg := res.Degradation
+	if deg.Faults == nil {
+		t.Fatal("Degradation.Faults empty: fault accounting is silent")
+	}
+	for _, k := range []string{"chaos_reset", "chaos_http_503", "chaos_outage_503"} {
+		if deg.Faults[k] == 0 {
+			t.Errorf("fault counter %s = 0; the profile should have injected some (faults: %v)", k, deg.Faults)
+		}
+	}
+	if deg.VisitRetries == 0 {
+		t.Error("no visit retries under 10%% 503s + 5%% resets; retry path untested")
+	}
+	t.Logf("baseline=%d chaos=%d degradation=%+v", len(baseline.Records), len(res.Records), deg)
+}
+
+// TestCrawlChaosByteDeterministic: two runs with identical (ecosystem
+// seed, chaos seed) must produce byte-identical results — records AND
+// degradation report.
+func TestCrawlChaosByteDeterministic(t *testing.T) {
+	run := func() []byte {
+		eco := newChaosEco(t, 0.002, acceptanceProfile())
+		res, err := chaosCrawler(t, eco, nil).Run(eco.SeedURLs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo, hi := i-120, i+120
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > len(a) {
+					hi = len(a)
+				}
+				t.Fatalf("results diverge at byte %d:\nA: %s\nB: %s", i, a[lo:hi], b[lo:min2(hi, len(b))])
+			}
+		}
+		t.Fatalf("results differ in length: %d vs %d", len(a), len(b))
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// tickCancelDriver cancels a context after a fixed number of scheduler
+// ticks — a deterministic "kill -9" point inside the monitor loop.
+type tickCancelDriver struct {
+	PushDriver
+	n, limit int
+	cancel   context.CancelFunc
+}
+
+func (d *tickCancelDriver) Tick() int {
+	d.n++
+	if d.limit > 0 && d.n == d.limit {
+		d.cancel()
+	}
+	return d.PushDriver.Tick()
+}
+
+// TestKillAndResumeConvergence: killing the crawler mid-window and
+// resuming from its checkpoint must converge to the same record set as
+// an uninterrupted run.
+func TestKillAndResumeConvergence(t *testing.T) {
+	prof := acceptanceProfile()
+
+	// Uninterrupted reference run (also counts scheduler ticks so the
+	// kill point lands mid-collection deterministically).
+	ecoA := newChaosEco(t, 0.002, prof)
+	counterA := &tickCancelDriver{PushDriver: ecoA}
+	full, err := chaosCrawler(t, ecoA, func(c *Config) { c.Driver = counterA }).Run(ecoA.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) == 0 || counterA.n < 4 {
+		t.Fatalf("reference run too small to test resume (records=%d ticks=%d)", len(full.Records), counterA.n)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "crawl.ckpt.json")
+
+	// Killed run: cancelled halfway through the tick sequence.
+	ecoB := newChaosEco(t, 0.002, prof)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killer := &tickCancelDriver{PushDriver: ecoB, limit: counterA.n / 2, cancel: cancel}
+	partial, err := chaosCrawler(t, ecoB, func(c *Config) {
+		c.Driver = killer
+		c.CheckpointPath = ckpt
+	}).RunContext(ctx, ecoB.SeedURLs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	if len(partial.Records) >= len(full.Records) {
+		t.Fatalf("kill fired too late: partial=%d full=%d", len(partial.Records), len(full.Records))
+	}
+	if partial.Degradation.CheckpointWrites == 0 {
+		t.Fatal("killed run wrote no checkpoint")
+	}
+
+	// Resumed run: fresh ecosystem, same seeds, replay + merge.
+	ecoC := newChaosEco(t, 0.002, prof)
+	resumed, err := chaosCrawler(t, ecoC, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.Resume = true
+	}).Run(ecoC.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !resumed.Degradation.ResumedFromCheckpoint {
+		t.Error("resumed run did not load the checkpoint")
+	}
+	if got, want := resumed.Degradation.ReplayedRecords, len(partial.Records); got != want {
+		t.Errorf("replayed %d checkpointed records, want %d", got, want)
+	}
+	if resumed.Degradation.OrphanedCheckpointRecords != 0 {
+		t.Errorf("%d checkpoint records orphaned; deterministic replay should re-mint all",
+			resumed.Degradation.OrphanedCheckpointRecords)
+	}
+	assertUniqueIDs(t, resumed.Records)
+
+	a, _ := json.Marshal(full.Records)
+	b, _ := json.Marshal(resumed.Records)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed record set differs from uninterrupted run: %d vs %d records",
+			len(resumed.Records), len(full.Records))
+	}
+	t.Logf("full=%d partial=%d resumed=%d (replayed %d)",
+		len(full.Records), len(partial.Records), len(resumed.Records),
+		resumed.Degradation.ReplayedRecords)
+}
+
+// TestContainerCrashRecovery drives an aggressive crash plan and checks
+// that containers die, are re-seeded within bounds, and the crawl still
+// collects, with all of it visible in the report.
+func TestContainerCrashRecovery(t *testing.T) {
+	prof := &chaos.Profile{Seed: 5, ContainerCrashFraction: 0.35}
+	eco := newChaosEco(t, 0.002, prof)
+	res, err := chaosCrawler(t, eco, nil).Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := res.Degradation
+	if deg.ContainersLost == 0 {
+		t.Fatal("crash plan never fired; test is vacuous")
+	}
+	if deg.ContainersRecovered == 0 {
+		t.Error("no container ever recovered from a crash")
+	}
+	if deg.ContainersRecovered > deg.ContainersLost {
+		t.Errorf("recovered %d > lost %d", deg.ContainersRecovered, deg.ContainersLost)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("crashes wiped out the whole crawl")
+	}
+	assertUniqueIDs(t, res.Records)
+	if deg.Faults["chaos_container_crash"] == 0 {
+		t.Errorf("crash counter missing from faults: %v", deg.Faults)
+	}
+	t.Logf("records=%d lost=%d recovered=%d", len(res.Records), deg.ContainersLost, deg.ContainersRecovered)
+}
+
+// TestCheckpointRoundTrip exercises the checkpoint file itself: write,
+// atomic replace, load, version and device validation.
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	cp := &Checkpoint{
+		Version: CheckpointVersion,
+		Device:  "desktop",
+		NextID:  7,
+		Records: []*WPNRecord{{ID: 3, Device: "desktop", Title: "t", SourceURL: "http://s.test/"}},
+		Cursors: []ContainerCursor{{ID: 1, SeedURL: "http://s.test/", Collected: 1}},
+	}
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite must be atomic-replace, not append.
+	cp.NextID = 9
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextID != 9 || len(got.Records) != 1 || got.Records[0].Title != "t" {
+		t.Fatalf("round-tripped checkpoint %+v", got)
+	}
+
+	cp.Version = CheckpointVersion + 1
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("wrong-version checkpoint accepted")
+	}
+}

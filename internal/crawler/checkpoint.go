@@ -1,0 +1,186 @@
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CheckpointVersion is bumped when the on-disk format changes
+// incompatibly; LoadCheckpoint rejects other versions.
+const CheckpointVersion = 1
+
+// ContainerCursor is the persisted position of one container: enough to
+// audit where a crawl stood when it was killed. Resume does not restore
+// cursors directly — it replays the deterministic simulation from the
+// epoch and deduplicates records against the checkpoint — but the
+// cursors make the checkpoint a complete, inspectable crawl snapshot.
+type ContainerCursor struct {
+	ID           int                  `json:"id"`
+	SeedURL      string               `json:"seed_url"`
+	ClientID     string               `json:"client_id"`
+	RegisteredAt time.Time            `json:"registered_at"`
+	ActiveUntil  time.Time            `json:"active_until"`
+	NextResume   time.Time            `json:"next_resume"`
+	Collected    int                  `json:"collected"`
+	Cycles       int                  `json:"cycles"`
+	Recoveries   int                  `json:"recoveries"`
+	Dead         bool                 `json:"dead,omitempty"`
+	Sources      map[string]string    `json:"sources,omitempty"`   // token → source URL
+	RegTimes     map[string]time.Time `json:"reg_times,omitempty"` // token → registration time
+}
+
+// Checkpoint is the JSON crawl snapshot written to Config.CheckpointPath:
+// the records collected so far, per-container cursors, and the
+// degradation tallies at write time.
+type Checkpoint struct {
+	Version int       `json:"version"`
+	Device  string    `json:"device"`
+	SimTime time.Time `json:"sim_time"`
+	NextID  int       `json:"next_id"`
+
+	SeedURLs       []string `json:"seed_urls,omitempty"`
+	NPRURLs        []string `json:"npr_urls,omitempty"`
+	AdditionalURLs []string `json:"additional_urls,omitempty"`
+	Containers     int      `json:"containers"`
+
+	Records     []*WPNRecord      `json:"records,omitempty"`
+	Cursors     []ContainerCursor `json:"cursors,omitempty"`
+	Degradation Degradation       `json:"degradation"`
+}
+
+// snapshot captures the run's current state as a Checkpoint.
+func (r *run) snapshot(live []*container) *Checkpoint {
+	cp := &Checkpoint{
+		Version:        CheckpointVersion,
+		Device:         r.cfg.Device.String(),
+		SimTime:        r.cfg.Clock.Now(),
+		NextID:         r.c.nextID,
+		SeedURLs:       r.res.SeedURLs,
+		NPRURLs:        r.res.NPRURLs,
+		AdditionalURLs: r.res.AdditionalURLs,
+		Containers:     r.res.Containers,
+		Records:        r.res.Records,
+		Degradation:    r.res.Degradation,
+	}
+	for _, ct := range live {
+		cp.Cursors = append(cp.Cursors, ContainerCursor{
+			ID:           ct.id,
+			SeedURL:      ct.seedURL,
+			ClientID:     ct.clientID,
+			RegisteredAt: ct.registeredAt,
+			ActiveUntil:  ct.activeUntil,
+			NextResume:   ct.nextResume,
+			Collected:    ct.collected,
+			Cycles:       ct.cycles,
+			Recoveries:   ct.recoveries,
+			Dead:         ct.dead,
+			Sources:      ct.sourceByToken,
+			RegTimes:     ct.regTimeByToken,
+		})
+	}
+	return cp
+}
+
+// maybeCheckpoint writes a periodic checkpoint when CheckpointEvery of
+// simulated time has elapsed since the last write.
+func (r *run) maybeCheckpoint(live []*container) {
+	if r.cfg.CheckpointPath == "" {
+		return
+	}
+	now := r.cfg.Clock.Now()
+	if now.Sub(r.lastCheckpoint) < r.cfg.CheckpointEvery {
+		return
+	}
+	r.lastCheckpoint = now
+	r.writeCheckpoint(live)
+}
+
+// writeCheckpoint persists the current state if checkpointing is
+// enabled. Write errors are not fatal to the crawl (a full disk must
+// not kill a week of collection); success is counted in the report.
+func (r *run) writeCheckpoint(live []*container) {
+	if r.cfg.CheckpointPath == "" {
+		return
+	}
+	if err := SaveCheckpoint(r.cfg.CheckpointPath, r.snapshot(live)); err == nil {
+		r.res.Degradation.CheckpointWrites++
+	}
+}
+
+// SaveCheckpoint atomically writes a checkpoint: marshal, write to a
+// temp file in the same directory, fsync, rename. A crash mid-write
+// leaves the previous checkpoint intact.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("crawler: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("crawler: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("crawler: write checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("crawler: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("crawler: parse checkpoint %s: %w", path, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("crawler: checkpoint %s: version %d, want %d", path, cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// loadCheckpoint merges a previous checkpoint into this run for resume:
+// records are indexed by content key so the deterministic replay can
+// hand back the already-collected copies instead of duplicating them. A
+// missing file is a fresh start, not an error.
+func (r *run) loadCheckpoint() error {
+	cp, err := LoadCheckpoint(r.cfg.CheckpointPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if cp.Device != r.cfg.Device.String() {
+		return fmt.Errorf("crawler: checkpoint %s is for device %q, this crawl is %q",
+			r.cfg.CheckpointPath, cp.Device, r.cfg.Device)
+	}
+	occ := make(map[string]int)
+	for _, rec := range cp.Records {
+		k := recordKey(rec)
+		occ[k]++
+		r.restored[fmt.Sprintf("%s\x1e%d", k, occ[k])] = rec
+	}
+	r.cpNextID = cp.NextID
+	r.res.Degradation.ResumedFromCheckpoint = true
+	return nil
+}

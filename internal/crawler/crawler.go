@@ -7,17 +7,30 @@
 //
 // Time is fully simulated: the crawler drives the shared virtual clock
 // and the ecosystem's push scheduler in one deterministic event loop.
+//
+// The crawler is built to survive the failures a months-long live crawl
+// meets (and which internal/chaos injects deterministically): visits
+// retry transient errors, push-service calls ride a shared per-host
+// circuit breaker, containers that stop responding are declared crashed
+// and re-seeded a bounded number of times, crawl state is periodically
+// checkpointed to JSON and resumable, and every loss is tallied in the
+// Result's Degradation report.
 package crawler
 
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"pushadminer/internal/browser"
+	"pushadminer/internal/fcm"
+	"pushadminer/internal/httpx"
 	"pushadminer/internal/serviceworker"
 	"pushadminer/internal/simclock"
 	"pushadminer/internal/urlx"
@@ -71,6 +84,46 @@ type Config struct {
 	// parallel during the seeding phase (the paper ran 20–50 Docker
 	// sessions at a time). Default 32.
 	MaxContainers int
+
+	// --- robustness / recovery ---
+
+	// Breaker is the shared per-host circuit breaker used for
+	// push-service calls. Created from Clock when nil.
+	Breaker *httpx.Breaker
+	// VisitAttempts bounds how many times one URL is (re)visited when
+	// the navigation fails or answers 5xx. Default 3.
+	VisitAttempts int
+	// CrashThreshold is how many consecutive failed polls mark a
+	// container as crashed. Default 3.
+	CrashThreshold int
+	// MaxRecoveries bounds how many times a crashed container is
+	// re-seeded (fresh browser, re-visit, re-subscribe). Default 2.
+	MaxRecoveries int
+	// CrashPlan, if non-nil, injects container crashes: it is asked on
+	// every resume cycle whether this container's process dies now.
+	// Wire webeco.Ecosystem.CrashPlan here to drive it from a chaos
+	// profile.
+	CrashPlan func(clientID string, cycle int) bool
+	// FaultCounts, if non-nil, snapshots external fault counters
+	// (webeco.Ecosystem.FaultCounts) into the Degradation report.
+	FaultCounts func() map[string]int
+
+	// --- checkpointing ---
+
+	// CheckpointPath, when set, enables periodic JSON checkpoints of
+	// the crawl state (records + per-container cursors), written
+	// atomically. A checkpoint is also written on cancellation and at
+	// completion.
+	CheckpointPath string
+	// CheckpointEvery is the simulated-time interval between periodic
+	// checkpoint writes. Default 6h.
+	CheckpointEvery time.Duration
+	// Resume, with CheckpointPath, merges a previous checkpoint into
+	// this run: the deterministic replay deduplicates re-collected
+	// records against the checkpointed ones, so a killed-and-resumed
+	// crawl converges to the same record set as an uninterrupted one.
+	// A missing checkpoint file is not an error (fresh start).
+	Resume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +144,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxContainers <= 0 {
 		c.MaxContainers = 32
+	}
+	if c.VisitAttempts <= 0 {
+		// A failed seed visit forfeits a container's entire WPN stream,
+		// so visits get a generous retry budget: at 4 attempts even a
+		// 15% per-request fault rate loses less than one visit in 10⁵.
+		c.VisitAttempts = 4
+	}
+	if c.CrashThreshold <= 0 {
+		c.CrashThreshold = 3
+	}
+	if c.MaxRecoveries <= 0 {
+		c.MaxRecoveries = 2
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 6 * time.Hour
 	}
 	return c
 }
@@ -143,6 +211,43 @@ func (r *WPNRecord) ValidLanding() bool {
 	return !r.Crashed && r.LandingURL != ""
 }
 
+// Degradation tallies everything a crawl lost or spent surviving
+// faults, so no loss is silent. All counters are deterministic per
+// (ecosystem seed, chaos seed).
+type Degradation struct {
+	// Faults mirrors the ecosystem's fault counters (chaos injector
+	// stats, push sends retried/abandoned, queue collapses).
+	Faults map[string]int `json:"faults,omitempty"`
+	// VisitRetries / VisitFailures count re-attempted visits and
+	// visits that stayed dead after all attempts.
+	VisitRetries  int `json:"visit_retries,omitempty"`
+	VisitFailures int `json:"visit_failures,omitempty"`
+	// PollFailures counts push polls that failed after retries.
+	PollFailures int `json:"poll_failures,omitempty"`
+	// BreakerFastFails counts polls refused instantly by an open
+	// circuit (not real failures: the breaker already knew).
+	BreakerFastFails int `json:"breaker_fast_fails,omitempty"`
+	// DroppedNotifications counts notifications the browser refused to
+	// display (e.g. untitled after a dead ad fetch).
+	DroppedNotifications int `json:"dropped_notifications,omitempty"`
+	// ContainersLost / ContainersRecovered track container crashes and
+	// successful re-seeds.
+	ContainersLost      int `json:"containers_lost,omitempty"`
+	ContainersRecovered int `json:"containers_recovered,omitempty"`
+	// RecordsDroppedEst estimates records that can no longer arrive:
+	// messages still queued for subscriptions lost in crashes.
+	RecordsDroppedEst int `json:"records_dropped_est,omitempty"`
+	// CheckpointWrites counts successful checkpoint writes.
+	CheckpointWrites int `json:"checkpoint_writes,omitempty"`
+	// ResumedFromCheckpoint marks a run that loaded a checkpoint;
+	// ReplayedRecords counts records deduplicated against it, and
+	// OrphanedCheckpointRecords counts checkpointed records the replay
+	// did not re-mint (kept, appended at the end).
+	ResumedFromCheckpoint     bool `json:"resumed_from_checkpoint,omitempty"`
+	ReplayedRecords           int  `json:"replayed_records,omitempty"`
+	OrphanedCheckpointRecords int  `json:"orphaned_checkpoint_records,omitempty"`
+}
+
 // Result is the output of one crawl.
 type Result struct {
 	SeedURLs       []string
@@ -150,6 +255,8 @@ type Result struct {
 	AdditionalURLs []string // URLs discovered by clicking notifications that also requested permission
 	Records        []*WPNRecord
 	Containers     int
+	// Degradation reports faults seen and work lost during the crawl.
+	Degradation Degradation
 }
 
 // container is one isolated browsing session (one Docker container in
@@ -157,11 +264,19 @@ type Result struct {
 type container struct {
 	id           int
 	seedURL      string
+	clientID     string
 	br           *browser.Browser
 	registeredAt time.Time
 	activeUntil  time.Time
 	nextResume   time.Time
 	collected    int
+	// cycles counts resume cycles (CrashPlan input); recoveries counts
+	// re-seeds after crashes; pollFails counts consecutive failed
+	// polls; dead marks a container given up on.
+	cycles     int
+	recoveries int
+	pollFails  int
+	dead       bool
 	// sourceByToken maps each subscription token to the URL whose visit
 	// created it, so records name the right source when a container
 	// holds several registrations (seed + landing-page subscriptions).
@@ -196,7 +311,15 @@ func New(cfg Config) (*Crawler, error) {
 	if cfg.Clock == nil || cfg.NewClient == nil || cfg.Driver == nil {
 		return nil, fmt.Errorf("crawler: Clock, NewClient and Driver are required")
 	}
-	return &Crawler{cfg: cfg.withDefaults()}, nil
+	cfg = cfg.withDefaults()
+	if cfg.Breaker == nil {
+		// Threshold deliberately below CrashThreshold: a sick push
+		// service must trip the circuit (fast-fails, not counted
+		// against containers) before any single container accumulates
+		// enough poll failures to be misdiagnosed as crashed.
+		cfg.Breaker = httpx.NewBreaker(cfg.Clock, httpx.BreakerConfig{Threshold: 2})
+	}
+	return &Crawler{cfg: cfg}, nil
 }
 
 // Run crawls the seed URLs with background context; see RunContext.
@@ -204,32 +327,89 @@ func (c *Crawler) Run(seeds []string) (*Result, error) {
 	return c.RunContext(context.Background(), seeds)
 }
 
+// run is the state of one RunContext call: the result under
+// construction, degradation tallies, and checkpoint/resume bookkeeping.
+type run struct {
+	c   *Crawler
+	cfg *Config
+	ctx context.Context
+	res *Result
+
+	// mu guards Degradation counters during the parallel seeding phase
+	// (the monitor loop is single-threaded).
+	mu sync.Mutex
+
+	// occ counts occurrences of each record content key minted so far;
+	// restored maps "key<RS>occurrence" to checkpointed records not yet
+	// matched by the replay.
+	occ      map[string]int
+	restored map[string]*WPNRecord
+	cpNextID int
+
+	// lostTokens are subscriptions that died with crashed containers.
+	lostTokens []string
+
+	end            time.Time
+	lastCheckpoint time.Time
+}
+
 // RunContext crawls the seed URLs: visits each in its own container,
 // then runs the monitoring event loop for the collection window,
 // gathering every notification pushed to any container. Cancelling ctx
-// stops the crawl at the next safe point and returns the records
-// collected so far along with ctx.Err().
+// stops the crawl at the next safe point, writes a checkpoint if
+// configured, and returns the records collected so far along with
+// ctx.Err().
 func (c *Crawler) RunContext(ctx context.Context, seeds []string) (*Result, error) {
 	res := &Result{SeedURLs: seeds}
+	r := &run{
+		c:        c,
+		cfg:      &c.cfg,
+		ctx:      ctx,
+		res:      res,
+		occ:      make(map[string]int),
+		restored: make(map[string]*WPNRecord),
+	}
+	if c.cfg.Resume && c.cfg.CheckpointPath != "" {
+		if err := r.loadCheckpoint(); err != nil {
+			return res, err
+		}
+	}
 
-	// Seeding phase: visit every URL in parallel container batches (the
-	// paper's 20–50 concurrent Docker sessions); keep containers whose
-	// visit produced a push subscription. Visits do not advance the
-	// simulated clock, so parallelism cannot reorder time.
+	live := r.seedPhase(seeds)
+	res.Containers = len(live)
+
+	r.monitor(live)
+	r.finish(live)
+	return res, ctx.Err()
+}
+
+// bump applies a Degradation mutation under the run lock (needed only
+// for the parallel seeding phase, but always taken for simplicity).
+func (r *run) bump(f func(d *Degradation)) {
+	r.mu.Lock()
+	f(&r.res.Degradation)
+	r.mu.Unlock()
+}
+
+// seedPhase visits every URL in parallel container batches (the paper's
+// 20–50 concurrent Docker sessions) and keeps containers whose visit
+// produced a push subscription. Visits do not advance the simulated
+// clock, so parallelism cannot reorder time.
+func (r *run) seedPhase(seeds []string) []*container {
 	type visitOutcome struct {
 		ct        *container
 		requested bool
 		token     string
 	}
 	outcomes := make([]visitOutcome, len(seeds))
-	sem := make(chan struct{}, c.cfg.MaxContainers)
+	sem := make(chan struct{}, r.cfg.MaxContainers)
 	var wg sync.WaitGroup
 	containers := make([]*container, len(seeds))
 	for i, u := range seeds {
-		containers[i] = c.newContainer(u)
+		containers[i] = r.c.newContainer(u)
 	}
 	for i, u := range seeds {
-		if ctx.Err() != nil {
+		if r.ctx.Err() != nil {
 			break
 		}
 		wg.Add(1)
@@ -237,13 +417,13 @@ func (c *Crawler) RunContext(ctx context.Context, seeds []string) (*Result, erro
 		go func(i int, u string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if ctx.Err() != nil {
+			if r.ctx.Err() != nil {
 				return
 			}
 			ct := containers[i]
-			vr, err := ct.br.Visit(u)
+			vr, err := r.visitRetry(ct, u)
 			if err != nil {
-				return // dead site: container discarded
+				return // dead site after retries: container discarded
 			}
 			oc := visitOutcome{requested: vr.RequestedPermission}
 			if vr.Registration != nil {
@@ -256,41 +436,81 @@ func (c *Crawler) RunContext(ctx context.Context, seeds []string) (*Result, erro
 	wg.Wait()
 
 	var live []*container
-	now := c.cfg.Clock.Now()
+	now := r.cfg.Clock.Now()
 	for i, oc := range outcomes {
 		if oc.requested {
-			res.NPRURLs = append(res.NPRURLs, seeds[i])
+			r.res.NPRURLs = append(r.res.NPRURLs, seeds[i])
 		}
 		if oc.ct == nil {
 			continue
 		}
 		ct := oc.ct
 		ct.registeredAt = now
-		ct.activeUntil = now.Add(c.cfg.MonitorWindow)
-		ct.nextResume = now.Add(c.cfg.ResumeInterval)
+		ct.activeUntil = now.Add(r.cfg.MonitorWindow)
+		ct.nextResume = now.Add(r.cfg.ResumeInterval)
 		ct.sourceByToken[oc.token] = seeds[i]
 		ct.regTimeByToken[oc.token] = now
 		live = append(live, ct)
 	}
-	res.Containers = len(live)
+	return live
+}
 
-	c.monitor(ctx, live, res)
-	return res, ctx.Err()
+// visitRetry visits a URL with bounded retries. A visit is retried when
+// the navigation errored (reset, truncation, blackhole, dead announce)
+// or the page answered 5xx/429 — a real crawler does not write a site
+// off on one transient failure.
+func (r *run) visitRetry(ct *container, u string) (*browser.VisitResult, error) {
+	var (
+		vr  *browser.VisitResult
+		err error
+	)
+	for attempt := 1; attempt <= r.cfg.VisitAttempts; attempt++ {
+		if attempt > 1 {
+			r.bump(func(d *Degradation) { d.VisitRetries++ })
+		}
+		vr, err = ct.br.Visit(u)
+		if err == nil && !transientStatus(vr) {
+			return vr, nil
+		}
+	}
+	r.bump(func(d *Degradation) { d.VisitFailures++ })
+	if err == nil {
+		err = fmt.Errorf("crawler: visit %s: status %d after %d attempts",
+			u, vr.Navigation.Status, r.cfg.VisitAttempts)
+	}
+	return vr, err
+}
+
+// transientStatus reports a navigation that "succeeded" with a status
+// that merits a retry (injected 503s are not errors to net/http).
+func transientStatus(vr *browser.VisitResult) bool {
+	nav := vr.Navigation
+	return nav != nil && (nav.Status >= 500 || nav.Status == http.StatusTooManyRequests)
+}
+
+func (c *Crawler) clientID(seedURL string) string {
+	return fmt.Sprintf("%s#%s", seedURL, c.cfg.Device)
+}
+
+func (c *Crawler) newBrowser(seedURL string) *browser.Browser {
+	return browser.New(browser.Config{
+		Clock:       c.cfg.Clock,
+		Client:      c.cfg.NewClient(),
+		Device:      c.cfg.Device,
+		RealDevice:  c.cfg.RealDevice,
+		ClickDelay:  c.cfg.ClickDelay,
+		ClientID:    c.clientID(seedURL),
+		PushBreaker: c.cfg.Breaker,
+	})
 }
 
 func (c *Crawler) newContainer(seedURL string) *container {
 	c.nextID++
 	return &container{
-		id:      c.nextID,
-		seedURL: seedURL,
-		br: browser.New(browser.Config{
-			Clock:      c.cfg.Clock,
-			Client:     c.cfg.NewClient(),
-			Device:     c.cfg.Device,
-			RealDevice: c.cfg.RealDevice,
-			ClickDelay: c.cfg.ClickDelay,
-			ClientID:   fmt.Sprintf("%s#%s", seedURL, c.cfg.Device),
-		}),
+		id:             c.nextID,
+		seedURL:        seedURL,
+		clientID:       c.clientID(seedURL),
+		br:             c.newBrowser(seedURL),
 		sourceByToken:  make(map[string]string),
 		regTimeByToken: make(map[string]time.Time),
 	}
@@ -298,26 +518,28 @@ func (c *Crawler) newContainer(seedURL string) *container {
 
 // monitor is the unified event loop: it advances the simulated clock to
 // each push delivery or container resume, flushes the scheduler, pumps
-// online containers, and processes notification auto-clicks.
-func (c *Crawler) monitor(ctx context.Context, live []*container, res *Result) {
-	clock := c.cfg.Clock
-	end := clock.Now().Add(c.cfg.CollectionWindow)
+// online containers, processes notification auto-clicks, and
+// periodically checkpoints.
+func (r *run) monitor(live []*container) {
+	clock := r.cfg.Clock
+	r.end = clock.Now().Add(r.cfg.CollectionWindow)
+	r.lastCheckpoint = clock.Now()
 
 	resumes := make(containerHeap, len(live))
 	copy(resumes, live)
 	heap.Init(&resumes)
 
 	for {
-		if ctx.Err() != nil {
-			return
+		if r.ctx.Err() != nil {
+			return // finish() writes the cancellation checkpoint
 		}
 		now := clock.Now()
-		if !now.Before(end) {
+		if !now.Before(r.end) {
 			break
 		}
 		// Next event: a scheduled push or a container resume.
-		next := end
-		if at, ok := c.cfg.Driver.NextPushAt(); ok && at.Before(next) {
+		next := r.end
+		if at, ok := r.cfg.Driver.NextPushAt(); ok && at.Before(next) {
 			next = at
 		}
 		if len(resumes) > 0 && resumes[0].nextResume.Before(next) {
@@ -326,75 +548,219 @@ func (c *Crawler) monitor(ctx context.Context, live []*container, res *Result) {
 		if next.After(now) {
 			clock.Advance(next.Sub(now))
 			now = next
-		} else if next.Equal(now) && c.cfg.Driver == nil {
-			break
 		}
 
-		c.cfg.Driver.Tick()
+		r.cfg.Driver.Tick()
 
 		// Resume containers due now.
 		for len(resumes) > 0 && !resumes[0].nextResume.After(now) {
 			ct := heap.Pop(&resumes).(*container)
-			c.pump(ct, res)
-			ct.nextResume = now.Add(c.cfg.ResumeInterval)
-			if ct.nextResume.Before(end) && ct.collected < c.cfg.MaxNotificationsPerContainer {
+			ct.cycles++
+			if !ct.dead && r.cfg.CrashPlan != nil && r.cfg.CrashPlan(ct.clientID, ct.cycles) {
+				r.crashContainer(ct)
+			}
+			if !ct.dead {
+				r.pump(ct)
+			}
+			ct.nextResume = now.Add(r.cfg.ResumeInterval)
+			if !ct.dead && ct.nextResume.Before(r.end) && ct.collected < r.cfg.MaxNotificationsPerContainer {
 				heap.Push(&resumes, ct)
 			}
 		}
 
 		// Pump containers still inside their live monitoring window.
 		for _, ct := range live {
-			if !now.After(ct.activeUntil) && ct.collected < c.cfg.MaxNotificationsPerContainer {
-				c.pump(ct, res)
+			if !ct.dead && !now.After(ct.activeUntil) && ct.collected < r.cfg.MaxNotificationsPerContainer {
+				r.pump(ct)
 			}
 		}
 
+		r.maybeCheckpoint(live)
+
 		// Safety: if nothing is scheduled and no resumes remain, stop.
-		if _, ok := c.cfg.Driver.NextPushAt(); !ok && len(resumes) == 0 {
+		if _, ok := r.cfg.Driver.NextPushAt(); !ok && len(resumes) == 0 {
 			break
 		}
 	}
 
 	// Final drain at the end of the window.
 	for _, ct := range live {
-		c.pump(ct, res)
+		if !ct.dead {
+			r.pump(ct)
+		}
 	}
 }
 
 // pump polls the push service for a container and, if anything arrived,
 // waits out the click delay and processes the auto-clicks into records.
-func (c *Crawler) pump(ct *container, res *Result) {
-	if c.cfg.Pending != nil && !c.hasPending(ct) {
+// Poll failures feed crash detection; open-circuit fast-fails do not
+// (the push service being down says nothing about the container).
+func (r *run) pump(ct *container) {
+	if r.cfg.Pending != nil && !r.hasPending(ct) {
 		return
 	}
-	n, err := ct.br.PumpPush(c.cfg.PushHost)
-	if err != nil || n == 0 {
+	n, err := ct.br.PumpPush(r.cfg.PushHost)
+	if err != nil {
+		if errors.Is(err, httpx.ErrCircuitOpen) {
+			r.bump(func(d *Degradation) { d.BreakerFastFails++ })
+			return
+		}
+		r.bump(func(d *Degradation) { d.PollFailures++ })
+		// Attribute the failure: if this failure tripped (or probed) the
+		// push host's circuit, the service is sick — that says nothing
+		// about the container, so it must not feed crash detection.
+		if r.cfg.Breaker.State(r.pushHostName()) == "closed" {
+			ct.pollFails++
+			if ct.pollFails >= r.cfg.CrashThreshold {
+				ct.pollFails = 0
+				r.crashContainer(ct)
+			}
+		}
 		return
 	}
-	c.cfg.Clock.Advance(c.cfg.ClickDelay)
+	ct.pollFails = 0
+	if n == 0 {
+		return
+	}
+	r.cfg.Clock.Advance(r.cfg.ClickDelay)
 	for _, oc := range ct.br.ProcessClicks() {
-		rec := c.record(ct, oc)
-		res.Records = append(res.Records, rec)
-		ct.collected++
+		r.emit(ct, oc)
 		// Landing pages that themselves request permission are the
 		// additional URLs of §6.2: subscribe right there.
 		if nav := oc.Navigation; nav != nil && nav.Doc != nil &&
 			nav.Doc.RequestsNotification && !nav.Crashed {
-			if vr, err := ct.br.Visit(nav.FinalURL); err == nil && vr.Registration != nil {
-				res.AdditionalURLs = append(res.AdditionalURLs, nav.FinalURL)
+			if vr, err := r.visitRetry(ct, nav.FinalURL); err == nil && vr.Registration != nil {
+				r.res.AdditionalURLs = append(r.res.AdditionalURLs, nav.FinalURL)
 				ct.sourceByToken[vr.Registration.Sub.Token] = nav.FinalURL
-				ct.regTimeByToken[vr.Registration.Sub.Token] = c.cfg.Clock.Now()
+				ct.regTimeByToken[vr.Registration.Sub.Token] = r.cfg.Clock.Now()
 				// Re-opening the container's live window mirrors the
 				// paper keeping sessions alive after new registrations.
-				ct.activeUntil = c.cfg.Clock.Now().Add(c.cfg.MonitorWindow)
+				ct.activeUntil = r.cfg.Clock.Now().Add(r.cfg.MonitorWindow)
 			}
 		}
 	}
 }
 
-func (c *Crawler) hasPending(ct *container) bool {
+// emit converts a click outcome into a record, deduplicating against
+// restored checkpoint records when resuming: a replayed record keeps
+// the checkpointed copy so the merged result matches an uninterrupted
+// run byte for byte.
+func (r *run) emit(ct *container, oc browser.ClickOutcome) {
+	rec := r.c.record(ct, oc)
+	key := recordKey(rec)
+	r.occ[key]++
+	fullKey := fmt.Sprintf("%s\x1e%d", key, r.occ[key])
+	if old, ok := r.restored[fullKey]; ok {
+		delete(r.restored, fullKey)
+		r.res.Degradation.ReplayedRecords++
+		rec = old
+	}
+	r.res.Records = append(r.res.Records, rec)
+	ct.collected++
+}
+
+// recordKey is the content identity of a record, independent of the
+// minted ID: used to match replayed records against checkpointed ones.
+func recordKey(rec *WPNRecord) string {
+	return strings.Join([]string{
+		rec.Device, rec.SourceURL, rec.SWURL, rec.Title, rec.Body, rec.TargetURL,
+		rec.ShownAt.UTC().Format(time.RFC3339Nano),
+	}, "\x1f")
+}
+
+// crashContainer models a container process dying: browser state
+// (registrations, cookies) is gone. Bounded recovery re-seeds it with a
+// fresh browser — re-visit, re-subscribe — exactly what the paper's
+// operators did with crashed Docker sessions.
+func (r *run) crashContainer(ct *container) {
+	deg := &r.res.Degradation
+	deg.ContainersLost++
+	deg.DroppedNotifications += ct.br.DroppedNotifications()
+	for tok := range ct.sourceByToken {
+		r.lostTokens = append(r.lostTokens, tok)
+	}
+	if ct.recoveries >= r.cfg.MaxRecoveries {
+		ct.dead = true
+		return
+	}
+	ct.recoveries++
+	ct.br = r.c.newBrowser(ct.seedURL)
+	ct.sourceByToken = make(map[string]string)
+	ct.regTimeByToken = make(map[string]time.Time)
+	vr, err := r.visitRetry(ct, ct.seedURL)
+	if err != nil || vr.Registration == nil {
+		ct.dead = true
+		return
+	}
+	now := r.cfg.Clock.Now()
+	tok := vr.Registration.Sub.Token
+	ct.sourceByToken[tok] = ct.seedURL
+	ct.regTimeByToken[tok] = now
+	ct.activeUntil = now.Add(r.cfg.MonitorWindow)
+	deg.ContainersRecovered++
+}
+
+// finish folds remaining degradation sources into the report, appends
+// orphaned checkpoint records, enforces record-ID uniqueness, and
+// writes the final checkpoint.
+func (r *run) finish(live []*container) {
+	deg := &r.res.Degradation
+	for _, ct := range live {
+		deg.DroppedNotifications += ct.br.DroppedNotifications()
+	}
+	// Messages still queued for subscriptions lost in crashes can never
+	// be collected.
+	if r.cfg.Pending != nil {
+		for _, tok := range r.lostTokens {
+			deg.RecordsDroppedEst += r.cfg.Pending.Pending(tok)
+		}
+	}
+	if r.cfg.FaultCounts != nil {
+		if fc := r.cfg.FaultCounts(); len(fc) > 0 {
+			deg.Faults = fc
+		}
+	}
+
+	// Checkpointed records the replay never re-minted (divergence —
+	// cannot happen under a deterministic ecosystem, but the crawl DID
+	// observe them): keep them, appended in original-ID order.
+	if len(r.restored) > 0 {
+		orphans := make([]*WPNRecord, 0, len(r.restored))
+		for _, rec := range r.restored {
+			orphans = append(orphans, rec)
+		}
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i].ID < orphans[j].ID })
+		r.res.Records = append(r.res.Records, orphans...)
+		deg.OrphanedCheckpointRecords = len(orphans)
+	}
+
+	// Record IDs must be unique even across resume merges.
+	if r.c.nextID < r.cpNextID {
+		r.c.nextID = r.cpNextID
+	}
+	seen := make(map[int]bool, len(r.res.Records))
+	for _, rec := range r.res.Records {
+		if seen[rec.ID] {
+			r.c.nextID++
+			rec.ID = r.c.nextID
+		}
+		seen[rec.ID] = true
+	}
+
+	r.writeCheckpoint(live)
+}
+
+// pushHostName resolves the push service host for breaker lookups.
+func (r *run) pushHostName() string {
+	if r.cfg.PushHost != "" {
+		return r.cfg.PushHost
+	}
+	return fcm.DefaultHost
+}
+
+func (r *run) hasPending(ct *container) bool {
 	for _, reg := range ct.br.Registrations() {
-		if c.cfg.Pending.Pending(reg.Sub.Token) > 0 {
+		if r.cfg.Pending.Pending(reg.Sub.Token) > 0 {
 			return true
 		}
 	}

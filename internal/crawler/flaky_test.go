@@ -2,51 +2,41 @@ package crawler
 
 import (
 	"net/http"
-	"sync/atomic"
 	"testing"
 
 	"pushadminer/internal/browser"
+	"pushadminer/internal/chaos"
 	"pushadminer/internal/fcm"
 	"pushadminer/internal/webeco"
 )
 
-// flakyHandler injects transient 503s: every third request fails.
-type flakyHandler struct {
-	inner http.Handler
-	n     int64
-	fails int64
-}
-
-func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if atomic.AddInt64(&f.n, 1)%3 == 0 {
-		atomic.AddInt64(&f.fails, 1)
-		http.Error(w, "transient", http.StatusServiceUnavailable)
-		return
-	}
-	f.inner.ServeHTTP(w, r)
-}
-
 // TestCrawlSurvivesFlakyPushService injects a 33% transient failure rate
-// into the push service and requires the crawl to still complete and
-// collect: the httpx retry layer in the FCM client must absorb the
-// hiccups.
+// into the push service through the shared chaos layer and requires the
+// crawl to still complete and collect: the httpx retry layer in the FCM
+// client must absorb the hiccups.
 func TestCrawlSurvivesFlakyPushService(t *testing.T) {
-	eco := newEco(t, 0.002)
-	flaky := &flakyHandler{inner: eco.Push}
-	eco.Net.Handle(fcm.DefaultHost, flaky)
-
-	c := newCrawler(t, eco, browser.Desktop, false)
-	res, err := c.Run(eco.SeedURLs())
+	prof := &chaos.Profile{
+		Seed:             3,
+		Error5xxFraction: 0.33,
+		Only:             []string{fcm.DefaultHost},
+	}
+	eco := newChaosEco(t, 0.002, prof)
+	res, err := chaosCrawler(t, eco, nil).Run(eco.SeedURLs())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if atomic.LoadInt64(&flaky.fails) == 0 {
+	injected := eco.Chaos().Stats()["http_503"]
+	if injected == 0 {
 		t.Fatal("failure injection never fired; test is vacuous")
 	}
 	if len(res.Records) == 0 {
-		t.Fatalf("flaky push service killed the crawl (injected %d failures)", flaky.fails)
+		t.Fatalf("flaky push service killed the crawl (injected %d failures)", injected)
 	}
-	t.Logf("survived %d injected 503s, collected %d WPNs", flaky.fails, len(res.Records))
+	if res.Degradation.Faults["chaos_http_503"] != injected {
+		t.Errorf("degradation reports %d injected 503s, injector counted %d",
+			res.Degradation.Faults["chaos_http_503"], injected)
+	}
+	t.Logf("survived %d injected 503s, collected %d WPNs", injected, len(res.Records))
 }
 
 // TestCrawlSurvivesDeadBlocklistHost: analysis-time blocklist outages

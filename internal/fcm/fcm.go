@@ -35,9 +35,10 @@ const maxQueue = 256
 type Service struct {
 	host string
 
-	mu     sync.Mutex
-	nextID int
-	subs   map[string]*subscription
+	mu      sync.Mutex
+	nextID  int
+	subs    map[string]*subscription
+	dropped int
 }
 
 type subscription struct {
@@ -98,10 +99,19 @@ func (s *Service) Send(msg webpush.Message) error {
 	}
 	st.queue = append(st.queue, msg)
 	if len(st.queue) > maxQueue {
+		s.dropped += len(st.queue) - maxQueue
 		st.queue = st.queue[len(st.queue)-maxQueue:]
 	}
 	st.sent++
 	return nil
+}
+
+// Dropped reports how many queued messages were collapsed away by the
+// per-subscription queue bound — loss that would otherwise be silent.
+func (s *Service) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Poll drains and returns all queued messages for the given tokens, in
@@ -229,6 +239,14 @@ type Client struct {
 // NewClient returns a Client for the service mounted at host using the
 // given HTTP client.
 func NewClient(httpClient *http.Client, host string) *Client {
+	return NewClientWith(httpClient, host, nil)
+}
+
+// NewClientWith is NewClient with an optional shared circuit breaker:
+// while the push host's circuit is open, calls fail fast with an error
+// wrapping httpx.ErrCircuitOpen instead of burning retries — one probe
+// per cooldown discovers recovery.
+func NewClientWith(httpClient *http.Client, host string, breaker *httpx.Breaker) *Client {
 	if host == "" {
 		host = DefaultHost
 	}
@@ -237,6 +255,9 @@ func NewClient(httpClient *http.Client, host string) *Client {
 		BaseDelay:   5 * time.Millisecond,
 		MaxDelay:    50 * time.Millisecond,
 	})
+	if breaker != nil {
+		retry.WithBreaker(breaker)
+	}
 	return &Client{retry: retry, Base: "https://" + host}
 }
 

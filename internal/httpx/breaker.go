@@ -1,0 +1,134 @@
+package httpx
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"pushadminer/internal/simclock"
+)
+
+// ErrCircuitOpen is returned (wrapped) when a request is refused because
+// the target host's circuit breaker is open. Callers can distinguish
+// fast-fails from real transport failures with errors.Is — a fast-fail
+// means "the host is known-bad right now", not "this request failed".
+var ErrCircuitOpen = errors.New("httpx: circuit open")
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive request-level failures (all
+	// retries exhausted, or a final retryable status) open the circuit.
+	// Default 5.
+	Threshold int
+	// Cooldown is how long an open circuit waits before letting one
+	// half-open probe through. Measured on the breaker's clock — the
+	// simulated clock in crawls. Default 30 minutes.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Minute
+	}
+	return c
+}
+
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+type hostBreaker struct {
+	state    int
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+}
+
+// Breaker is a per-host circuit breaker with half-open probing. A host
+// that keeps failing gets its circuit opened; after the cooldown a
+// single probe request is admitted — success closes the circuit,
+// failure re-opens it for another cooldown. All other requests fast-fail
+// with ErrCircuitOpen while open, so a push-service outage costs one
+// probe per cooldown instead of a full retry storm per poll.
+type Breaker struct {
+	clock simclock.Clock
+	cfg   BreakerConfig
+
+	mu    sync.Mutex
+	hosts map[string]*hostBreaker
+}
+
+// NewBreaker builds a Breaker. clock may be nil (real time).
+func NewBreaker(clock simclock.Clock, cfg BreakerConfig) *Breaker {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Breaker{clock: clock, cfg: cfg.withDefaults(), hosts: make(map[string]*hostBreaker)}
+}
+
+func (b *Breaker) host(host string) *hostBreaker {
+	hb := b.hosts[host]
+	if hb == nil {
+		hb = &hostBreaker{}
+		b.hosts[host] = hb
+	}
+	return hb
+}
+
+// Allow reports whether a request to host may proceed. It returns
+// ErrCircuitOpen while the circuit is open; when the cooldown has
+// elapsed it admits exactly one half-open probe.
+func (b *Breaker) Allow(host string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.host(host)
+	switch hb.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.clock.Now().Sub(hb.openedAt) >= b.cfg.Cooldown {
+			hb.state = stateHalfOpen // this caller becomes the probe
+			return nil
+		}
+		return ErrCircuitOpen
+	default: // half-open: a probe is already in flight
+		return ErrCircuitOpen
+	}
+}
+
+// Report records the outcome of an admitted request.
+func (b *Breaker) Report(host string, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.host(host)
+	if ok {
+		hb.state = stateClosed
+		hb.fails = 0
+		return
+	}
+	hb.fails++
+	if hb.state == stateHalfOpen || hb.fails >= b.cfg.Threshold {
+		hb.state = stateOpen
+		hb.fails = 0
+		hb.openedAt = b.clock.Now()
+	}
+}
+
+// State names the circuit state for host: "closed", "open" or
+// "half-open".
+func (b *Breaker) State(host string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.host(host).state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

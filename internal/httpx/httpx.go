@@ -8,10 +8,14 @@ package httpx
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"pushadminer/internal/simclock"
@@ -30,6 +34,10 @@ type RetryPolicy struct {
 	// RetryOn decides whether a response status merits a retry.
 	// Default: 5xx and 429.
 	RetryOn func(status int) bool
+	// RetryAfterCap bounds how long an honored Retry-After header can
+	// stretch one backoff sleep. Default: MaxDelay. Simulated-time
+	// callers keep this small so real-time sleeps stay cheap.
+	RetryAfterCap time.Duration
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -47,15 +55,27 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 			return status >= 500 || status == http.StatusTooManyRequests
 		}
 	}
+	if p.RetryAfterCap <= 0 {
+		p.RetryAfterCap = p.MaxDelay
+	}
 	return p
 }
 
 // Client wraps an http.Client with retries. The zero value is unusable;
 // use New.
 type Client struct {
-	http   *http.Client
-	clock  simclock.Clock
-	policy RetryPolicy
+	http    *http.Client
+	clock   simclock.Clock
+	policy  RetryPolicy
+	breaker *Breaker
+}
+
+// WithBreaker attaches a per-host circuit breaker and returns the
+// client. While a host's circuit is open, requests fail fast with an
+// error wrapping ErrCircuitOpen instead of being attempted.
+func (c *Client) WithBreaker(b *Breaker) *Client {
+	c.breaker = b
+	return c
 }
 
 // New builds a retrying client. clock may be nil (real time).
@@ -86,11 +106,33 @@ func (c *Client) Post(url, contentType string, body []byte) (*http.Response, err
 	}, url)
 }
 
-// do runs the attempt loop. Transport errors are retried and surface as
-// an error once attempts are exhausted; retryable HTTP statuses are
-// retried but the FINAL response is returned to the caller (never
-// swallowed), matching common retrying-client behaviour.
+// do wraps the attempt loop with circuit-breaker accounting: open
+// circuits fail fast, and the loop's outcome (success, or a request
+// that exhausted its retries / ended on a retryable status) feeds the
+// breaker's consecutive-failure count.
 func (c *Client) do(build func() (*http.Request, error), key string) (*http.Response, error) {
+	host := hostOf(key)
+	if c.breaker != nil && host != "" {
+		if err := c.breaker.Allow(host); err != nil {
+			return nil, fmt.Errorf("httpx: %s: %w", key, err)
+		}
+	}
+	resp, err := c.attempts(build, key)
+	if c.breaker != nil && host != "" {
+		ok := err == nil && !c.policy.RetryOn(resp.StatusCode)
+		c.breaker.Report(host, ok)
+	}
+	return resp, err
+}
+
+// attempts runs the retry loop. Transport errors are retried and
+// surface as an error once attempts are exhausted; retryable HTTP
+// statuses are retried but the FINAL response is returned to the caller
+// (never swallowed), matching common retrying-client behaviour. A
+// Retry-After header on 429/503 responses stretches the next backoff
+// sleep up to RetryAfterCap. Context cancellation is terminal: a
+// cancelled request is never retried.
+func (c *Client) attempts(build func() (*http.Request, error), key string) (*http.Response, error) {
 	var lastErr error
 	delay := c.policy.BaseDelay
 	for attempt := 1; attempt <= c.policy.MaxAttempts; attempt++ {
@@ -98,11 +140,16 @@ func (c *Client) do(build func() (*http.Request, error), key string) (*http.Resp
 		if err != nil {
 			return nil, fmt.Errorf("httpx: build request: %w", err)
 		}
+		var retryAfter time.Duration
 		resp, err := c.http.Do(req)
 		switch {
 		case err != nil:
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("httpx: %s: %w", key, err)
+			}
 			lastErr = err
 		case c.policy.RetryOn(resp.StatusCode) && attempt < c.policy.MaxAttempts:
+			retryAfter = parseRetryAfter(resp, c.clock.Now())
 			// Drain so the connection can be reused, then retry.
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
 			resp.Body.Close()
@@ -111,7 +158,16 @@ func (c *Client) do(build func() (*http.Request, error), key string) (*http.Resp
 			return resp, nil
 		}
 		if attempt < c.policy.MaxAttempts {
-			c.clock.Sleep(jitter(delay, key, attempt))
+			d := jitter(delay, key, attempt)
+			if retryAfter > 0 {
+				if retryAfter > c.policy.RetryAfterCap {
+					retryAfter = c.policy.RetryAfterCap
+				}
+				if retryAfter > d {
+					d = retryAfter
+				}
+			}
+			c.clock.Sleep(d)
 			delay *= 2
 			if delay > c.policy.MaxDelay {
 				delay = c.policy.MaxDelay
@@ -119,6 +175,37 @@ func (c *Client) do(build func() (*http.Request, error), key string) (*http.Resp
 		}
 	}
 	return nil, fmt.Errorf("httpx: %s: all %d attempts failed: %w", key, c.policy.MaxAttempts, lastErr)
+}
+
+// parseRetryAfter reads a Retry-After header as either delay-seconds or
+// an HTTP date. Returns 0 when absent or unparseable.
+func parseRetryAfter(resp *http.Response, now time.Time) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// hostOf extracts the host from a request key (a URL), for breaker
+// bookkeeping. Returns "" when the key is not a URL.
+func hostOf(key string) string {
+	u, err := url.Parse(key)
+	if err != nil {
+		return ""
+	}
+	return u.Hostname()
 }
 
 // jitter perturbs a delay by ±25% deterministically per (key, attempt),

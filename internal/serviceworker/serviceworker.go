@@ -99,6 +99,12 @@ type RequestRecord struct {
 type Runtime struct {
 	// Client issues the SW's network requests. Required.
 	Client *http.Client
+	// FetchRetries is how many extra attempts an OpFetch gets when the
+	// request fails at the transport level or answers 5xx/429. Real SWs
+	// (and real browser fetch stacks) retry transient ad-fetch
+	// failures; without this a single injected 503 silently eats the
+	// notification the fetch was feeding. Default 0 (no retries).
+	FetchRetries int
 	// OnRequest, if set, observes every network request the SW makes.
 	OnRequest func(RequestRecord)
 	// OnShowNotification, if set, receives each displayed notification.
@@ -215,7 +221,10 @@ func (rt *Runtime) run(reg *Registration, ops []Op, env Env) error {
 		case OpFetch:
 			url := expand(op.URL, env)
 			rec := rt.doGET(reg, url)
-			if rec.Error != "" {
+			for retry := 0; retry < rt.FetchRetries && fetchFailed(rec); retry++ {
+				rec = rt.doGET(reg, url)
+			}
+			if fetchFailed(rec) {
 				// SWs tolerate failed ad fetches; later ops may still run
 				// (e.g. showing a fallback notification).
 				continue
@@ -265,21 +274,49 @@ func (rt *Runtime) show(n webpush.Notification) {
 	}
 }
 
+// fetchFailed reports whether a fetch outcome is transient-retryable:
+// a transport failure, a truncated body, or a 5xx/429 answer.
+func fetchFailed(rec RequestRecord) bool {
+	return rec.Error != "" || rec.Status >= 500 || rec.Status == http.StatusTooManyRequests
+}
+
 // doGET performs a GET as the service worker and reports it through
 // OnRequest. Bodies are truncated to 4 KiB in the record.
 func (rt *Runtime) doGET(reg *Registration, url string) RequestRecord {
 	rec := RequestRecord{URL: url, Method: http.MethodGet, SWURL: reg.Script.URL}
 	resp, err := rt.Client.Get(url)
 	if err != nil {
-		rec.Error = err.Error()
+		rec.Error = classifyNetError(err)
 	} else {
 		defer resp.Body.Close()
 		rec.Status = resp.StatusCode
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		rec.Response = string(body)
+		if err != nil {
+			// A body cut mid-stream is a failed fetch, not a short
+			// success.
+			rec.Error = classifyNetError(err)
+		}
 	}
 	if rt.OnRequest != nil {
 		rt.OnRequest(rec)
 	}
 	return rec
+}
+
+// classifyNetError collapses transport error text into a stable
+// category. Raw messages differ run to run for the same injected fault
+// (an aborted connection surfaces as EOF or ECONNRESET depending on
+// who reads first), and these strings end up inside WPN records, which
+// must be byte-identical across same-seed runs.
+func classifyNetError(err error) string {
+	s := err.Error()
+	switch {
+	case strings.Contains(s, "no such host"):
+		return "net: host unresolvable"
+	case strings.Contains(s, "timeout") || strings.Contains(s, "deadline"):
+		return "net: timeout"
+	default:
+		return "net: connection failed"
+	}
 }

@@ -25,6 +25,12 @@ type Network struct {
 	mu       sync.RWMutex
 	hosts    map[string]http.Handler
 	fallback http.Handler
+	// middleware, if set, wraps every dispatched handler (fault
+	// injection, instrumentation). Set it before traffic starts.
+	middleware func(host string, h http.Handler) http.Handler
+	// wrapTransport, if set, wraps the round tripper of every client
+	// created afterwards (client-side fault injection).
+	wrapTransport func(http.RoundTripper) http.RoundTripper
 
 	listener net.Listener
 	server   *http.Server
@@ -33,6 +39,11 @@ type Network struct {
 	// connection pool per network keeps file-descriptor usage bounded
 	// no matter how many browser containers exist.
 	base *http.Transport
+
+	// inflight tracks handler executions so Close can drain them —
+	// including hijacked connections, which server.Shutdown does not
+	// wait for.
+	inflight sync.WaitGroup
 
 	reqCount map[string]int // per-host request counter, for tests/metrics
 }
@@ -60,10 +71,20 @@ func New() (*Network, error) {
 	return n, nil
 }
 
-// Close shuts the network down.
+// Close shuts the network down, first draining in-flight requests (with
+// a bound, so a wedged handler cannot hang shutdown forever).
 func (n *Network) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		n.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
 	return n.server.Shutdown(ctx)
 }
 
@@ -92,6 +113,34 @@ func (n *Network) SetFallback(h http.Handler) {
 	n.fallback = h
 }
 
+// SetMiddleware installs a wrapper applied to every dispatched handler
+// (including the fallback). Passing nil removes it. Install before
+// traffic starts; requests already in flight keep the handler they
+// resolved.
+func (n *Network) SetMiddleware(mw func(host string, h http.Handler) http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.middleware = mw
+}
+
+// SetTransportWrapper installs a wrapper applied to the round tripper
+// of every client created afterwards. Clients created before the call
+// are unaffected.
+func (n *Network) SetTransportWrapper(wrap func(http.RoundTripper) http.RoundTripper) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.wrapTransport = wrap
+}
+
+// DisableKeepAlives turns connection reuse off for the shared transport.
+// Fault profiles that reset connections need this: Go's transport
+// silently retries idempotent requests that die on a *reused*
+// connection, which would make injected resets unobservable and their
+// effects scheduling-dependent.
+func (n *Network) DisableKeepAlives() {
+	n.base.DisableKeepAlives = true
+}
+
 // Hosts returns the registered virtual hostnames, sorted.
 func (n *Network) Hosts() []string {
 	n.mu.RLock()
@@ -111,7 +160,21 @@ func (n *Network) RequestCount(host string) int {
 	return n.reqCount[strings.ToLower(host)]
 }
 
+// RequestCounts returns a race-safe snapshot of the per-host request
+// counters.
+func (n *Network) RequestCounts() map[string]int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[string]int, len(n.reqCount))
+	for h, c := range n.reqCount {
+		out[h] = c
+	}
+	return out
+}
+
 func (n *Network) dispatch(w http.ResponseWriter, r *http.Request) {
+	n.inflight.Add(1)
+	defer n.inflight.Done()
 	host := strings.ToLower(r.Host)
 	if i := strings.IndexByte(host, ':'); i >= 0 {
 		host = host[:i]
@@ -122,10 +185,14 @@ func (n *Network) dispatch(w http.ResponseWriter, r *http.Request) {
 	if h == nil {
 		h = n.fallback
 	}
+	mw := n.middleware
 	n.mu.Unlock()
 	if h == nil {
 		http.Error(w, "vnet: no such host "+host, http.StatusBadGateway)
 		return
+	}
+	if mw != nil {
+		h = mw(host, h)
 	}
 	h.ServeHTTP(w, r)
 }
@@ -184,5 +251,12 @@ func (n *Network) ClientNoRedirect() *http.Client {
 }
 
 func (n *Network) newTransport() http.RoundTripper {
-	return &transport{network: n, base: n.base}
+	var rt http.RoundTripper = &transport{network: n, base: n.base}
+	n.mu.RLock()
+	wrap := n.wrapTransport
+	n.mu.RUnlock()
+	if wrap != nil {
+		rt = wrap(rt)
+	}
+	return rt
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pushadminer/internal/blocklist"
+	"pushadminer/internal/chaos"
 )
 
 // NetworkSpec describes one seed ad network from Table 1 of the paper:
@@ -111,6 +112,12 @@ type Config struct {
 	// coverage so domains burn within the crawl window).
 	VTOverride  *blocklist.Config
 	GSBOverride *blocklist.Config
+	// Chaos, when non-nil, wraps the virtual network with the
+	// deterministic fault injector: latency spikes, connection resets,
+	// 5xx bursts, truncated bodies, blackhole windows and push-service
+	// outages, all seeded (a zero Chaos.Seed inherits Seed). Nil keeps
+	// the network fault-free.
+	Chaos *chaos.Profile
 }
 
 // WithDefaults fills unset fields.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pushadminer/internal/blocklist"
+	"pushadminer/internal/chaos"
 	"pushadminer/internal/fcm"
 	"pushadminer/internal/page"
 	"pushadminer/internal/simclock"
@@ -47,6 +48,7 @@ type Ecosystem struct {
 	search          *CodeSearch
 	alexa           *Alexa
 	campaignCounter int
+	chaos           *chaos.Injector
 }
 
 // New generates and serves an ecosystem from cfg.
@@ -73,7 +75,25 @@ func New(cfg Config) (*Ecosystem, error) {
 		search: NewCodeSearch(),
 		alexa:  NewAlexa(),
 	}
-	e.fcmClient = fcm.NewClient(net.Client(), "")
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		prof := *cfg.Chaos
+		if prof.Seed == 0 {
+			prof.Seed = cfg.Seed ^ 0x0c4a05 // decorrelate from generation draws
+		}
+		if prof.PushHost == "" {
+			prof.PushHost = fcm.DefaultHost
+		}
+		e.chaos = chaos.NewInjector(prof, e.Clock.Now, cfg.Start)
+		// Reused connections would let Go's transport auto-retry
+		// requests killed by injected resets, hiding faults behind
+		// scheduling races; fresh connections keep injection exact.
+		net.DisableKeepAlives()
+		net.SetMiddleware(e.chaos.Middleware)
+		net.SetTransportWrapper(e.chaos.WrapTransport)
+	}
+	// The ecosystem's own push client carries a fixed identity so fault
+	// draws against scheduler traffic are stable.
+	e.fcmClient = fcm.NewClient(chaos.TagClient(net.Client(), "ecosystem"), "")
 	net.Handle(fcm.DefaultHost, e.Push)
 	net.Handle(VTHost, e.VT)
 	net.Handle(GSBHost, e.GSB)
@@ -160,6 +180,42 @@ func (e *Ecosystem) NextPushAt() (time.Time, bool) { return e.adEco.Sched.NextAt
 
 // PendingPushes reports deliveries not yet flushed.
 func (e *Ecosystem) PendingPushes() int { return e.adEco.Sched.Pending() }
+
+// Chaos returns the fault injector, or nil when the ecosystem runs
+// fault-free.
+func (e *Ecosystem) Chaos() *chaos.Injector { return e.chaos }
+
+// FaultCounts snapshots every fault and loss counter the ecosystem
+// tracks: injector stats, push sends retried/abandoned by the
+// scheduler, and messages collapsed out of full push-service queues.
+// The crawler folds this into its Degradation report.
+func (e *Ecosystem) FaultCounts() map[string]int {
+	out := make(map[string]int)
+	if e.chaos != nil {
+		for k, v := range e.chaos.Stats() {
+			out["chaos_"+k] = v
+		}
+	}
+	if n := e.adEco.Sched.Retried(); n > 0 {
+		out["push_send_retries"] = n
+	}
+	if n := e.adEco.Sched.Dropped(); n > 0 {
+		out["push_sends_abandoned"] = n
+	}
+	if n := e.Push.Dropped(); n > 0 {
+		out["push_queue_collapsed"] = n
+	}
+	return out
+}
+
+// CrashPlan returns the chaos-driven container crash schedule for the
+// crawler, or nil when chaos is off.
+func (e *Ecosystem) CrashPlan() func(clientID string, cycle int) bool {
+	if e.chaos == nil {
+		return nil
+	}
+	return e.chaos.ShouldCrashContainer
+}
 
 // newEvasion wires the evasion controller to this ecosystem: operators
 // probe the simulated VirusTotal, replacement domains are deterministic

@@ -3,11 +3,19 @@ package webeco
 import (
 	"container/heap"
 	"encoding/json"
+	"strings"
 	"sync"
 	"time"
 
 	"pushadminer/internal/fcm"
 )
+
+// permanentSendError reports whether a send failure cannot succeed on
+// retry: the push service answered 4xx (unknown or revoked token).
+func permanentSendError(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "status 404") || strings.Contains(s, "status 400")
+}
 
 // pushJob is one scheduled push delivery.
 type pushJob struct {
@@ -15,6 +23,7 @@ type pushJob struct {
 	endpoint string
 	payload  json.RawMessage
 	seq      int
+	attempts int
 }
 
 type jobHeap []*pushJob
@@ -39,15 +48,24 @@ func (h *jobHeap) Pop() interface{} {
 
 // scheduler holds future push deliveries and flushes the due ones to the
 // push service over HTTP, playing the role of all the ad-network sending
-// infrastructure.
+// infrastructure. Failed sends are requeued with a delay (real senders
+// spool and retry through push-service outages) up to a bounded number
+// of attempts, after which the message is dropped and counted.
 type scheduler struct {
-	mu   sync.Mutex
-	jobs jobHeap
-	seq  int
-	sent int
+	mu      sync.Mutex
+	jobs    jobHeap
+	seq     int
+	sent    int
+	retried int
+	dropped int
+
+	retryDelay  time.Duration
+	maxAttempts int
 }
 
-func newScheduler() *scheduler { return &scheduler{} }
+func newScheduler() *scheduler {
+	return &scheduler{retryDelay: time.Hour, maxAttempts: 48}
+}
 
 // Schedule enqueues a delivery.
 func (s *scheduler) Schedule(at time.Time, endpoint string, payload json.RawMessage) {
@@ -81,9 +99,24 @@ func (s *scheduler) NextAt() (time.Time, bool) {
 	return s.jobs[0].at, true
 }
 
+// Retried reports how many failed sends were requeued for a later try.
+func (s *scheduler) Retried() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retried
+}
+
+// Dropped reports messages abandoned after exhausting send attempts.
+func (s *scheduler) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
 // Flush delivers every job due at or before now using the given push
-// client. Send errors (e.g. expired registrations) are counted but do not
-// stop the flush; real sending infrastructure tolerates them.
+// client. A failed send (push-service outage, expired registration) is
+// requeued retryDelay later until maxAttempts is reached, then dropped
+// and counted; the flush itself never stops on errors.
 func (s *scheduler) Flush(now time.Time, client *fcm.Client) (delivered, failed int) {
 	for {
 		s.mu.Lock()
@@ -96,6 +129,19 @@ func (s *scheduler) Flush(now time.Time, client *fcm.Client) (delivered, failed 
 
 		if err := client.Send(job.endpoint, job.payload); err != nil {
 			failed++
+			if permanentSendError(err) {
+				continue // expired/unknown registration: retrying is useless
+			}
+			s.mu.Lock()
+			job.attempts++
+			if job.attempts >= s.maxAttempts {
+				s.dropped++
+			} else {
+				s.retried++
+				job.at = now.Add(s.retryDelay)
+				heap.Push(&s.jobs, job)
+			}
+			s.mu.Unlock()
 			continue
 		}
 		s.mu.Lock()

@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — full local verification: build, vet, unit tests, and the
+# race-enabled suite. This is what CI runs and what `make verify`
+# invokes; keep it dependency-free (POSIX sh + the Go toolchain).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
