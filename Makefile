@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify
+.PHONY: build test race vet verify bench
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,7 @@ vet:
 # verify runs the whole gate: build, vet, tests, race tests.
 verify:
 	sh scripts/verify.sh
+
+# bench runs the mining benchmark suite and writes BENCH_mining.json.
+bench:
+	sh scripts/bench.sh

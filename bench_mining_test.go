@@ -1,0 +1,144 @@
+// Mining benchmark suite: the §5.1.1 clustering hot path measured at
+// two corpus sizes, each in three modes — the pre-optimization naive
+// reference, the cached-kernel exact path, and the SimHash-pruned fast
+// path. scripts/bench.sh runs these and records BENCH_mining.json so
+// the perf trajectory is tracked across PRs; the parity tests in
+// internal/core guarantee the modes agree before the speedup counts.
+//
+// Run with:
+//
+//	make bench
+package pushadminer_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pushadminer/internal/cluster"
+	"pushadminer/internal/core"
+	"pushadminer/internal/simhash"
+	"pushadminer/internal/textmine"
+)
+
+// miningSizes are the benchmarked corpus sizes. The small size is the
+// verify.sh compile-smoke target; the large one is where the O(n²)
+// savings show (the paper mines tens of thousands of WPNs).
+var miningSizes = []int{200, 2000}
+
+var (
+	miningMu  sync.Mutex
+	miningFSs = map[int]*core.FeatureSet{}
+)
+
+// miningFeatures builds (once per size) the synthetic-campaign corpus
+// and its FeatureSet, so benchmarks measure clustering, not word2vec
+// training.
+func miningFeatures(b *testing.B, n int) *core.FeatureSet {
+	b.Helper()
+	miningMu.Lock()
+	defer miningMu.Unlock()
+	if fs, ok := miningFSs[n]; ok {
+		return fs
+	}
+	fs, err := core.ExtractFeatures(core.SynthWPNRecords(11, n), core.FeatureOptions{
+		Word2Vec: textmine.Word2VecConfig{Seed: 11},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	miningFSs[n] = fs
+	return fs
+}
+
+// BenchmarkClusterWPNs measures the full first-stage clustering
+// (distance matrix, agglomeration, silhouette-chosen cut) end to end.
+// The acceptance bar: cached and pruned at n=2000 must beat naive ≥3×.
+func BenchmarkClusterWPNs(b *testing.B) {
+	for _, n := range miningSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			fs := miningFeatures(b, n)
+			for _, mode := range []struct {
+				name string
+				opts core.ClusterOptions
+			}{
+				{"naive", core.ClusterOptions{Naive: true}},
+				{"cached", core.ClusterOptions{}},
+				{"pruned", core.ClusterOptions{Prune: core.PruneOptions{Enabled: true}}},
+			} {
+				mode := mode
+				b.Run(mode.name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res := core.ClusterWPNs(fs, mode.opts)
+						benchSink = res.Silhouette
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSoftCosineMatrix isolates pairwise distance-matrix
+// construction: naive recomputes both self quad-forms per pair, cached
+// reads them from the kernel, pruned additionally masks non-candidates
+// behind the SimHash filter.
+func BenchmarkSoftCosineMatrix(b *testing.B) {
+	for _, n := range miningSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			fs := miningFeatures(b, n)
+			keep := func(i, j int) bool {
+				return simhash.SharesBand(fs.Hashes[i], fs.Hashes[j], 8) ||
+					simhash.Near(fs.Hashes[i], fs.Hashes[j], 24)
+			}
+			for _, mode := range []struct {
+				name string
+				run  func() *cluster.DistMatrix
+			}{
+				{"naive", func() *cluster.DistMatrix { return cluster.Compute(n, fs.NaiveDistance) }},
+				{"cached", func() *cluster.DistMatrix { return cluster.Compute(n, fs.Distance) }},
+				{"pruned", func() *cluster.DistMatrix {
+					return cluster.ComputeMasked(n, fs.Distance, keep, fs.ApproxDistance)
+				}},
+			} {
+				mode := mode
+				b.Run(mode.name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						benchSink = mode.run()
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSilhouetteSweep isolates cut selection over a prebuilt
+// dendrogram: the serial reference sweep against the parallel
+// per-item accumulation sweep (bit-identical results, see the cluster
+// package tests).
+func BenchmarkSilhouetteSweep(b *testing.B) {
+	for _, n := range miningSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			fs := miningFeatures(b, n)
+			m := cluster.Compute(n, fs.Distance)
+			dend := cluster.Agglomerative(m)
+			for _, mode := range []struct {
+				name string
+				run  func() cluster.CutResult
+			}{
+				{"serial", func() cluster.CutResult {
+					return cluster.BestCutConservativeSerial(dend, m, 0, 0.15)
+				}},
+				{"parallel", func() cluster.CutResult {
+					return cluster.BestCutConservative(dend, m, 0, 0.15)
+				}},
+			} {
+				mode := mode
+				b.Run(mode.name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						benchSink = mode.run()
+					}
+				})
+			}
+		})
+	}
+}

@@ -8,8 +8,10 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DistMatrix is a symmetric pairwise distance matrix over n items with a
@@ -57,35 +59,97 @@ func (m *DistMatrix) Set(i, j int, d float64) {
 	m.data[m.index(i, j)] = float32(d)
 }
 
+// rowOffset returns the condensed-storage offset of row i for an n-item
+// matrix: the number of pairs (i', j') with i' < i.
+func rowOffset(n, i int) int { return i * (2*n - i - 1) / 2 }
+
+// unindex inverts index: it maps a condensed offset back to its (i, j)
+// pair with i < j. The closed form solves the row quadratic; the
+// adjustment loops absorb float rounding at large n.
+func unindex(n, idx int) (int, int) {
+	b := float64(2*n - 1)
+	i := int((b - math.Sqrt(b*b-8*float64(idx))) / 2)
+	if i < 0 {
+		i = 0
+	}
+	for i+1 < n && rowOffset(n, i+1) <= idx {
+		i++
+	}
+	for i > 0 && rowOffset(n, i) > idx {
+		i--
+	}
+	return i, i + 1 + (idx - rowOffset(n, i))
+}
+
 // Compute fills a distance matrix over n items by evaluating f(i, j) for
-// every pair i < j, in parallel across rows. f must be safe for
-// concurrent calls.
+// every pair i < j, in parallel. Work is scheduled as equal-size blocks
+// of the condensed pair space claimed from an atomic cursor, so every
+// worker gets the same share regardless of row length — feeding whole
+// triangular rows would hand early workers ~n pairs and late workers
+// almost none. f must be safe for concurrent calls.
 func Compute(n int, f func(i, j int) float64) *DistMatrix {
+	return computeBlocks(n, f, nil, nil)
+}
+
+// ComputeMasked is Compute with a candidate filter: pairs for which
+// keep(i, j) is false skip the exact (expensive) distance evaluation and
+// take the cheap far(i, j) estimate instead. A nil keep computes every
+// pair exactly. keep, f, and far must be safe for concurrent calls; keep
+// is evaluated exactly once per pair.
+func ComputeMasked(n int, f func(i, j int) float64, keep func(i, j int) bool, far func(i, j int) float64) *DistMatrix {
+	return computeBlocks(n, f, keep, far)
+}
+
+func computeBlocks(n int, f func(i, j int) float64, keep func(i, j int) bool, far func(i, j int) float64) *DistMatrix {
 	m := NewDistMatrix(n)
+	total := len(m.data)
+	if total == 0 {
+		return m
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if workers > total {
+		workers = total
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	rows := make(chan int)
+	// Blocks small enough to balance the tail, large enough that the
+	// atomic claim is noise.
+	block := total / (workers * 16)
+	if block < 256 {
+		block = 256
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range rows {
-				for j := i + 1; j < n; j++ {
-					m.data[m.index(i, j)] = float32(f(i, j))
+			for {
+				start := int(cursor.Add(int64(block))) - block
+				if start >= total {
+					return
+				}
+				end := start + block
+				if end > total {
+					end = total
+				}
+				i, j := unindex(n, start)
+				for idx := start; idx < end; idx++ {
+					if keep == nil || keep(i, j) {
+						m.data[idx] = float32(f(i, j))
+					} else {
+						m.data[idx] = float32(far(i, j))
+					}
+					j++
+					if j == n {
+						i++
+						j = i + 1
+					}
 				}
 			}
 		}()
 	}
-	for i := 0; i < n-1; i++ {
-		rows <- i
-	}
-	close(rows)
 	wg.Wait()
 	return m
 }

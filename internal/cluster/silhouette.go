@@ -1,6 +1,10 @@
 package cluster
 
-import "sort"
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
 
 // Silhouette returns the mean silhouette coefficient of a labeling over
 // the distance matrix m, following scikit-learn's definition: for item i
@@ -9,7 +13,125 @@ import "sort"
 // s(i) = (b−a)/max(a,b). Items in singleton clusters score 0. The result
 // is 0 if the labeling has fewer than 2 clusters or every cluster is a
 // singleton.
+//
+// Per item the cluster sums are accumulated into a dense per-worker
+// array in one O(n) pass (instead of walking a label→members map per
+// cluster), and items are fanned across GOMAXPROCS. The result is
+// bit-identical to SilhouetteSerial: per-cluster sums accumulate in the
+// same ascending-index order and the total is reduced in item order.
 func Silhouette(m *DistMatrix, labels []int) float64 {
+	n := m.Len()
+	if n == 0 || len(labels) != n {
+		return 0
+	}
+	minL, maxL := labels[0], labels[0]
+	for _, l := range labels[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	span := maxL - minL + 1
+	if span > 4*n+16 {
+		// Pathologically sparse label values: dense accumulators would
+		// waste memory, and the map-based reference handles it fine.
+		return SilhouetteSerial(m, labels)
+	}
+	counts := make([]int, span)
+	for _, l := range labels {
+		counts[l-minL]++
+	}
+	distinct := 0
+	for _, c := range counts {
+		if c > 0 {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		return 0
+	}
+
+	// Pre-shifted labels save a subtraction per matrix entry.
+	lab := make([]int, n)
+	for i, l := range labels {
+		lab[i] = l - minL
+	}
+
+	out := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	data := m.data
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sums := make([]float64, span)
+			for i := w; i < n; i += workers {
+				own := lab[i]
+				if counts[own] == 1 {
+					continue // s(i) = 0 for singletons
+				}
+				clear(sums)
+				// Row i of the full matrix, read straight off the
+				// condensed storage: for j < i the offset of (j, i)
+				// advances by n-j-2 per step; for j > i the entries are
+				// contiguous. Same ascending-j accumulation order as
+				// m.At(i, j) — and as SilhouetteSerial — so the result
+				// stays bit-identical; the skipped j == i term is the
+				// zero diagonal.
+				idx := i - 1 // condensed offset of (0, i)
+				for j := 0; j < i; j++ {
+					sums[lab[j]] += float64(data[idx])
+					idx += n - 2 - j
+				}
+				idx = rowOffset(n, i) // condensed offset of (i, i+1)
+				for j := i + 1; j < n; j++ {
+					sums[lab[j]] += float64(data[idx])
+					idx++
+				}
+				a := sums[own] / float64(counts[own]-1)
+				bestB := -1.0
+				for c, cnt := range counts {
+					if c == own || cnt == 0 {
+						continue
+					}
+					mean := sums[c] / float64(cnt)
+					if bestB < 0 || mean < bestB {
+						bestB = mean
+					}
+				}
+				denom := a
+				if bestB > denom {
+					denom = bestB
+				}
+				if denom > 0 {
+					out[i] = (bestB - a) / denom
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total float64
+	for _, s := range out {
+		total += s
+	}
+	return total / float64(n)
+}
+
+// SilhouetteSerial is the single-threaded, map-walking reference
+// implementation of Silhouette. It is what the optimized version must
+// reproduce bit-for-bit; the parity tests and the naive-path benchmarks
+// keep it honest (and measurable).
+func SilhouetteSerial(m *DistMatrix, labels []int) float64 {
 	n := m.Len()
 	if n == 0 || len(labels) != n {
 		return 0
@@ -84,6 +206,18 @@ func BestCut(d *Dendrogram, m *DistMatrix, maxCandidates int) CutResult {
 // a positive tol trades a little silhouette for much tighter clusters,
 // leaving fragments for meta-clustering to reconnect.
 func BestCutConservative(d *Dendrogram, m *DistMatrix, maxCandidates int, tol float64) CutResult {
+	return bestCut(d, m, maxCandidates, tol, Silhouette)
+}
+
+// BestCutConservativeSerial is BestCutConservative evaluated with the
+// serial reference silhouette. Candidate selection is identical; it
+// exists so parity tests and the naive-path benchmark measure the
+// pre-optimization sweep.
+func BestCutConservativeSerial(d *Dendrogram, m *DistMatrix, maxCandidates int, tol float64) CutResult {
+	return bestCut(d, m, maxCandidates, tol, SilhouetteSerial)
+}
+
+func bestCut(d *Dendrogram, m *DistMatrix, maxCandidates int, tol float64, sil func(*DistMatrix, []int) float64) CutResult {
 	if maxCandidates <= 0 {
 		maxCandidates = 64
 	}
@@ -96,7 +230,8 @@ func BestCutConservative(d *Dendrogram, m *DistMatrix, maxCandidates int, tol fl
 		return CutResult{Labels: labels, Clusters: d.Len()}
 	}
 
-	// Distinct merge heights.
+	// Distinct merge heights. Cutting at a height applies every merge at
+	// that distance, so each distinct height is one candidate cut.
 	heights := make([]float64, 0, len(merges))
 	last := -1.0
 	for _, mg := range merges {
@@ -105,20 +240,7 @@ func BestCutConservative(d *Dendrogram, m *DistMatrix, maxCandidates int, tol fl
 			last = mg.Distance
 		}
 	}
-	// Candidate cuts between consecutive heights (inclusive of each
-	// height itself, which applies all merges at that distance).
-	cands := make([]float64, 0, len(heights))
-	for _, h := range heights {
-		cands = append(cands, h)
-	}
-	if len(cands) > maxCandidates {
-		step := float64(len(cands)) / float64(maxCandidates)
-		sampled := make([]float64, 0, maxCandidates)
-		for i := 0; i < maxCandidates; i++ {
-			sampled = append(sampled, cands[int(float64(i)*step)])
-		}
-		cands = sampled
-	}
+	cands := sampleHeights(heights, maxCandidates)
 
 	type cand struct {
 		res CutResult
@@ -131,7 +253,7 @@ func BestCutConservative(d *Dendrogram, m *DistMatrix, maxCandidates int, tol fl
 		if k < 2 || k >= d.Len() {
 			continue
 		}
-		s := Silhouette(m, labels)
+		s := sil(m, labels)
 		res := CutResult{Height: h, Labels: labels, Silhouette: s, Clusters: k}
 		evaluated = append(evaluated, cand{res})
 		if s > best.Silhouette {
@@ -157,4 +279,31 @@ func BestCutConservative(d *Dendrogram, m *DistMatrix, maxCandidates int, tol fl
 		return CutResult{Labels: labels, Clusters: d.Len()}
 	}
 	return best
+}
+
+// sampleHeights bounds the candidate sweep to at most max heights,
+// sampled evenly and always including both the first and the final
+// heights. The pre-fix sampling (int(float64(i)*step) over the full
+// range) truncated away the tail, so when len(cands) > max the highest
+// merge heights — the coarsest cuts — were never evaluated; covering
+// [0, len-2] with max−1 evenly spaced samples and appending the final
+// height guarantees the coarsest evaluable cut is always swept.
+func sampleHeights(cands []float64, max int) []float64 {
+	if len(cands) <= max {
+		return cands
+	}
+	if max == 1 {
+		return []float64{cands[len(cands)-1]}
+	}
+	m := max - 1
+	last := len(cands) - 2
+	out := make([]float64, 0, max)
+	for i := 0; i < m; i++ {
+		idx := 0
+		if m > 1 {
+			idx = i * last / (m - 1)
+		}
+		out = append(out, cands[idx])
+	}
+	return append(out, cands[len(cands)-1])
 }

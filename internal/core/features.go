@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"pushadminer/internal/crawler"
+	"pushadminer/internal/simhash"
 	"pushadminer/internal/textmine"
 	"pushadminer/internal/urlx"
 )
@@ -21,17 +22,30 @@ import (
 // tokens. Domain names are deliberately excluded from both.
 type Features struct {
 	Text       textmine.BOW
-	textNorm   float64
 	PathTokens []string
 }
 
-// FeatureSet holds the features for a record set plus the trained
-// word2vec term-similarity model.
+// FeatureSet holds the features for a record set, the trained word2vec
+// term-similarity model, and the precomputed pairwise kernel: per-record
+// self quad-form norms and document vectors (textmine.DocKernel) plus
+// SimHash fingerprints over the combined text+path tokens for banded
+// candidate pruning. Everything a pairwise Distance call needs is
+// computed once here instead of once per pair.
 type FeatureSet struct {
 	Records  []*crawler.WPNRecord
 	Features []Features
 	Emb      *textmine.Embeddings
 	Sim      *textmine.TermSimMatrix
+	// Kernel caches per-document self norms and document vectors; see
+	// Distance and NaiveDistance.
+	Kernel *textmine.DocKernel
+	// Hashes are per-record SimHash fingerprints over the message's
+	// content tokens and landing-path tokens, backing the banded
+	// candidate pruning of ClusterWPNs.
+	Hashes []simhash.Hash
+	// SoftOpts are the soft-cosine options the model was built with (the
+	// naive reference path re-derives distances from them).
+	SoftOpts textmine.SoftCosineOptions
 	// UseText and UsePath toggle feature groups (ablation A2).
 	UseText, UsePath bool
 }
@@ -49,7 +63,7 @@ type FeatureOptions struct {
 }
 
 // ExtractFeatures trains word2vec on the records' message texts and
-// builds per-record features.
+// builds per-record features plus the cached pairwise kernel.
 func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*FeatureSet, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("core: no records to extract features from")
@@ -68,6 +82,8 @@ func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*Featur
 		Features: make([]Features, len(records)),
 		Emb:      emb,
 		Sim:      sim,
+		Hashes:   make([]simhash.Hash, len(records)),
+		SoftOpts: opts.SoftCos,
 		UseText:  !opts.DisableText,
 		UsePath:  !opts.DisablePath,
 	}
@@ -80,6 +96,7 @@ func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*Featur
 		}
 		idf = textmine.ComputeIDF(idDocs, vocab.Len())
 	}
+	bows := make([]textmine.BOW, len(records))
 	for i, r := range records {
 		content := textmine.ContentTokens(r.Title + " " + r.Body)
 		ids := vocab.LookupIDs(content)
@@ -89,27 +106,83 @@ func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*Featur
 		} else {
 			bow = textmine.NewBOW(ids)
 		}
-		fs.Features[i] = Features{
-			Text:       bow,
-			textNorm:   textmine.SelfNorm(bow, sim),
-			PathTokens: urlx.PathTokens(r.LandingURL),
+		paths := urlx.PathTokens(r.LandingURL)
+		bows[i] = bow
+		fs.Features[i] = Features{Text: bow, PathTokens: paths}
+		// Fingerprint over both distance components so banded pruning
+		// respects whichever feature groups are active.
+		fp := make([]string, 0, len(content)+len(paths))
+		if fs.UseText {
+			fp = append(fp, content...)
 		}
+		if fs.UsePath {
+			fp = append(fp, paths...)
+		}
+		fs.Hashes[i] = simhash.Of(fp)
 	}
+	fs.Kernel = textmine.NewDocKernel(bows, sim, emb)
 	return fs, nil
 }
 
 // Distance is the pairwise WPN distance of §5.1.1: the average of the
 // soft-cosine text distance and the Jaccard URL-path distance (or just
-// one of them under ablation).
+// one of them under ablation). It runs on the cached kernel — one cross
+// quad-form per call, self norms precomputed — and a merge-based Jaccard
+// over the already-sorted path tokens; the values are bit-identical to
+// NaiveDistance.
 func (fs *FeatureSet) Distance(i, j int) float64 {
 	fi, fj := &fs.Features[i], &fs.Features[j]
 	switch {
 	case fs.UseText && fs.UsePath:
-		text := 1 - textmine.SoftCosineNormed(fi.Text, fj.Text, fs.Sim, fi.textNorm, fj.textNorm)
+		text := 1 - fs.Kernel.SoftCosine(i, j)
+		path := urlx.JaccardSorted(fi.PathTokens, fj.PathTokens)
+		return (text + path) / 2
+	case fs.UseText:
+		return 1 - fs.Kernel.SoftCosine(i, j)
+	case fs.UsePath:
+		return urlx.JaccardSorted(fi.PathTokens, fj.PathTokens)
+	default:
+		return 0
+	}
+}
+
+// ApproxDistance is the cheap far-pair estimate stored for pairs the
+// SimHash filter prunes away: the text component is the precomputed
+// document-vector cosine (one dense dot product instead of a sparse
+// quad-form), the path component is the same merge Jaccard as Distance
+// (already cheap). Substituting an estimate rather than a constant
+// keeps the full-matrix silhouette — and hence the conservative cut
+// selection — close to the exact path's.
+func (fs *FeatureSet) ApproxDistance(i, j int) float64 {
+	fi, fj := &fs.Features[i], &fs.Features[j]
+	switch {
+	case fs.UseText && fs.UsePath:
+		text := fs.Kernel.ApproxDistance(i, j)
+		path := urlx.JaccardSorted(fi.PathTokens, fj.PathTokens)
+		return (text + path) / 2
+	case fs.UseText:
+		return fs.Kernel.ApproxDistance(i, j)
+	case fs.UsePath:
+		return urlx.JaccardSorted(fi.PathTokens, fj.PathTokens)
+	default:
+		return 0
+	}
+}
+
+// NaiveDistance recomputes the pairwise distance from scratch — three
+// quad-forms per call (both self quad-forms rediscovered every time) and
+// a map-based Jaccard — exactly what the pipeline did before the kernel
+// cache existed. It is the reference the parity tests and benchmarks
+// compare Distance against; the two agree bit-for-bit.
+func (fs *FeatureSet) NaiveDistance(i, j int) float64 {
+	fi, fj := &fs.Features[i], &fs.Features[j]
+	switch {
+	case fs.UseText && fs.UsePath:
+		text := 1 - textmine.SoftCosineWith(fi.Text, fj.Text, fs.Sim)
 		path := urlx.Jaccard(fi.PathTokens, fj.PathTokens)
 		return (text + path) / 2
 	case fs.UseText:
-		return 1 - textmine.SoftCosineNormed(fi.Text, fj.Text, fs.Sim, fi.textNorm, fj.textNorm)
+		return 1 - textmine.SoftCosineWith(fi.Text, fj.Text, fs.Sim)
 	case fs.UsePath:
 		return urlx.Jaccard(fi.PathTokens, fj.PathTokens)
 	default:

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"pushadminer/internal/cluster"
+	"pushadminer/internal/textmine"
+)
+
+// parityFS extracts features over a synthetic corpus.
+func parityFS(t *testing.T, seed int64, n int) *FeatureSet {
+	t.Helper()
+	fs, err := ExtractFeatures(SynthWPNRecords(seed, n), FeatureOptions{
+		Word2Vec: textmine.Word2VecConfig{Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func sameLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDistanceMatchesNaiveBitForBit asserts the cached-kernel distance
+// reproduces the from-scratch reference exactly, entry by entry.
+func TestDistanceMatchesNaiveBitForBit(t *testing.T) {
+	fs := parityFS(t, 1, 120)
+	n := len(fs.Records)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if got, want := fs.Distance(i, j), fs.NaiveDistance(i, j); got != want {
+				t.Fatalf("Distance(%d,%d) = %v, naive %v (records %q / %q)",
+					i, j, got, want, fs.Records[i].Body, fs.Records[j].Body)
+			}
+		}
+	}
+}
+
+// TestClusterParityNaiveVsCached asserts the optimized path (cached
+// kernel, balanced block scheduling, parallel silhouette sweep) yields
+// byte-identical labels, cut height, and silhouette to the naive path
+// across seeds and linkages.
+func TestClusterParityNaiveVsCached(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, linkage := range []cluster.Linkage{cluster.Average, cluster.Single, cluster.Complete} {
+			fs := parityFS(t, seed, 150)
+			naive := ClusterWPNs(fs, ClusterOptions{Naive: true, Linkage: linkage})
+			fast := ClusterWPNs(fs, ClusterOptions{Linkage: linkage})
+			if !sameLabels(naive.Labels, fast.Labels) {
+				t.Fatalf("seed %d linkage %s: labels differ\nnaive: %v\nfast:  %v",
+					seed, linkage, naive.Labels, fast.Labels)
+			}
+			if naive.CutHeight != fast.CutHeight {
+				t.Errorf("seed %d linkage %s: cut height %v != %v", seed, linkage, naive.CutHeight, fast.CutHeight)
+			}
+			if naive.Silhouette != fast.Silhouette {
+				t.Errorf("seed %d linkage %s: silhouette %v != %v", seed, linkage, naive.Silhouette, fast.Silhouette)
+			}
+		}
+	}
+}
+
+// TestClusterParityPrunedVsExact asserts SimHash-banded pruning yields
+// the same labeling and cut as the exact-everywhere path on corpora
+// where campaigns are locality-preserved (the default prune settings are
+// tuned to be conservative). The silhouette may differ only through the
+// substituted far-pair distances, so it is checked within a tolerance.
+func TestClusterParityPrunedVsExact(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		fs := parityFS(t, seed, 150)
+		exact := ClusterWPNs(fs, ClusterOptions{})
+		pruned := ClusterWPNs(fs, ClusterOptions{Prune: PruneOptions{Enabled: true}})
+		if !sameLabels(exact.Labels, pruned.Labels) {
+			t.Fatalf("seed %d: pruned labels differ\nexact:  %v\npruned: %v", seed, exact.Labels, pruned.Labels)
+		}
+		if diff := pruned.Silhouette - exact.Silhouette; diff > 0.05 || diff < -0.05 {
+			t.Errorf("seed %d: pruned silhouette %v far from exact %v", seed, pruned.Silhouette, exact.Silhouette)
+		}
+	}
+}
+
+// TestPruneDisabledIsExact asserts the parity fallback knob: a zero
+// PruneOptions computes every pair, entry-identical to the default path.
+func TestPrunedMatrixExactWhereKept(t *testing.T) {
+	fs := parityFS(t, 2, 100)
+	exact := ClusterWPNs(fs, ClusterOptions{})
+	fallback := ClusterWPNs(fs, ClusterOptions{Prune: PruneOptions{}})
+	if !sameLabels(exact.Labels, fallback.Labels) {
+		t.Fatal("zero PruneOptions changed the labeling")
+	}
+	if exact.Silhouette != fallback.Silhouette || exact.CutHeight != fallback.CutHeight {
+		t.Fatal("zero PruneOptions changed cut or silhouette")
+	}
+}
+
+// TestSynthCorpusDeterministic guards the generator the parity tests and
+// benchmarks share.
+func TestSynthCorpusDeterministic(t *testing.T) {
+	a := SynthWPNRecords(7, 80)
+	b := SynthWPNRecords(7, 80)
+	if len(a) != 80 || len(b) != 80 {
+		t.Fatalf("lengths %d/%d, want 80", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Body != b[i].Body || a[i].LandingURL != b[i].LandingURL || a[i].SourceDomain != b[i].SourceDomain {
+			t.Fatalf("record %d differs between identical seeds", i)
+		}
+		if !a[i].ValidLanding() {
+			t.Fatalf("record %d has no valid landing", i)
+		}
+	}
+	c := SynthWPNRecords(8, 80)
+	same := 0
+	for i := range a {
+		if a[i].Body == c[i].Body {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+// TestSynthCorpusClusters sanity-checks that the pipeline finds ad
+// campaigns in the synthetic corpus (multi-source clusters exist).
+func TestSynthCorpusClusters(t *testing.T) {
+	fs := parityFS(t, 5, 160)
+	res := ClusterWPNs(fs, ClusterOptions{})
+	if len(res.Clusters) < 5 {
+		t.Fatalf("only %d clusters", len(res.Clusters))
+	}
+	if len(res.AdCampaigns()) == 0 {
+		t.Fatal("no ad campaigns recovered from campaign-heavy corpus")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pushadminer/internal/crawler"
+)
+
+// Synthetic corpus vocabulary. Two disjoint pools keep campaign messages
+// mutually similar and noise messages far from everything, while the
+// total vocabulary stays small enough that the dense term-similarity
+// matrix is cheap even at benchmark sizes.
+var (
+	synthAdWords = []string{
+		"win", "winner", "prize", "claim", "reward", "free", "iphone",
+		"samsung", "gift", "card", "congratulations", "selected", "today",
+		"virus", "alert", "warning", "infected", "device", "scan", "clean",
+		"protect", "security", "update", "urgent", "battery", "damaged",
+		"hot", "singles", "area", "meet", "chat", "waiting", "nearby",
+		"deal", "sale", "discount", "save", "offer", "limited", "expires",
+		"crypto", "bitcoin", "profit", "invest", "earn", "cash", "bonus",
+		"video", "watch", "exclusive", "breaking", "news", "shocking",
+		"weight", "loss", "doctors", "trick", "secret", "revealed",
+		"loan", "approved", "credit", "instant", "apply", "money",
+		"package", "delivery", "pending", "confirm", "address", "track",
+	}
+	synthNoiseWords = []string{
+		"weather", "forecast", "rain", "sunny", "cloudy", "morning",
+		"recipe", "dinner", "pasta", "garden", "flowers", "spring",
+		"football", "score", "match", "league", "season", "goal",
+		"library", "book", "chapter", "author", "novel", "review",
+		"museum", "exhibit", "gallery", "artist", "painting", "opening",
+		"traffic", "commute", "bridge", "closed", "detour", "route",
+		"school", "schedule", "holiday", "calendar", "event", "notice",
+		"market", "vegetables", "fresh", "local", "farmers", "organic",
+		"concert", "tickets", "venue", "band", "tour", "dates",
+		"hiking", "trail", "summit", "views", "park", "lake",
+	}
+	synthPathWords = []string{
+		"landing", "click", "go", "offer", "promo", "win", "claim",
+		"redirect", "track", "campaign", "ads", "page", "special",
+		"deal", "alert", "scan", "meet", "news", "apply", "confirm",
+	}
+)
+
+// synthCampaign is one ad-campaign template: a fixed token skeleton with
+// a couple of per-message slots, pushed from several source domains to a
+// shared landing path — the structure the §5.1.1 clustering recovers.
+type synthCampaign struct {
+	title   []string
+	body    []string
+	sources []string
+	landing string
+	path    []string
+}
+
+// SynthWPNRecords generates a deterministic corpus of n WPN records
+// shaped like the paper's §5.1.1 workload: ~70% of messages belong to ad
+// campaigns (near-duplicate text pushed from multiple source domains to
+// a shared landing path, with small per-message mutations), the rest are
+// unrelated singleton notifications. The same (seed, n) always yields
+// the same corpus; parity tests and the mining benchmarks both build on
+// it.
+func SynthWPNRecords(seed int64, n int) []*crawler.WPNRecord {
+	rng := rand.New(rand.NewSource(seed))
+	nCampaigns := n / 40
+	if nCampaigns < 4 {
+		nCampaigns = 4
+	}
+	campaigns := make([]*synthCampaign, nCampaigns)
+	for c := range campaigns {
+		pick := func(pool []string, k int) []string {
+			out := make([]string, k)
+			for i := range out {
+				out[i] = pool[rng.Intn(len(pool))]
+			}
+			return out
+		}
+		// Each campaign draws its template from its own window of the ad
+		// vocabulary and stamps a campaign token into the landing path, so
+		// different campaigns stay mutually distant (like real campaigns
+		// from different advertisers) while messages within one stay
+		// near-duplicates.
+		start := rng.Intn(len(synthAdWords))
+		window := func(k int) []string {
+			out := make([]string, k)
+			for i := range out {
+				out[i] = synthAdWords[(start+rng.Intn(14))%len(synthAdWords)]
+			}
+			return out
+		}
+		nSrc := 2 + rng.Intn(3)
+		sources := make([]string, nSrc)
+		for s := range sources {
+			sources[s] = fmt.Sprintf("push-src-%d-%d.example", c, s)
+		}
+		path := append([]string{fmt.Sprintf("c%dx", c)}, pick(synthPathWords, 1+rng.Intn(2))...)
+		campaigns[c] = &synthCampaign{
+			title:   window(3 + rng.Intn(3)),
+			body:    window(5 + rng.Intn(4)),
+			sources: sources,
+			landing: fmt.Sprintf("land%d.example", c),
+			path:    path,
+		}
+	}
+
+	records := make([]*crawler.WPNRecord, n)
+	for i := 0; i < n; i++ {
+		r := &crawler.WPNRecord{ID: i, Device: "desktop"}
+		if rng.Float64() < 0.7 {
+			// Campaign message: template with light per-message mutation.
+			camp := campaigns[rng.Intn(nCampaigns)]
+			title := append([]string(nil), camp.title...)
+			body := append([]string(nil), camp.body...)
+			// Mutate one body slot and sometimes append a numeric token
+			// (prize amounts vary per message in real campaigns).
+			body[rng.Intn(len(body))] = synthAdWords[rng.Intn(len(synthAdWords))]
+			if rng.Float64() < 0.5 {
+				body = append(body, fmt.Sprintf("%d", 100+rng.Intn(900)))
+			}
+			src := camp.sources[rng.Intn(len(camp.sources))]
+			r.Title = joinTokens(title)
+			r.Body = joinTokens(body)
+			r.SourceDomain = src
+			r.SourceURL = "https://" + src + "/"
+			r.LandingURL = fmt.Sprintf("https://%s/%s/%s?uid=%d",
+				camp.landing, camp.path[0], joinPath(camp.path[1:]), rng.Intn(1<<20))
+		} else {
+			// Singleton noise: unrelated vocabulary, unique landing.
+			ln := 6 + rng.Intn(5)
+			toks := make([]string, ln)
+			for t := range toks {
+				toks[t] = synthNoiseWords[rng.Intn(len(synthNoiseWords))]
+			}
+			r.Title = joinTokens(toks[:2])
+			r.Body = joinTokens(toks[2:])
+			r.SourceDomain = fmt.Sprintf("site-%d.example", i)
+			r.SourceURL = "https://" + r.SourceDomain + "/"
+			r.LandingURL = fmt.Sprintf("https://site-%d.example/%s/%s",
+				i, synthNoiseWords[rng.Intn(len(synthNoiseWords))],
+				synthNoiseWords[rng.Intn(len(synthNoiseWords))])
+		}
+		records[i] = r
+	}
+	return records
+}
+
+func joinTokens(toks []string) string {
+	out := ""
+	for i, t := range toks {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}
+
+func joinPath(toks []string) string {
+	if len(toks) == 0 {
+		return "index"
+	}
+	out := ""
+	for i, t := range toks {
+		if i > 0 {
+			out += "/"
+		}
+		out += t
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pushadminer/internal/cluster"
+	"pushadminer/internal/simhash"
 	"pushadminer/internal/urlx"
 )
 
@@ -29,6 +30,41 @@ type WPNCluster struct {
 // Singleton reports whether the cluster holds a single message.
 func (c *WPNCluster) Singleton() bool { return len(c.Members) == 1 }
 
+// PruneOptions configure SimHash-banded candidate pruning of the
+// pairwise distance matrix: records whose fingerprints neither share a
+// bit-band nor sit within MaxHamming bits are assumed far apart and
+// skip the exact soft-cosine evaluation, taking the cheap
+// document-vector estimate (FeatureSet.ApproxDistance) instead. The
+// zero value disables pruning (exact everywhere — the parity fallback);
+// set Enabled for the pruned fast path.
+type PruneOptions struct {
+	// Enabled turns pruning on. Off by default so results are exact
+	// unless explicitly traded for speed.
+	Enabled bool
+	// Bands is the number of SimHash bit-bands (default 8, i.e. 8-bit
+	// bands). More bands admit more candidate pairs (safer, slower).
+	Bands int
+	// MaxHamming additionally admits any pair within this Hamming
+	// distance regardless of banding (default 24), protecting near
+	// neighbours whose bit flips happen to touch every band.
+	MaxHamming int
+	// PrunedDistance, if > 0, is stored verbatim for skipped pairs
+	// instead of the document-vector estimate. The constant is faster
+	// but distorts the silhouette sweep; leave zero unless the cut
+	// height is fixed anyway.
+	PrunedDistance float64
+}
+
+func (p PruneOptions) withDefaults() PruneOptions {
+	if p.Bands <= 0 {
+		p.Bands = 8
+	}
+	if p.MaxHamming <= 0 {
+		p.MaxHamming = 24
+	}
+	return p
+}
+
 // ClusterOptions configure the first-stage clustering.
 type ClusterOptions struct {
 	// MaxCutCandidates bounds the silhouette sweep (default 64).
@@ -43,6 +79,15 @@ type ClusterOptions struct {
 	// Linkage selects the agglomeration rule (default cluster.Average,
 	// the paper's UPGMA; Single/Complete support the linkage ablation).
 	Linkage cluster.Linkage
+	// Prune enables SimHash-banded candidate pruning of the distance
+	// matrix (see PruneOptions). Off by default.
+	Prune PruneOptions
+	// Naive selects the pre-optimization reference path: per-pair
+	// distances that recompute both self quad-forms, no pruning, and
+	// the serial silhouette sweep. The parity tests assert it yields
+	// bit-identical labels, cut height, and silhouette to the cached
+	// path; the benchmarks measure the gap.
+	Naive bool
 }
 
 func (o ClusterOptions) conservativeTol() float64 {
@@ -69,7 +114,25 @@ type ClusterResult struct {
 // and the ad-campaign label.
 func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 	n := len(fs.Records)
-	dm := cluster.Compute(n, fs.Distance)
+	var dm *cluster.DistMatrix
+	switch {
+	case opts.Naive:
+		dm = cluster.Compute(n, fs.NaiveDistance)
+	case opts.Prune.Enabled:
+		p := opts.Prune.withDefaults()
+		keep := func(i, j int) bool {
+			return simhash.SharesBand(fs.Hashes[i], fs.Hashes[j], p.Bands) ||
+				simhash.Near(fs.Hashes[i], fs.Hashes[j], p.MaxHamming)
+		}
+		far := fs.ApproxDistance
+		if p.PrunedDistance > 0 {
+			c := p.PrunedDistance
+			far = func(i, j int) float64 { return c }
+		}
+		dm = cluster.ComputeMasked(n, fs.Distance, keep, far)
+	default:
+		dm = cluster.Compute(n, fs.Distance)
+	}
 	dend := cluster.AgglomerativeLinkage(dm, opts.Linkage)
 
 	var labels []int
@@ -78,6 +141,9 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 		labels = dend.CutByHeight(opts.FixedCutHeight)
 		height = opts.FixedCutHeight
 		sil = cluster.Silhouette(dm, labels)
+	} else if opts.Naive {
+		best := cluster.BestCutConservativeSerial(dend, dm, opts.MaxCutCandidates, opts.conservativeTol())
+		labels, height, sil = best.Labels, best.Height, best.Silhouette
 	} else {
 		best := cluster.BestCutConservative(dend, dm, opts.MaxCutCandidates, opts.conservativeTol())
 		labels, height, sil = best.Labels, best.Height, best.Silhouette

@@ -71,6 +71,113 @@ func Parse(s string) Hash {
 	return Hash(v)
 }
 
+// Band extracts the i-th of nBands contiguous bit-bands of h (i in
+// [0, nBands)). Bands split the 64 bits as evenly as possible, low bits
+// first; when nBands does not divide 64 the last band takes the
+// remainder. Two fingerprints that agree on any band are locality-
+// sensitive candidates: a pair within k flipped bits fails to share a
+// band only when the flips cover every band, which is vanishingly rare
+// for k well below nBands·(64/nBands).
+func Band(h Hash, i, nBands int) uint64 {
+	if nBands <= 0 || i < 0 || i >= nBands {
+		panic("simhash: band out of range")
+	}
+	width := 64 / nBands
+	lo := i * width
+	if i == nBands-1 {
+		width = 64 - lo
+	}
+	if width >= 64 {
+		return uint64(h)
+	}
+	return (uint64(h) >> uint(lo)) & (1<<uint(width) - 1)
+}
+
+// SharesBand reports whether a and b agree on at least one of nBands
+// bit-bands — the banded-LSH candidate test. It runs on the XOR of the
+// fingerprints, so it costs a handful of shifts regardless of nBands.
+func SharesBand(a, b Hash, nBands int) bool {
+	if nBands <= 0 {
+		panic("simhash: nBands must be positive")
+	}
+	x := uint64(a ^ b)
+	width := 64 / nBands
+	for i := 0; i < nBands; i++ {
+		lo := i * width
+		w := width
+		if i == nBands-1 {
+			w = 64 - lo
+		}
+		var band uint64
+		if w >= 64 {
+			band = x
+		} else {
+			band = (x >> uint(lo)) & (1<<uint(w) - 1)
+		}
+		if band == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BandIndex buckets fingerprints by band value so candidate sets can be
+// enumerated without the O(n²) all-pairs scan: items sharing any band
+// land in a common bucket. IDs are caller-assigned (typically record
+// indices).
+type BandIndex struct {
+	nBands  int
+	buckets []map[uint64][]int
+}
+
+// NewBandIndex returns an empty index over nBands bit-bands.
+func NewBandIndex(nBands int) *BandIndex {
+	if nBands <= 0 || nBands > 64 {
+		panic("simhash: nBands out of range")
+	}
+	ix := &BandIndex{nBands: nBands, buckets: make([]map[uint64][]int, nBands)}
+	for i := range ix.buckets {
+		ix.buckets[i] = make(map[uint64][]int)
+	}
+	return ix
+}
+
+// Add inserts a fingerprint under the given id.
+func (ix *BandIndex) Add(id int, h Hash) {
+	for b := 0; b < ix.nBands; b++ {
+		key := Band(h, b, ix.nBands)
+		ix.buckets[b][key] = append(ix.buckets[b][key], id)
+	}
+}
+
+// Candidates returns the deduplicated ids sharing at least one band with
+// h, in ascending id order. An item previously Added under h is its own
+// candidate.
+func (ix *BandIndex) Candidates(h Hash) []int {
+	seen := map[int]bool{}
+	var out []int
+	for b := 0; b < ix.nBands; b++ {
+		for _, id := range ix.buckets[b][Band(h, b, ix.nBands)] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	// Insertion sort: candidate lists are short and this keeps the
+	// package dependency-free.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 // Index is a simple set of fingerprints supporting nearest-neighbour
 // queries by linear scan — adequate for the study's page counts.
 type Index struct {

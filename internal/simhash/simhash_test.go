@@ -1,6 +1,7 @@
 package simhash
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -96,5 +97,95 @@ func TestIndex(t *testing.T) {
 	}
 	if !ix.AnyNear(v, 16) {
 		t.Error("variant not near the stored scam page")
+	}
+}
+
+func TestBandPartitionsAllBits(t *testing.T) {
+	for _, nBands := range []int{1, 2, 4, 5, 8, 16, 64} {
+		h := Hash(0xdeadbeefcafef00d)
+		var rebuilt uint64
+		width := 64 / nBands
+		for i := 0; i < nBands; i++ {
+			rebuilt |= Band(h, i, nBands) << uint(i*width)
+		}
+		if rebuilt != uint64(h) {
+			t.Errorf("nBands=%d: bands rebuild %x, want %x", nBands, rebuilt, uint64(h))
+		}
+	}
+}
+
+func TestSharesBand(t *testing.T) {
+	a := Hash(0x0123456789abcdef)
+	if !SharesBand(a, a, 8) {
+		t.Error("identical hashes share no band")
+	}
+	// Flip exactly one bit per 8-bit band: no band survives.
+	b := a ^ 0x0101010101010101
+	if SharesBand(a, b, 8) {
+		t.Error("one flip in every band still shares a band")
+	}
+	// Flip bits only in the low band: the other 7 bands survive.
+	c := a ^ 0x00000000000000ff
+	if !SharesBand(a, c, 8) {
+		t.Error("flips confined to one band should leave candidates")
+	}
+	// SharesBand must agree with per-band equality for random pairs.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		x, y := Hash(rng.Uint64()), Hash(rng.Uint64())
+		for _, nBands := range []int{1, 3, 8, 16} {
+			want := false
+			for i := 0; i < nBands; i++ {
+				if Band(x, i, nBands) == Band(y, i, nBands) {
+					want = true
+					break
+				}
+			}
+			if got := SharesBand(x, y, nBands); got != want {
+				t.Fatalf("SharesBand(%x,%x,%d) = %v, want %v", x, y, nBands, got, want)
+			}
+		}
+	}
+}
+
+func TestBandIndexCandidates(t *testing.T) {
+	ix := NewBandIndex(8)
+	base := Hash(0xfedcba9876543210)
+	near := base ^ 0x3 // two flipped bits: shares 7 bands
+	far := ^base       // all bits flipped: shares none
+	ix.Add(0, base)
+	ix.Add(1, near)
+	ix.Add(2, far)
+	got := ix.Candidates(base)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Candidates(base) = %v, want [0 1]", got)
+	}
+	if got := ix.Candidates(far); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Candidates(far) = %v, want [2]", got)
+	}
+	// Candidates must be exactly the SharesBand-positive set.
+	rng := rand.New(rand.NewSource(7))
+	hashes := make([]Hash, 50)
+	ix2 := NewBandIndex(4)
+	for i := range hashes {
+		hashes[i] = Hash(rng.Uint64())
+		ix2.Add(i, hashes[i])
+	}
+	for i, h := range hashes {
+		want := []int{}
+		for j, g := range hashes {
+			if SharesBand(h, g, 4) {
+				want = append(want, j)
+			}
+		}
+		got := ix2.Candidates(h)
+		if len(got) != len(want) {
+			t.Fatalf("item %d: candidates %v, want %v", i, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("item %d: candidates %v, want %v", i, got, want)
+			}
+		}
 	}
 }

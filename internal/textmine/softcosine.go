@@ -93,7 +93,29 @@ func quadForm(a, b BOW, e *Embeddings, o SoftCosineOptions) float64 {
 // vectors in [0, 1], using embedding cosines as the term-similarity
 // matrix (Sidorov et al., as implemented by gensim softcossim). Two empty
 // vectors have similarity 1; an empty versus non-empty vector, 0.
+//
+// Each call recomputes both self quad-forms; when a document is compared
+// many times (the n²/2 pairwise calls of the clustering stage), cache
+// Norm(a, e, opts) once and use SoftCosineWithNorms — or, with a
+// precomputed TermSimMatrix, a DocKernel — instead.
 func SoftCosine(a, b BOW, e *Embeddings, opts SoftCosineOptions) float64 {
+	opts = opts.withDefaults()
+	return SoftCosineWithNorms(a, b, e, opts, Norm(a, e, opts), Norm(b, e, opts))
+}
+
+// Norm returns sqrt(aᵀ·S·a), the self quad-form norm of a under the
+// implied term-similarity matrix — the per-document quantity SoftCosine
+// recomputes on every call. Callers holding many documents compute it
+// once per document and pass it to SoftCosineWithNorms.
+func Norm(a BOW, e *Embeddings, opts SoftCosineOptions) float64 {
+	return math.Sqrt(quadForm(a, a, e, opts.withDefaults()))
+}
+
+// SoftCosineWithNorms is SoftCosine with both self norms supplied by the
+// caller (from Norm), eliminating the two redundant self quad-forms per
+// pairwise call. It matches SoftCosine exactly when the norms were
+// computed with the same options.
+func SoftCosineWithNorms(a, b BOW, e *Embeddings, opts SoftCosineOptions, normA, normB float64) float64 {
 	opts = opts.withDefaults()
 	if a.Len() == 0 && b.Len() == 0 {
 		return 1
@@ -105,7 +127,7 @@ func SoftCosine(a, b BOW, e *Embeddings, opts SoftCosineOptions) float64 {
 	if num <= 0 {
 		return 0
 	}
-	den := math.Sqrt(quadForm(a, a, e, opts)) * math.Sqrt(quadForm(b, b, e, opts))
+	den := normA * normB
 	if den == 0 {
 		return 0
 	}

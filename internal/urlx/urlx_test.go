@@ -181,3 +181,37 @@ func TestSameESLD(t *testing.T) {
 		t.Error("unparseable URLs must not match")
 	}
 }
+
+func TestJaccardSortedMatchesJaccard(t *testing.T) {
+	cases := [][2][]string{
+		{{}, {}},
+		{{"a"}, {}},
+		{{}, {"a"}},
+		{{"a", "b", "c"}, {"a", "b", "c"}},
+		{{"a", "b", "c"}, {"b", "d"}},
+		{{"a", "z"}, {"b", "c", "d"}},
+		{{"?id", "buy", "now"}, {"?id", "landing", "now"}},
+	}
+	for _, c := range cases {
+		want := Jaccard(c[0], c[1])
+		got := JaccardSorted(c[0], c[1])
+		if got != want {
+			t.Errorf("JaccardSorted(%v, %v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+	// PathTokens output is sorted+deduplicated; the two must agree on it.
+	urls := []string{
+		"https://a.example/landing/page?id=1&src=x",
+		"https://b.example/other/page?src=y",
+		"https://c.example/",
+		"https://d.example/promo/win-big/now?claim=1",
+	}
+	for _, u := range urls {
+		for _, v := range urls {
+			a, b := PathTokens(u), PathTokens(v)
+			if got, want := JaccardSorted(a, b), Jaccard(a, b); got != want {
+				t.Errorf("PathTokens mismatch for %q vs %q: %v != %v", u, v, got, want)
+			}
+		}
+	}
+}

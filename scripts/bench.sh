@@ -1,0 +1,47 @@
+#!/bin/sh
+# bench.sh — run the mining benchmark suite and record the results as
+# BENCH_mining.json at the repo root, so the perf trajectory of the
+# §5.1.1 clustering hot path is tracked across PRs. Dependency-free:
+# POSIX sh + awk + the Go toolchain.
+#
+#   BENCHTIME=5x OUT=/tmp/bench.json sh scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+OUT="${OUT:-BENCH_mining.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' \
+	-bench '^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$' \
+	-benchtime "$BENCHTIME" -timeout 60m . | tee "$TMP"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^Benchmark/ {
+		name = $1; iters = $2; ns = $3
+		sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+		split(name, parts, "/")
+		bench = parts[1]; size = parts[2]; mode = parts[3]
+		sub(/^n=/, "", size)
+		if (out != "") out = out ",\n"
+		out = out sprintf("    {\"bench\": \"%s\", \"n\": %s, \"mode\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}",
+			bench, size, mode, iters, ns)
+		nsof[bench "/" size "/" mode] = ns
+	}
+	END {
+		speed = ""
+		naive  = nsof["BenchmarkClusterWPNs/2000/naive"]
+		cached = nsof["BenchmarkClusterWPNs/2000/cached"]
+		pruned = nsof["BenchmarkClusterWPNs/2000/pruned"]
+		if (naive != "" && cached != "")
+			speed = speed sprintf(",\n  \"speedup_n2000_naive_vs_cached\": %.2f", naive / cached)
+		if (naive != "" && pruned != "")
+			speed = speed sprintf(",\n  \"speedup_n2000_naive_vs_pruned\": %.2f", naive / pruned)
+		printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"'"$BENCHTIME"'\",\n  \"results\": [\n%s\n  ]%s\n}\n",
+			date, out, speed
+	}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

@@ -18,4 +18,9 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> mining benchmark smoke (n=200, one iteration)"
+go test -run '^$' \
+	-bench '^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$/^n=200$' \
+	-benchtime 1x .
+
 echo "verify: OK"
