@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,8 @@ verify:
 # bench runs the mining benchmark suite and writes BENCH_mining.json.
 bench:
 	sh scripts/bench.sh
+
+# telemetry-smoke runs a seeded chaos crawl+mine with -metrics-out and
+# validates the snapshot against the golden key-set.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh

@@ -18,6 +18,7 @@ import (
 	"pushadminer/internal/cluster"
 	"pushadminer/internal/core"
 	"pushadminer/internal/simhash"
+	"pushadminer/internal/telemetry"
 	"pushadminer/internal/textmine"
 )
 
@@ -54,6 +55,12 @@ func miningFeatures(b *testing.B, n int) *core.FeatureSet {
 // BenchmarkClusterWPNs measures the full first-stage clustering
 // (distance matrix, agglomeration, silhouette-chosen cut) end to end.
 // The acceptance bar: cached and pruned at n=2000 must beat naive ≥3×.
+//
+// Each mode also reports a per-stage wall-time breakdown
+// ("<stage>-ns/op": distance_matrix, linkage, cut, silhouette) taken
+// from one telemetry-instrumented run outside the timed loop, so
+// BENCH_mining.json records where the time goes without the counters
+// perturbing the headline ns/op.
 func BenchmarkClusterWPNs(b *testing.B) {
 	for _, n := range miningSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -72,6 +79,18 @@ func BenchmarkClusterWPNs(b *testing.B) {
 						res := core.ClusterWPNs(fs, mode.opts)
 						benchSink = res.Silhouette
 					}
+					b.StopTimer()
+					reg := telemetry.New()
+					opts := mode.opts
+					opts.Metrics = reg
+					benchSink = core.ClusterWPNs(fs, opts).Silhouette
+					stages := reg.Snapshot().Families["mining_stage_ns"]
+					for _, s := range []string{"distance_matrix", "linkage", "cut", "silhouette"} {
+						if ns := stages[s]; ns > 0 {
+							b.ReportMetric(float64(ns), s+"-ns/op")
+						}
+					}
+					b.StartTimer()
 				})
 			}
 		})

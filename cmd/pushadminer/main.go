@@ -14,6 +14,11 @@
 //	-table LIST    comma-separated artifacts to print:
 //	               1,2,3,4,5,6,f4,f5,f6,cost,eval,detector,scams,experiments,all
 //	-quiet         suppress progress logging
+//	-debug-addr A  loopback addr serving /debug/pprof, /debug/vars and
+//	               a live /metrics JSON snapshot while the study runs
+//	-metrics-out P write the final telemetry snapshot (crawler counters,
+//	               mining stage wall-times, per-host request counts) to P
+//	-trace-out P   write attack-chain + mining-stage spans as JSONL to P
 package main
 
 import (
@@ -27,16 +32,20 @@ import (
 	"time"
 
 	"pushadminer"
+	"pushadminer/internal/telemetry"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "ecosystem seed")
-		scaleStr = flag.String("scale", "0.05", `fraction of paper-scale crawl ("paper" = 1.0)`)
-		days     = flag.Int("days", 14, "collection window in simulated days")
-		tables   = flag.String("table", "all", "artifacts to print (1,2,3,4,5,6,f4,f5,f6,cost,eval,detector,scams,experiments,all)")
-		quiet    = flag.Bool("quiet", false, "suppress progress logging")
-		format   = flag.String("format", "text", "output format: text or json")
+		seed       = flag.Int64("seed", 1, "ecosystem seed")
+		scaleStr   = flag.String("scale", "0.05", `fraction of paper-scale crawl ("paper" = 1.0)`)
+		days       = flag.Int("days", 14, "collection window in simulated days")
+		tables     = flag.String("table", "all", "artifacts to print (1,2,3,4,5,6,f4,f5,f6,cost,eval,detector,scams,experiments,all)")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		format     = flag.String("format", "text", "output format: text or json")
+		debugAddr  = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
+		metricsOut = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
+		traceOut   = flag.String("trace-out", "", "write trace spans as JSONL to this path")
 	)
 	flag.Parse()
 
@@ -54,11 +63,31 @@ func main() {
 		}
 	}
 
+	var reg *telemetry.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = telemetry.New()
+	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(nil)
+	}
+	if *debugAddr != "" {
+		reg.PublishExpvar("pushadminer")
+		srv, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		logf("debug server on http://%s (/debug/pprof, /debug/vars, /metrics)", srv.Addr())
+	}
+
 	logf("building ecosystem (seed=%d scale=%.3f) and crawling %d simulated days...", *seed, scale, *days)
 	start := time.Now()
 	study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
 		Eco:              pushadminer.EcosystemConfig{Seed: *seed, Scale: scale},
 		CollectionWindow: time.Duration(*days) * 24 * time.Hour,
+		Metrics:          reg,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +96,18 @@ func main() {
 	logf("study complete in %s: %d WPNs collected, %d with valid landing pages",
 		time.Since(start).Round(time.Millisecond),
 		study.Analysis.Report.TotalCollected, study.Analysis.Report.ValidLanding)
+	if *metricsOut != "" {
+		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		logf("telemetry snapshot → %s", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteTraceFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		logf("%d trace spans → %s", tracer.Len(), *traceOut)
+	}
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*tables, ",") {

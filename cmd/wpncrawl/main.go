@@ -8,6 +8,7 @@
 //
 //	wpncrawl -out wpns.json [-seed N] [-scale F] [-days N]
 //	         [-chaos-profile P] [-checkpoint PATH] [-resume]
+//	         [-debug-addr HOST:PORT] [-metrics-out PATH] [-trace-out PATH]
 //
 // -chaos-profile wraps the virtual network with the deterministic fault
 // injector (internal/chaos): presets "mild", "acceptance", "harsh", or
@@ -17,6 +18,13 @@
 // JSON files derived from the given base path, and -resume merges an
 // existing checkpoint so a killed crawl converges to the same record
 // set as an uninterrupted one.
+//
+// Observability: -debug-addr serves net/http/pprof, expvar and a live
+// /metrics JSON snapshot on a loopback listener while the crawl runs;
+// -metrics-out writes the final telemetry snapshot (crawler counters,
+// breaker transitions, chaos fault totals, per-host request counts) as
+// JSON; -trace-out writes the per-notification attack-chain spans as
+// JSONL (replayable with internal/audit).
 package main
 
 import (
@@ -27,17 +35,21 @@ import (
 	"pushadminer"
 	"pushadminer/internal/chaos"
 	"pushadminer/internal/core"
+	"pushadminer/internal/telemetry"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "ecosystem seed")
-		scale   = flag.Float64("scale", 0.05, "fraction of paper-scale crawl")
-		days    = flag.Int("days", 14, "collection window in simulated days")
-		out     = flag.String("out", "wpns.json", "output JSON path")
-		profile = flag.String("chaos-profile", "", "fault-injection profile (mild|acceptance|harsh, with k=v overrides)")
-		ckpt    = flag.String("checkpoint", "", "base path for crash-tolerant crawl checkpoints")
-		resume  = flag.Bool("resume", false, "resume crawls from existing checkpoints")
+		seed       = flag.Int64("seed", 1, "ecosystem seed")
+		scale      = flag.Float64("scale", 0.05, "fraction of paper-scale crawl")
+		days       = flag.Int("days", 14, "collection window in simulated days")
+		out        = flag.String("out", "wpns.json", "output JSON path")
+		profile    = flag.String("chaos-profile", "", "fault-injection profile (mild|acceptance|harsh, with k=v overrides)")
+		ckpt       = flag.String("checkpoint", "", "base path for crash-tolerant crawl checkpoints")
+		resume     = flag.Bool("resume", false, "resume crawls from existing checkpoints")
+		debugAddr  = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
+		metricsOut = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
+		traceOut   = flag.String("trace-out", "", "write attack-chain trace spans as JSONL to this path")
 	)
 	flag.Parse()
 
@@ -46,12 +58,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var reg *telemetry.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = telemetry.New()
+	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(nil)
+	}
+	if *debugAddr != "" {
+		reg.PublishExpvar("pushadminer")
+		srv, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s (/debug/pprof, /debug/vars, /metrics)", srv.Addr())
+	}
+
 	start := time.Now()
 	study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
 		Eco:              pushadminer.EcosystemConfig{Seed: *seed, Scale: *scale, Chaos: prof},
 		CollectionWindow: time.Duration(*days) * 24 * time.Hour,
 		CheckpointPath:   *ckpt,
 		Resume:           *resume,
+		Metrics:          reg,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +99,18 @@ func main() {
 		time.Since(start).Round(time.Millisecond), *out)
 	if deg := study.Desktop.Degradation; deg.Faults != nil || deg.ContainersLost > 0 {
 		log.Printf("desktop degradation: %+v", deg)
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry snapshot → %s", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteTraceFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%d trace spans → %s", tracer.Len(), *traceOut)
 	}
 }
 

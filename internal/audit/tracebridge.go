@@ -1,0 +1,39 @@
+package audit
+
+import (
+	"sort"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/telemetry"
+)
+
+// EntriesFromSpans converts telemetry chain-trace spans back into audit
+// entries. The telemetry.ChainRecorder emits exactly one span per
+// browser event, in event order, with the event kind as the span name
+// and the event fields as attributes verbatim — so a trace JSONL file
+// is a lossless re-encoding of the audit stream, and reconstructing
+// chains from either source yields identical results (asserted by the
+// interop test). Spans are ordered by ID (emission order) and numbered
+// from 1, matching audit.Writer's sequence numbers.
+func EntriesFromSpans(spans []telemetry.Span) []Entry {
+	ordered := make([]telemetry.Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	out := make([]Entry, 0, len(ordered))
+	for i, sp := range ordered {
+		out = append(out, Entry{
+			Seq:       i + 1,
+			Container: sp.Container,
+			Time:      sp.Start,
+			Kind:      browser.EventKind(sp.Name),
+			Fields:    sp.Attrs,
+		})
+	}
+	return out
+}
+
+// ReconstructFromSpans is the one-call forensic path over a telemetry
+// trace: spans → entries → chains.
+func ReconstructFromSpans(spans []telemetry.Span) []Chain {
+	return Reconstruct(EntriesFromSpans(spans))
+}

@@ -1,0 +1,145 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/telemetry"
+	"pushadminer/internal/webeco"
+)
+
+// TestTraceMatchesAuditReconstruction drives one live browser session
+// recording through BOTH pipelines at once — the audit event log and
+// the telemetry chain tracer — then reconstructs WPN chains from each
+// and requires the results to be byte-identical. This is the
+// audit↔telemetry interop guarantee: a -trace-out JSONL file is as good
+// a forensic source as the audit log.
+func TestTraceMatchesAuditReconstruction(t *testing.T) {
+	eco, err := webeco.New(webeco.Config{Seed: 21, Scale: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eco.Close()
+	var seed string
+	for _, s := range eco.Sites() {
+		if s.NPR && s.Network == "Ad-Maven" {
+			seed = s.URL
+			break
+		}
+	}
+	if seed == "" {
+		t.Skip("no suitable site at this scale")
+	}
+
+	tracer := telemetry.NewTracer(eco.Clock.Now)
+	const container = "container-1"
+	br := browser.New(browser.Config{
+		Clock:    eco.Clock,
+		Client:   eco.Net.ClientNoRedirect(),
+		ClientID: container,
+		Tracer:   tracer,
+	})
+	if _, err := br.Visit(seed); err != nil {
+		t.Fatal(err)
+	}
+	deadline := eco.Clock.Now().Add(96 * time.Hour)
+	var outcome *browser.ClickOutcome
+	for eco.Clock.Now().Before(deadline) && outcome == nil {
+		at, ok := eco.NextPushAt()
+		if !ok {
+			break
+		}
+		eco.Clock.Advance(at.Sub(eco.Clock.Now()))
+		eco.Tick()
+		if n, _ := br.PumpPush(""); n > 0 {
+			eco.Clock.Advance(5 * time.Second)
+			if ocs := br.ProcessClicks(); len(ocs) > 0 {
+				outcome = &ocs[0]
+			}
+		}
+	}
+	if outcome == nil {
+		t.Skip("no notification delivered at this seed")
+	}
+
+	// Path 1: the audit log, as the crawler writes it.
+	var auditBuf bytes.Buffer
+	w := NewWriter(&auditBuf)
+	if err := w.LogAll(container, br.Events()); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush() //nolint:errcheck
+	entries, err := Read(&auditBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromAudit := Reconstruct(entries)
+
+	// Path 2: the telemetry trace, through an actual JSONL round trip
+	// (what -trace-out produces and a later forensic run reads back).
+	var traceBuf bytes.Buffer
+	if err := tracer.WriteJSONL(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := telemetry.ReadSpans(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != len(entries) {
+		t.Fatalf("trace has %d spans, audit has %d entries; the 1:1 event mapping is broken", len(spans), len(entries))
+	}
+	fromTrace := ReconstructFromSpans(spans)
+
+	// The reconstructions must agree byte-for-byte.
+	a, err := json.MarshalIndent(fromAudit, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(fromTrace, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reconstructions diverge:\naudit:\n%s\ntrace:\n%s", a, b)
+	}
+
+	// And at least one chain must span the full subscription → push →
+	// click → landing sequence.
+	full := 0
+	for _, c := range fromTrace {
+		if c.Token != "" && c.Clicked && c.LandingURL != "" {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no full subscription→landing chain reconstructed from trace (chains: %+v)", fromTrace)
+	}
+	t.Logf("%d chains (%d full), %d spans, reconstructions byte-identical", len(fromTrace), full, len(spans))
+}
+
+// TestEntriesFromSpansOrdersAndNumbers checks the span→entry mapping on
+// a synthetic out-of-order span list.
+func TestEntriesFromSpansOrdersAndNumbers(t *testing.T) {
+	t0 := time.Unix(1000, 0).UTC()
+	spans := []telemetry.Span{
+		{ID: 2, Container: "c1", Name: "notification_shown", Start: t0.Add(time.Second), Attrs: map[string]string{"sw": "s", "title": "A"}},
+		{ID: 1, Container: "c1", Name: "sw_registered", Start: t0, Attrs: map[string]string{"sw": "s", "origin": "o", "token": "t"}},
+	}
+	entries := EntriesFromSpans(spans)
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Seq != 1 || entries[0].Kind != browser.EvSWRegistered || !entries[0].Time.Equal(t0) {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Seq != 2 || entries[1].Kind != browser.EvNotificationShown {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+	chains := Reconstruct(entries)
+	if len(chains) != 1 || chains[0].Token != "t" {
+		t.Fatalf("chains = %+v", chains)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"pushadminer/internal/serviceworker"
 	"pushadminer/internal/simclock"
 	"pushadminer/internal/simhash"
+	"pushadminer/internal/telemetry"
 	"pushadminer/internal/textmine"
 	"pushadminer/internal/webpush"
 )
@@ -95,6 +96,26 @@ type Config struct {
 	// PushBreaker, if set, is the shared per-host circuit breaker used
 	// for push-service calls (register, poll).
 	PushBreaker *httpx.Breaker
+	// Metrics, if set, receives browser counters (notifications shown/
+	// clicked/dropped, navigation hop retries, redirect-chain lengths,
+	// httpx retry activity). Nil disables with no overhead.
+	Metrics *telemetry.Registry
+	// Tracer, if set, records every instrumentation event as a
+	// parent-linked span, reconstructing the WPN attack chain live
+	// (seed visit → permission → SW install → push → notification →
+	// click → redirect hops → landing).
+	Tracer *telemetry.Tracer
+}
+
+// browserMetrics holds the browser's resolved instruments. All fields
+// are nil when telemetry is disabled; every call on them no-ops.
+type browserMetrics struct {
+	navRetries *telemetry.Counter
+	shown      *telemetry.Counter
+	clicked    *telemetry.Counter
+	dropped    *telemetry.Counter
+	hops       *telemetry.Histogram
+	retry      *httpx.RetryMetrics
 }
 
 // Browser is one instrumented browser instance (one crawler container).
@@ -104,6 +125,8 @@ type Config struct {
 type Browser struct {
 	cfg     Config
 	runtime *serviceworker.Runtime
+	met     browserMetrics
+	rec     *telemetry.ChainRecorder
 
 	mu     sync.Mutex
 	events []Event
@@ -154,6 +177,20 @@ func New(cfg Config) *Browser {
 		chaos.TagClient(cfg.Client, cfg.ClientID)
 	}
 	b := &Browser{cfg: cfg}
+	if cfg.Metrics != nil {
+		b.met = browserMetrics{
+			navRetries: cfg.Metrics.Counter("browser_nav_retries"),
+			shown:      cfg.Metrics.Counter("browser_notifications_shown"),
+			clicked:    cfg.Metrics.Counter("browser_notifications_clicked"),
+			dropped:    cfg.Metrics.Counter("browser_notifications_dropped"),
+			hops:       cfg.Metrics.Histogram("browser_redirect_hops", telemetry.HopBuckets),
+			retry: &httpx.RetryMetrics{
+				Retries:         cfg.Metrics.Counter("httpx_retries"),
+				RetryAfterWaits: cfg.Metrics.Counter("httpx_retry_after_waits"),
+			},
+		}
+	}
+	b.rec = telemetry.NewChainRecorder(cfg.Tracer, cfg.ClientID)
 	b.runtime = &serviceworker.Runtime{
 		Client: cfg.Client,
 		// Transient-failure retries on SW ad fetches: a failed fetch
@@ -174,9 +211,14 @@ func New(cfg Config) *Browser {
 func (b *Browser) Device() DeviceType { return b.cfg.Device }
 
 func (b *Browser) log(kind EventKind, fields map[string]string) {
+	now := b.cfg.Clock.Now()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.events = append(b.events, Event{Time: b.cfg.Clock.Now(), Kind: kind, Fields: fields})
+	b.events = append(b.events, Event{Time: now, Kind: kind, Fields: fields})
+	b.mu.Unlock()
+	// Mirror the event into the trace (nil-safe no-op when disabled):
+	// same kind, fields, and timestamp, so traces replay through
+	// internal/audit exactly like the event log itself.
+	b.rec.Event(now, string(kind), fields)
 }
 
 // Events returns a snapshot of the instrumentation log.
@@ -297,6 +339,7 @@ func (b *Browser) Navigate(rawURL string) (*Navigation, error) {
 		// 429) would otherwise abort the chain or render an error page
 		// with no document, silently losing the landing page.
 		for retry := 0; retry < b.cfg.NavRetries && transientHop(resp, err); retry++ {
+			b.met.navRetries.Inc()
 			resp, body, err = b.get(cur, EvNavigation)
 		}
 		if err != nil {
@@ -314,6 +357,7 @@ func (b *Browser) Navigate(rawURL string) (*Navigation, error) {
 		}
 		nav.FinalURL = cur
 		nav.Status = resp.StatusCode
+		b.met.hops.Observe(float64(len(nav.RedirectChain)))
 		b.render(nav, resp, body)
 		return nav, nil
 	}
@@ -451,7 +495,7 @@ func (b *Browser) registerServiceWorker(origin string, doc *page.Doc) (*servicew
 	if pushHost == "" {
 		pushHost = fcm.DefaultHost
 	}
-	pushClient := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker)
+	pushClient := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker).WithRetryMetrics(b.met.retry)
 	sub, err := pushClient.Register(origin, doc.SWURL)
 	if err != nil {
 		return nil, fmt.Errorf("browser: push subscribe: %w", err)
@@ -477,7 +521,7 @@ func (b *Browser) registerServiceWorker(origin string, doc *page.Doc) (*servicew
 			MaxAttempts: 3,
 			BaseDelay:   5 * time.Millisecond,
 			MaxDelay:    50 * time.Millisecond,
-		})
+		}).WithMetrics(b.met.retry)
 		resp, err := announce.Post(doc.SubscribeURL, "application/json", []byte(payload))
 		if err != nil {
 			return reg, fmt.Errorf("browser: announce subscription: %w", err)

@@ -24,7 +24,7 @@ func (b *Browser) PumpPush(pushHost string) (int, error) {
 		byToken[r.Sub.Token] = r
 		tokens = append(tokens, r.Sub.Token)
 	}
-	client := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker)
+	client := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker).WithRetryMetrics(b.met.retry)
 	msgs, err := client.Poll(tokens)
 	if err != nil {
 		return 0, err
@@ -60,6 +60,7 @@ func (b *Browser) dispatchPush(reg *serviceworker.Registration, msg webpush.Mess
 			b.mu.Lock()
 			b.droppedNotifs++
 			b.mu.Unlock()
+			b.met.dropped.Inc()
 			return
 		}
 		dn := &DisplayedNotification{
@@ -71,6 +72,7 @@ func (b *Browser) dispatchPush(reg *serviceworker.Registration, msg webpush.Mess
 		b.mu.Lock()
 		b.notifs = append(b.notifs, dn)
 		b.mu.Unlock()
+		b.met.shown.Inc()
 		b.log(EvNotificationShown, map[string]string{
 			"title": n.Title, "body": n.Body, "target": n.TargetURL,
 			"sw": reg.Script.URL, "surface": b.surface(),
@@ -161,6 +163,7 @@ func (b *Browser) click(dn *DisplayedNotification) ClickOutcome {
 
 func (b *Browser) clickWith(dn *DisplayedNotification, action string) ClickOutcome {
 	out := ClickOutcome{Notification: dn}
+	b.met.clicked.Inc()
 	b.log(EvNotificationClicked, map[string]string{
 		"title": dn.Notification.Title, "sw": dn.Registration.Script.URL,
 		"action": action,

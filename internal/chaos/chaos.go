@@ -23,12 +23,21 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pushadminer/internal/telemetry"
 )
 
 // ClientHeader carries the stable browser/container identity on every
 // request, letting the injector key fault draws on *who* is asking
 // rather than on nondeterministic artifacts like token mint order.
 const ClientHeader = "X-Sim-Client"
+
+// InjectedHeader marks responses the injector fabricated (injected 503s
+// and outage 503s) with the fault kind, so client-side observers can
+// count injected faults 1:1 and reconcile them against retry counters.
+// It is always set — fault injection is deterministic, so runs with and
+// without telemetry see byte-identical responses.
+const InjectedHeader = "X-Chaos"
 
 // Window is a time interval expressed as an offset from the simulation
 // epoch, so profiles stay seed-portable.
@@ -116,7 +125,10 @@ type Injector struct {
 
 	mu       sync.Mutex
 	attempts map[string]int
-	stats    map[string]int
+	// stats counts injected faults by kind. It is a telemetry family so
+	// the injector's own report (Stats) and registry snapshots read the
+	// same counters — there is no second bookkeeping path to drift.
+	stats *telemetry.Family
 }
 
 // NewInjector builds an injector. now reports the current simulated
@@ -127,7 +139,7 @@ func NewInjector(p Profile, now func() time.Time, start time.Time) *Injector {
 		now:      now,
 		start:    start,
 		attempts: make(map[string]int),
-		stats:    make(map[string]int),
+		stats:    telemetry.NewFamily("chaos_faults", "kind"),
 	}
 }
 
@@ -136,13 +148,25 @@ func (in *Injector) Profile() Profile { return in.prof }
 
 // Stats returns a snapshot of fault counters by kind.
 func (in *Injector) Stats() map[string]int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	out := make(map[string]int, len(in.stats))
-	for k, v := range in.stats {
-		out[k] = v
+	counts := in.stats.Counts()
+	out := make(map[string]int, len(counts))
+	for k, v := range counts {
+		out[k] = int(v)
 	}
 	return out
+}
+
+// Faults returns the injected-fault counter family ("chaos_faults",
+// labeled by kind) backing Stats.
+func (in *Injector) Faults() *telemetry.Family { return in.stats }
+
+// AttachMetrics folds the injected-fault family into a registry so
+// snapshots carry chaos totals. Nil-safe on both sides.
+func (in *Injector) AttachMetrics(reg *telemetry.Registry) {
+	if in == nil {
+		return
+	}
+	reg.Adopt(in.stats)
 }
 
 // StatsLine renders the counters compactly for logs.
@@ -161,9 +185,7 @@ func (in *Injector) StatsLine() string {
 }
 
 func (in *Injector) count(kind string) {
-	in.mu.Lock()
-	in.stats[kind]++
-	in.mu.Unlock()
+	in.stats.Add(kind, 1)
 }
 
 // key identifies a request class for fault draws: who, where, what.
@@ -286,6 +308,7 @@ func (in *Injector) Middleware(host string, h http.Handler) http.Handler {
 		if in.inOutage(host) {
 			in.count("outage_503")
 			w.Header().Set("Retry-After", "3600")
+			w.Header().Set(InjectedHeader, "outage_503")
 			http.Error(w, "chaos: push service outage", http.StatusServiceUnavailable)
 			return
 		}
@@ -302,6 +325,7 @@ func (in *Injector) Middleware(host string, h http.Handler) http.Handler {
 		}
 		if in.draw("503", key, n, in.prof.Error5xxFraction) {
 			in.count("http_503")
+			w.Header().Set(InjectedHeader, "http_503")
 			if in.prof.RetryAfter > 0 {
 				secs := int(in.prof.RetryAfter / time.Second)
 				if secs < 1 {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pushadminer/internal/crawler"
+	"pushadminer/internal/telemetry"
 )
 
 // PipelineOptions configure a full analysis run.
@@ -21,6 +22,13 @@ type PipelineOptions struct {
 	DisablePropagation bool
 	// DisableMeta turns off meta-clustering (ablation A3).
 	DisableMeta bool
+
+	// Metrics, when non-nil, records per-stage wall-times in the
+	// mining_stage_ns family. Nil disables with no overhead.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, emits one span per pipeline stage under a
+	// "pipeline" root span. Nil disables.
+	Tracer *telemetry.Tracer
 }
 
 // Analysis is the full output of the mining pipeline.
@@ -83,8 +91,15 @@ func (r Report) MaliciousAdFraction() float64 {
 // blocklists + propagation, meta-cluster, flag suspicious, and run the
 // manual-verification pass.
 func RunPipeline(records []*crawler.WPNRecord, opts PipelineOptions) (*Analysis, error) {
+	st := newPipelineTimer(opts.Metrics, opts.Tracer)
+	defer st.close()
+
+	done := st.stage("filter")
 	valid := FilterValidLanding(records)
+	done()
+	done = st.stage("featurize")
 	fs, err := ExtractFeatures(valid, opts.Features)
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +107,17 @@ func RunPipeline(records []*crawler.WPNRecord, opts PipelineOptions) (*Analysis,
 		opts.Scans = []time.Time{time.Now()}
 	}
 
+	if opts.Cluster.Metrics == nil {
+		opts.Cluster.Metrics = opts.Metrics
+	}
+	if opts.Cluster.Tracer == nil {
+		opts.Cluster.Tracer = opts.Tracer
+		opts.Cluster.parent = st.spanID()
+	}
 	cr := ClusterWPNs(fs, opts.Cluster)
+	done = st.stage("label")
 	labels, flagged, err := LabelKnownMalicious(fs, opts.Services, opts.Scans)
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +126,7 @@ func RunPipeline(records []*crawler.WPNRecord, opts PipelineOptions) (*Analysis,
 	cleared := analyst.VerifyKnownMalicious(fs, labels)
 
 	MarkAds(cr, labels)
+	done = st.stage("propagate")
 	malClusters := map[int]bool{}
 	if !opts.DisablePropagation {
 		malClusters = PropagateMalicious(cr, labels)
@@ -115,13 +140,16 @@ func RunPipeline(records []*crawler.WPNRecord, opts PipelineOptions) (*Analysis,
 			}
 		}
 	}
+	done()
 
+	done = st.stage("meta")
 	var meta *MetaClusterResult
 	if !opts.DisableMeta {
 		meta = BuildMetaClusters(cr, labels, malClusters)
 	} else {
 		meta = &MetaClusterResult{clusterToMeta: map[int]int{}}
 	}
+	done()
 
 	analyst.ConfirmPropagatedAndSuspicious(fs, labels)
 

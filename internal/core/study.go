@@ -12,6 +12,7 @@ import (
 	"pushadminer/internal/adblock"
 	"pushadminer/internal/browser"
 	"pushadminer/internal/crawler"
+	"pushadminer/internal/telemetry"
 	"pushadminer/internal/urlx"
 	"pushadminer/internal/webeco"
 )
@@ -40,6 +41,15 @@ type StudyConfig struct {
 	// Pipeline tweaks analysis stages (ablations). Services and Scans
 	// are filled in from the ecosystem.
 	Pipeline PipelineOptions
+
+	// Metrics, when non-nil, is threaded through every layer: the
+	// ecosystem's virtual network and chaos injector, both crawls, and
+	// the mining pipeline, so one snapshot covers the whole study. Nil
+	// disables with no overhead.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records the WPN attack chains observed by
+	// every crawl browser plus the mining stage spans. Nil disables.
+	Tracer *telemetry.Tracer
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -84,6 +94,9 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 // the crawls at their next safe point.
 func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Eco.Telemetry == nil {
+		cfg.Eco.Telemetry = cfg.Metrics
+	}
 	eco, err := webeco.New(cfg.Eco)
 	if err != nil {
 		return nil, err
@@ -104,6 +117,8 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			FaultCounts:      eco.FaultCounts,
 			CheckpointPath:   checkpointPathFor(cfg.CheckpointPath, device),
 			Resume:           cfg.Resume,
+			Metrics:          cfg.Metrics,
+			Tracer:           cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -131,6 +146,12 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	}
 	now := eco.Clock.Now()
 	opts.Scans = []time.Time{now, now.Add(cfg.RescanAfter)}
+	if opts.Metrics == nil {
+		opts.Metrics = cfg.Metrics
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = cfg.Tracer
+	}
 	if s.Analysis, err = RunPipeline(s.Records, opts); err != nil {
 		eco.Close()
 		return nil, err

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"time"
+
+	"pushadminer/internal/telemetry"
+)
+
+// miningStages are the pipeline stages whose wall-times are reported in
+// the mining_stage_ns family. They are preresolved at timer creation so
+// a snapshot always carries the full key set, even for stages that ran
+// in zero time or (like silhouette on the swept-cut path, where the
+// silhouette evaluation is fused into the cut sweep) did not run as a
+// separate step.
+var miningStages = []string{
+	"filter", "featurize", "distance_matrix", "linkage",
+	"cut", "silhouette", "label", "propagate", "meta",
+}
+
+// stageTimer records mining-stage wall-times into a telemetry family
+// (mining_stage_ns, labeled by stage) and emits one tracer span per
+// stage under a shared parent. A nil *stageTimer disables everything,
+// so call sites need no guards.
+type stageTimer struct {
+	fam    *telemetry.Family
+	tr     *telemetry.Tracer
+	parent telemetry.SpanID
+}
+
+// newStageTimer builds a timer whose stage spans hang off parent (0 for
+// root). Returns nil when both sinks are nil.
+func newStageTimer(reg *telemetry.Registry, tr *telemetry.Tracer, parent telemetry.SpanID) *stageTimer {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	st := &stageTimer{tr: tr, parent: parent}
+	if reg != nil {
+		st.fam = reg.Family("mining_stage_ns", "stage")
+		for _, s := range miningStages {
+			st.fam.With(s)
+		}
+	}
+	return st
+}
+
+// newPipelineTimer builds a stage timer with its own "pipeline" root
+// span; close() ends the root.
+func newPipelineTimer(reg *telemetry.Registry, tr *telemetry.Tracer) *stageTimer {
+	st := newStageTimer(reg, tr, 0)
+	if st != nil && st.tr != nil {
+		st.parent = st.tr.Start("", "pipeline", 0, nil)
+	}
+	return st
+}
+
+// stage starts timing one named stage and returns the function that
+// stops it, recording wall-time and ending the span. Usage:
+//
+//	done := st.stage("linkage")
+//	... work ...
+//	done()
+func (st *stageTimer) stage(name string) func() {
+	if st == nil {
+		return func() {}
+	}
+	start := time.Now()
+	var id telemetry.SpanID
+	if st.tr != nil {
+		id = st.tr.Start("", name, st.parent, nil)
+	}
+	return func() {
+		if st.fam != nil {
+			st.fam.Add(name, time.Since(start).Nanoseconds())
+		}
+		if st.tr != nil {
+			st.tr.End(id)
+		}
+	}
+}
+
+// spanID returns the parent span under which stages are emitted (0 when
+// tracing is off or the timer is nil).
+func (st *stageTimer) spanID() telemetry.SpanID {
+	if st == nil {
+		return 0
+	}
+	return st.parent
+}
+
+// close ends the root pipeline span, if this timer owns one.
+func (st *stageTimer) close() {
+	if st != nil && st.tr != nil && st.parent != 0 {
+		st.tr.End(st.parent)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"pushadminer/internal/cluster"
 	"pushadminer/internal/simhash"
+	"pushadminer/internal/telemetry"
 	"pushadminer/internal/urlx"
 )
 
@@ -88,6 +89,20 @@ type ClusterOptions struct {
 	// bit-identical labels, cut height, and silhouette to the cached
 	// path; the benchmarks measure the gap.
 	Naive bool
+
+	// Metrics, when non-nil, records clustering-stage wall-times
+	// (distance_matrix, linkage, cut, silhouette) in the
+	// mining_stage_ns family and, on the pruned path, the
+	// cluster_pairs family's exact-vs-pruned pair counts. Nil disables
+	// with no overhead on the distance hot loop.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, emits one span per clustering stage. Nil
+	// disables. RunPipeline threads its own registry/tracer (and the
+	// pipeline root span) through these when they are unset.
+	Tracer *telemetry.Tracer
+	// parent is the span the stage spans hang off (set by RunPipeline;
+	// 0 makes them roots).
+	parent telemetry.SpanID
 }
 
 func (o ClusterOptions) conservativeTol() float64 {
@@ -113,16 +128,41 @@ type ClusterResult struct {
 // dendrogram cut, then derives per-cluster source/landing domain sets
 // and the ad-campaign label.
 func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
+	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent)
 	n := len(fs.Records)
+
+	// Pair accounting: exact = pairs whose soft-cosine distance was
+	// computed, pruned = pairs skipped by the SimHash filter. On the
+	// unmasked paths every pair is exact. Resolved only when metrics
+	// are enabled so the disabled hot loop stays untouched.
+	var exactPairs, prunedPairs *telemetry.Counter
+	if opts.Metrics != nil {
+		pairs := opts.Metrics.Family("cluster_pairs", "kind")
+		exactPairs, prunedPairs = pairs.With("exact"), pairs.With("pruned")
+	}
+
 	var dm *cluster.DistMatrix
+	done := st.stage("distance_matrix")
 	switch {
 	case opts.Naive:
 		dm = cluster.Compute(n, fs.NaiveDistance)
+		exactPairs.Add(int64(n) * int64(n-1) / 2)
 	case opts.Prune.Enabled:
 		p := opts.Prune.withDefaults()
 		keep := func(i, j int) bool {
 			return simhash.SharesBand(fs.Hashes[i], fs.Hashes[j], p.Bands) ||
 				simhash.Near(fs.Hashes[i], fs.Hashes[j], p.MaxHamming)
+		}
+		if exactPairs != nil {
+			inner := keep
+			keep = func(i, j int) bool {
+				if inner(i, j) {
+					exactPairs.Inc()
+					return true
+				}
+				prunedPairs.Inc()
+				return false
+			}
 		}
 		far := fs.ApproxDistance
 		if p.PrunedDistance > 0 {
@@ -132,20 +172,36 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 		dm = cluster.ComputeMasked(n, fs.Distance, keep, far)
 	default:
 		dm = cluster.Compute(n, fs.Distance)
+		exactPairs.Add(int64(n) * int64(n-1) / 2)
 	}
+	done()
+
+	done = st.stage("linkage")
 	dend := cluster.AgglomerativeLinkage(dm, opts.Linkage)
+	done()
 
 	var labels []int
 	var height, sil float64
 	if opts.FixedCutHeight > 0 {
+		done = st.stage("cut")
 		labels = dend.CutByHeight(opts.FixedCutHeight)
+		done()
 		height = opts.FixedCutHeight
+		done = st.stage("silhouette")
 		sil = cluster.Silhouette(dm, labels)
+		done()
 	} else if opts.Naive {
+		// The conservative sweep evaluates candidate cuts and their
+		// silhouettes in one pass, so cut and silhouette time fuse
+		// into the "cut" stage here.
+		done = st.stage("cut")
 		best := cluster.BestCutConservativeSerial(dend, dm, opts.MaxCutCandidates, opts.conservativeTol())
+		done()
 		labels, height, sil = best.Labels, best.Height, best.Silhouette
 	} else {
+		done = st.stage("cut")
 		best := cluster.BestCutConservative(dend, dm, opts.MaxCutCandidates, opts.conservativeTol())
+		done()
 		labels, height, sil = best.Labels, best.Height, best.Silhouette
 	}
 

@@ -107,6 +107,7 @@ func (r *run) writeCheckpoint(live []*container) {
 	}
 	if err := SaveCheckpoint(r.cfg.CheckpointPath, r.snapshot(live)); err == nil {
 		r.res.Degradation.CheckpointWrites++
+		r.c.tel.checkpointWrites.Inc()
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"pushadminer/internal/httpx"
 	"pushadminer/internal/serviceworker"
 	"pushadminer/internal/simclock"
+	"pushadminer/internal/telemetry"
 	"pushadminer/internal/urlx"
 )
 
@@ -124,6 +125,59 @@ type Config struct {
 	// crawl converges to the same record set as an uninterrupted one.
 	// A missing checkpoint file is not an error (fresh start).
 	Resume bool
+
+	// --- telemetry ---
+
+	// Metrics, if set, receives crawler counters mirroring the
+	// Degradation report (visit retries/failures, poll failures, breaker
+	// fast-fails, containers lost/recovered, checkpoint writes), a
+	// per-container pump-latency histogram, breaker transition counts,
+	// and is threaded into every browser the crawl creates. Nil disables
+	// with no overhead on the pump hot path beyond one nil check.
+	Metrics *telemetry.Registry
+	// Tracer, if set, records every browser event as a parent-linked
+	// span reconstructing WPN attack chains (exported as JSONL
+	// compatible with internal/audit replay).
+	Tracer *telemetry.Tracer
+}
+
+// crawlMetrics holds the crawler's preresolved instruments. Counters
+// are created up front (even if never incremented) so snapshot key sets
+// are deterministic across runs and can be golden-tested. The zero
+// value (telemetry disabled) holds nil instruments, whose methods all
+// no-op; enabled gates the one site that would otherwise pay for a
+// timestamp (pump latency).
+type crawlMetrics struct {
+	enabled             bool
+	visits              *telemetry.Counter
+	visitRetries        *telemetry.Counter
+	visitFailures       *telemetry.Counter
+	pollFailures        *telemetry.Counter
+	breakerFastFails    *telemetry.Counter
+	containersLost      *telemetry.Counter
+	containersRecovered *telemetry.Counter
+	checkpointWrites    *telemetry.Counter
+	records             *telemetry.Counter
+	pumpLatency         *telemetry.Histogram
+}
+
+func newCrawlMetrics(reg *telemetry.Registry) crawlMetrics {
+	if reg == nil {
+		return crawlMetrics{}
+	}
+	return crawlMetrics{
+		enabled:             true,
+		visits:              reg.Counter("crawler_visits"),
+		visitRetries:        reg.Counter("crawler_visit_retries"),
+		visitFailures:       reg.Counter("crawler_visit_failures"),
+		pollFailures:        reg.Counter("crawler_poll_failures"),
+		breakerFastFails:    reg.Counter("crawler_breaker_fast_fails"),
+		containersLost:      reg.Counter("crawler_containers_lost"),
+		containersRecovered: reg.Counter("crawler_containers_recovered"),
+		checkpointWrites:    reg.Counter("crawler_checkpoint_writes"),
+		records:             reg.Counter("crawler_records_emitted"),
+		pumpLatency:         reg.Histogram("crawler_pump_seconds", telemetry.LatencyBuckets),
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -303,6 +357,7 @@ func (h *containerHeap) Pop() interface{} {
 // Crawler runs crawls.
 type Crawler struct {
 	cfg    Config
+	tel    crawlMetrics // zero value when telemetry is disabled
 	nextID int
 }
 
@@ -319,7 +374,10 @@ func New(cfg Config) (*Crawler, error) {
 		// enough poll failures to be misdiagnosed as crashed.
 		cfg.Breaker = httpx.NewBreaker(cfg.Clock, httpx.BreakerConfig{Threshold: 2})
 	}
-	return &Crawler{cfg: cfg}, nil
+	if cfg.Metrics != nil {
+		cfg.Breaker.SetTransitions(cfg.Metrics.Family("breaker_transitions", "edge"))
+	}
+	return &Crawler{cfg: cfg, tel: newCrawlMetrics(cfg.Metrics)}, nil
 }
 
 // Run crawls the seed URLs with background context; see RunContext.
@@ -467,13 +525,16 @@ func (r *run) visitRetry(ct *container, u string) (*browser.VisitResult, error) 
 	for attempt := 1; attempt <= r.cfg.VisitAttempts; attempt++ {
 		if attempt > 1 {
 			r.bump(func(d *Degradation) { d.VisitRetries++ })
+			r.c.tel.visitRetries.Inc()
 		}
+		r.c.tel.visits.Inc()
 		vr, err = ct.br.Visit(u)
 		if err == nil && !transientStatus(vr) {
 			return vr, nil
 		}
 	}
 	r.bump(func(d *Degradation) { d.VisitFailures++ })
+	r.c.tel.visitFailures.Inc()
 	if err == nil {
 		err = fmt.Errorf("crawler: visit %s: status %d after %d attempts",
 			u, vr.Navigation.Status, r.cfg.VisitAttempts)
@@ -501,6 +562,8 @@ func (c *Crawler) newBrowser(seedURL string) *browser.Browser {
 		ClickDelay:  c.cfg.ClickDelay,
 		ClientID:    c.clientID(seedURL),
 		PushBreaker: c.cfg.Breaker,
+		Metrics:     c.cfg.Metrics,
+		Tracer:      c.cfg.Tracer,
 	})
 }
 
@@ -591,11 +654,24 @@ func (r *run) monitor(live []*container) {
 	}
 }
 
-// pump polls the push service for a container and, if anything arrived,
-// waits out the click delay and processes the auto-clicks into records.
-// Poll failures feed crash detection; open-circuit fast-fails do not
-// (the push service being down says nothing about the container).
+// pump polls one container, timing the poll-click-emit cycle when
+// telemetry is on. The disabled path takes one boolean check — no
+// timestamps, no allocations.
 func (r *run) pump(ct *container) {
+	if !r.c.tel.enabled {
+		r.pumpInner(ct)
+		return
+	}
+	start := time.Now()
+	r.pumpInner(ct)
+	r.c.tel.pumpLatency.Observe(time.Since(start).Seconds())
+}
+
+// pumpInner polls the push service for a container and, if anything
+// arrived, waits out the click delay and processes the auto-clicks into
+// records. Poll failures feed crash detection; open-circuit fast-fails
+// do not (the push service being down says nothing about the container).
+func (r *run) pumpInner(ct *container) {
 	if r.cfg.Pending != nil && !r.hasPending(ct) {
 		return
 	}
@@ -603,9 +679,11 @@ func (r *run) pump(ct *container) {
 	if err != nil {
 		if errors.Is(err, httpx.ErrCircuitOpen) {
 			r.bump(func(d *Degradation) { d.BreakerFastFails++ })
+			r.c.tel.breakerFastFails.Inc()
 			return
 		}
 		r.bump(func(d *Degradation) { d.PollFailures++ })
+		r.c.tel.pollFailures.Inc()
 		// Attribute the failure: if this failure tripped (or probed) the
 		// push host's circuit, the service is sick — that says nothing
 		// about the container, so it must not feed crash detection.
@@ -656,6 +734,7 @@ func (r *run) emit(ct *container, oc browser.ClickOutcome) {
 		rec = old
 	}
 	r.res.Records = append(r.res.Records, rec)
+	r.c.tel.records.Inc()
 	ct.collected++
 }
 
@@ -675,6 +754,7 @@ func recordKey(rec *WPNRecord) string {
 func (r *run) crashContainer(ct *container) {
 	deg := &r.res.Degradation
 	deg.ContainersLost++
+	r.c.tel.containersLost.Inc()
 	deg.DroppedNotifications += ct.br.DroppedNotifications()
 	for tok := range ct.sourceByToken {
 		r.lostTokens = append(r.lostTokens, tok)
@@ -698,6 +778,7 @@ func (r *run) crashContainer(ct *container) {
 	ct.regTimeByToken[tok] = now
 	ct.activeUntil = now.Add(r.cfg.MonitorWindow)
 	deg.ContainersRecovered++
+	r.c.tel.containersRecovered.Inc()
 }
 
 // finish folds remaining degradation sources into the report, appends

@@ -261,6 +261,13 @@ func NewClientWith(httpClient *http.Client, host string, breaker *httpx.Breaker)
 	return &Client{retry: retry, Base: "https://" + host}
 }
 
+// WithRetryMetrics attaches retry counters to the client's retrying
+// HTTP layer and returns the same client.
+func (c *Client) WithRetryMetrics(m *httpx.RetryMetrics) *Client {
+	c.retry.WithMetrics(m)
+	return c
+}
+
 // Register calls POST /register.
 func (c *Client) Register(origin, swURL string) (webpush.Subscription, error) {
 	var sub webpush.Subscription

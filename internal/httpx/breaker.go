@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pushadminer/internal/simclock"
+	"pushadminer/internal/telemetry"
 )
 
 // ErrCircuitOpen is returned (wrapped) when a request is refused because
@@ -24,6 +25,9 @@ type BreakerConfig struct {
 	// half-open probe through. Measured on the breaker's clock — the
 	// simulated clock in crawls. Default 30 minutes.
 	Cooldown time.Duration
+	// Transitions, when set, counts circuit state changes by edge
+	// ("closed→open", "open→half-open", ...). Optional; nil disables.
+	Transitions *telemetry.Family
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -41,6 +45,17 @@ const (
 	stateOpen
 	stateHalfOpen
 )
+
+func stateName(s int) string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
 
 type hostBreaker struct {
 	state    int
@@ -70,6 +85,27 @@ func NewBreaker(clock simclock.Clock, cfg BreakerConfig) *Breaker {
 	return &Breaker{clock: clock, cfg: cfg.withDefaults(), hosts: make(map[string]*hostBreaker)}
 }
 
+// SetTransitions attaches (or replaces) the transition-counting family
+// on an existing breaker. Nil-safe; call before traffic for complete
+// counts.
+func (b *Breaker) SetTransitions(f *telemetry.Family) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cfg.Transitions = f
+}
+
+// setState moves a host breaker to a new state, counting the edge.
+// Callers hold b.mu.
+func (b *Breaker) setState(hb *hostBreaker, to int) {
+	if hb.state != to {
+		b.cfg.Transitions.Add(stateName(hb.state)+"→"+stateName(to), 1)
+	}
+	hb.state = to
+}
+
 func (b *Breaker) host(host string) *hostBreaker {
 	hb := b.hosts[host]
 	if hb == nil {
@@ -91,7 +127,7 @@ func (b *Breaker) Allow(host string) error {
 		return nil
 	case stateOpen:
 		if b.clock.Now().Sub(hb.openedAt) >= b.cfg.Cooldown {
-			hb.state = stateHalfOpen // this caller becomes the probe
+			b.setState(hb, stateHalfOpen) // this caller becomes the probe
 			return nil
 		}
 		return ErrCircuitOpen
@@ -106,13 +142,13 @@ func (b *Breaker) Report(host string, ok bool) {
 	defer b.mu.Unlock()
 	hb := b.host(host)
 	if ok {
-		hb.state = stateClosed
+		b.setState(hb, stateClosed)
 		hb.fails = 0
 		return
 	}
 	hb.fails++
 	if hb.state == stateHalfOpen || hb.fails >= b.cfg.Threshold {
-		hb.state = stateOpen
+		b.setState(hb, stateOpen)
 		hb.fails = 0
 		hb.openedAt = b.clock.Now()
 	}
@@ -123,12 +159,5 @@ func (b *Breaker) Report(host string, ok bool) {
 func (b *Breaker) State(host string) string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	switch b.host(host).state {
-	case stateOpen:
-		return "open"
-	case stateHalfOpen:
-		return "half-open"
-	default:
-		return "closed"
-	}
+	return stateName(b.host(host).state)
 }

@@ -19,7 +19,19 @@ import (
 	"time"
 
 	"pushadminer/internal/simclock"
+	"pushadminer/internal/telemetry"
 )
+
+// RetryMetrics counts retry-loop activity for telemetry. All fields are
+// optional (nil counters no-op); a nil *RetryMetrics disables counting
+// entirely.
+type RetryMetrics struct {
+	// Retries counts re-attempts (every try after the first).
+	Retries *telemetry.Counter
+	// RetryAfterWaits counts backoff sleeps stretched by an honored
+	// Retry-After header.
+	RetryAfterWaits *telemetry.Counter
+}
 
 // RetryPolicy configures retry behaviour.
 type RetryPolicy struct {
@@ -68,6 +80,13 @@ type Client struct {
 	clock   simclock.Clock
 	policy  RetryPolicy
 	breaker *Breaker
+	metrics *RetryMetrics
+}
+
+// WithMetrics attaches retry counters and returns the client.
+func (c *Client) WithMetrics(m *RetryMetrics) *Client {
+	c.metrics = m
+	return c
 }
 
 // WithBreaker attaches a per-host circuit breaker and returns the
@@ -160,12 +179,18 @@ func (c *Client) attempts(build func() (*http.Request, error), key string) (*htt
 		if attempt < c.policy.MaxAttempts {
 			d := jitter(delay, key, attempt)
 			if retryAfter > 0 {
+				if m := c.metrics; m != nil {
+					m.RetryAfterWaits.Inc()
+				}
 				if retryAfter > c.policy.RetryAfterCap {
 					retryAfter = c.policy.RetryAfterCap
 				}
 				if retryAfter > d {
 					d = retryAfter
 				}
+			}
+			if m := c.metrics; m != nil {
+				m.Retries.Inc()
 			}
 			c.clock.Sleep(d)
 			delay *= 2

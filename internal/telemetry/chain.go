@@ -1,0 +1,124 @@
+package telemetry
+
+import "time"
+
+// Browser event kinds the chain recorder links into WPN attack chains.
+// They mirror internal/browser's EventKind strings (kept as plain
+// strings here so telemetry stays a leaf package).
+const (
+	evVisit               = "visit"
+	evSWRegistered        = "sw_registered"
+	evPushReceived        = "push_received"
+	evNotificationShown   = "notification_shown"
+	evNotificationClicked = "notification_clicked"
+	evSWRequest           = "sw_request"
+	evNavigation          = "navigation"
+	evRedirect            = "redirect"
+	evLandingPage         = "landing_page"
+	evTabCrashed          = "tab_crashed"
+)
+
+// ChainRecorder turns one browser's instrumentation event stream into
+// parent-linked spans on a shared Tracer, reconstructing the WPN attack
+// chain live: seed visit → permission → SW install → push →
+// notification → click → redirect hops → landing page.
+//
+// Every event becomes exactly one span, emitted in event order with the
+// event's own fields and simulated-clock time — so a trace is a lossless
+// re-encoding of the audit log, and internal/audit can reconstruct
+// chains from either (see audit.EntriesFromSpans).
+//
+// A ChainRecorder serves a single browser (one container); the Tracer
+// behind it may be shared by many. The nil ChainRecorder ignores
+// everything.
+type ChainRecorder struct {
+	tr        *Tracer
+	container string
+
+	visit SpanID            // current top-level visit span
+	swReg map[string]SpanID // SW URL → registration span
+	chain SpanID            // most recent push_received span
+	click SpanID            // clicked chain collecting consequences
+	shown map[string]SpanID // displayed-but-unclicked, by title
+}
+
+// NewChainRecorder creates a recorder for one container. Returns nil
+// when the tracer is nil, so disabled tracing costs one nil check per
+// event.
+func NewChainRecorder(tr *Tracer, container string) *ChainRecorder {
+	if tr == nil {
+		return nil
+	}
+	return &ChainRecorder{
+		tr:        tr,
+		container: container,
+		swReg:     make(map[string]SpanID),
+		shown:     make(map[string]SpanID),
+	}
+}
+
+// Event records one browser event, linking it into the chain in
+// progress. at is the event's (simulated) time; fields are stored as
+// span attributes verbatim.
+func (c *ChainRecorder) Event(at time.Time, kind string, fields map[string]string) {
+	if c == nil {
+		return
+	}
+	switch kind {
+	case evVisit:
+		c.tr.EndAt(c.visit, at)
+		c.visit = c.tr.StartAt(c.container, kind, 0, fields, at)
+
+	case evSWRegistered:
+		id := c.tr.Point(c.container, kind, c.visit, fields, at)
+		if sw := fields["sw"]; sw != "" {
+			c.swReg[sw] = id
+		}
+
+	case evPushReceived:
+		parent := c.swReg[fields["sw"]]
+		c.chain = c.tr.StartAt(c.container, kind, parent, fields, at)
+
+	case evNotificationShown:
+		id := c.tr.StartAt(c.container, kind, c.chain, fields, at)
+		if t := fields["title"]; t != "" {
+			c.shown[t] = id
+		}
+
+	case evNotificationClicked:
+		parent := c.shown[fields["title"]]
+		delete(c.shown, fields["title"])
+		c.click = c.tr.StartAt(c.container, kind, parent, fields, at)
+
+	case evSWRequest:
+		parent := c.click
+		if parent == 0 {
+			parent = c.chain
+		}
+		c.tr.Point(c.container, kind, parent, fields, at)
+
+	case evNavigation, evRedirect:
+		parent := c.click
+		if parent == 0 {
+			parent = c.visit
+		}
+		c.tr.Point(c.container, kind, parent, fields, at)
+
+	case evLandingPage, evTabCrashed:
+		parent := c.click
+		if parent == 0 {
+			parent = c.visit
+		}
+		c.tr.Point(c.container, kind, parent, fields, at)
+		if c.click != 0 {
+			c.tr.EndAt(c.click, at)
+			c.tr.EndAt(c.chain, at)
+			c.click = 0
+		}
+
+	default:
+		// Permission prompts, page requests, and anything added later
+		// hang off the visit in progress.
+		c.tr.Point(c.container, kind, c.visit, fields, at)
+	}
+}

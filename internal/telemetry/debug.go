@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional runtime-profiling endpoint behind the
+// -debug-addr flag: net/http/pprof, /debug/vars (expvar), and /metrics
+// (the registry snapshot) on a loopback listener.
+type DebugServer struct {
+	addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeDebug starts the debug HTTP server on addr (e.g.
+// "127.0.0.1:6060"; ":0" picks a free port). The registry may be nil,
+// in which case /metrics serves an empty snapshot. The server runs
+// until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
+	}
+	ds := &DebugServer{
+		addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go ds.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ds, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.addr
+}
+
+// Close shuts the server down. Nil-safe.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -17,6 +17,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pushadminer/internal/chaos"
+	"pushadminer/internal/telemetry"
 )
 
 // Network is a virtual internet. Register hosts with Handle, then create
@@ -45,7 +48,26 @@ type Network struct {
 	// wait for.
 	inflight sync.WaitGroup
 
-	reqCount map[string]int // per-host request counter, for tests/metrics
+	// reqFamily is the single per-host request counter: RequestCounts
+	// reads it, and AttachMetrics adopts the same family into a
+	// telemetry registry, so tests and snapshots can never disagree.
+	reqFamily *telemetry.Family
+
+	metrics *clientMetrics // client-side counting, set by AttachMetrics
+}
+
+// clientMetrics counts every round trip of every client created after
+// AttachMetrics, at the one choke point all simulated traffic crosses.
+// Sitting outside the chaos transport wrapper, it sees blackholed and
+// reset requests as transport errors, and chaos-marked responses by
+// their injected-fault kind — which is what makes chaos's injected
+// counts reconcilable with the crawler's retry counters.
+type clientMetrics struct {
+	requests *telemetry.Counter // round trips attempted
+	errors   *telemetry.Counter // transport-level failures, any cause
+	errKinds *telemetry.Family  // the same failures classified by cause
+	status   *telemetry.Family  // responses by status class ("2xx".."5xx")
+	injected *telemetry.Family  // chaos-marked responses by fault kind
 }
 
 // New starts a virtual network on an ephemeral loopback port.
@@ -64,7 +86,7 @@ func New() (*Network, error) {
 			MaxConnsPerHost:     256,
 			IdleConnTimeout:     2 * time.Second,
 		},
-		reqCount: make(map[string]int),
+		reqFamily: telemetry.NewFamily("vnet_requests_by_host", "host"),
 	}
 	n.server = &http.Server{Handler: http.HandlerFunc(n.dispatch)}
 	go n.server.Serve(ln) //nolint:errcheck // Serve returns on Close
@@ -155,21 +177,42 @@ func (n *Network) Hosts() []string {
 
 // RequestCount returns how many requests the given host has served.
 func (n *Network) RequestCount(host string) int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.reqCount[strings.ToLower(host)]
+	return int(n.reqFamily.With(strings.ToLower(host)).Value())
 }
 
 // RequestCounts returns a race-safe snapshot of the per-host request
-// counters.
+// counters. It reads the same telemetry family AttachMetrics exposes in
+// registry snapshots — one code path for both consumers.
 func (n *Network) RequestCounts() map[string]int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	out := make(map[string]int, len(n.reqCount))
-	for h, c := range n.reqCount {
-		out[h] = c
+	counts := n.reqFamily.Counts()
+	out := make(map[string]int, len(counts))
+	for h, c := range counts {
+		out[h] = int(c)
 	}
 	return out
+}
+
+// AttachMetrics folds the network's per-host request family into the
+// registry and starts client-side counting: every client created after
+// this call counts round trips, transport errors, response status
+// classes, and chaos-injected faults (marked via chaos.InjectedHeader).
+// A nil registry detaches. Attach before creating clients whose traffic
+// must be counted.
+func (n *Network) AttachMetrics(reg *telemetry.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reg == nil {
+		n.metrics = nil
+		return
+	}
+	reg.Adopt(n.reqFamily)
+	n.metrics = &clientMetrics{
+		requests: reg.Counter("vnet_client_requests"),
+		errors:   reg.Counter("vnet_client_transport_errors"),
+		errKinds: reg.Family("vnet_client_errors", "kind"),
+		status:   reg.Family("vnet_responses_by_class", "class"),
+		injected: reg.Family("vnet_injected_faults", "kind"),
+	}
 }
 
 func (n *Network) dispatch(w http.ResponseWriter, r *http.Request) {
@@ -179,14 +222,14 @@ func (n *Network) dispatch(w http.ResponseWriter, r *http.Request) {
 	if i := strings.IndexByte(host, ':'); i >= 0 {
 		host = host[:i]
 	}
-	n.mu.Lock()
-	n.reqCount[host]++
+	n.reqFamily.Add(host, 1)
+	n.mu.RLock()
 	h := n.hosts[host]
 	if h == nil {
 		h = n.fallback
 	}
 	mw := n.middleware
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if h == nil {
 		http.Error(w, "vnet: no such host "+host, http.StatusBadGateway)
 		return
@@ -254,9 +297,68 @@ func (n *Network) newTransport() http.RoundTripper {
 	var rt http.RoundTripper = &transport{network: n, base: n.base}
 	n.mu.RLock()
 	wrap := n.wrapTransport
+	m := n.metrics
 	n.mu.RUnlock()
 	if wrap != nil {
 		rt = wrap(rt)
 	}
+	if m != nil {
+		// Outermost, so chaos-injected transport failures are visible.
+		rt = &countingTransport{base: rt, m: m}
+	}
 	return rt
+}
+
+// countingTransport observes every client round trip for clientMetrics.
+type countingTransport struct {
+	base http.RoundTripper
+	m    *clientMetrics
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.m.requests.Inc()
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		t.m.errors.Inc()
+		t.m.errKinds.Add(errorKind(err), 1)
+		return resp, err
+	}
+	t.m.status.Add(statusClass(resp.StatusCode), 1)
+	if kind := resp.Header.Get(chaos.InjectedHeader); kind != "" {
+		t.m.injected.Add(kind, 1)
+	}
+	return resp, err
+}
+
+// errorKind classifies a transport failure by cause, which is what
+// makes the chaos reconciliation exact: "blackhole" is the injector's
+// client-side DNS window, "bad_url" is a navigation to a scheme-less or
+// unsupported URL (an ecosystem artifact, not a fault), and "conn" is a
+// killed connection — under chaos, exactly the injected resets.
+func errorKind(err error) string {
+	s := err.Error()
+	switch {
+	case strings.Contains(s, "blackhole window"):
+		return "blackhole"
+	case strings.Contains(s, "unsupported protocol scheme"):
+		return "bad_url"
+	default:
+		return "conn"
+	}
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"pushadminer/internal/blocklist"
 	"pushadminer/internal/chaos"
+	"pushadminer/internal/telemetry"
 )
 
 // NetworkSpec describes one seed ad network from Table 1 of the paper:
@@ -118,6 +119,12 @@ type Config struct {
 	// outages, all seeded (a zero Chaos.Seed inherits Seed). Nil keeps
 	// the network fault-free.
 	Chaos *chaos.Profile
+	// Telemetry, when non-nil, attaches the metrics registry to the
+	// virtual network (per-host request counts, client round trips,
+	// transport errors, injected-fault observations) and to the chaos
+	// injector (fault totals) before any client exists, so even the
+	// ecosystem's own scheduler traffic is counted. Nil disables.
+	Telemetry *telemetry.Registry
 }
 
 // WithDefaults fills unset fields.

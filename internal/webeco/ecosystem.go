@@ -91,6 +91,13 @@ func New(cfg Config) (*Ecosystem, error) {
 		net.SetMiddleware(e.chaos.Middleware)
 		net.SetTransportWrapper(e.chaos.WrapTransport)
 	}
+	if cfg.Telemetry != nil {
+		// Attach before any client exists: the ecosystem's own push
+		// client (created next) carries scheduler traffic that must be
+		// counted for chaos/retry reconciliation.
+		net.AttachMetrics(cfg.Telemetry)
+		e.chaos.AttachMetrics(cfg.Telemetry)
+	}
 	// The ecosystem's own push client carries a fixed identity so fault
 	// draws against scheduler traffic are stable.
 	e.fcmClient = fcm.NewClient(chaos.TagClient(net.Client(), "ecosystem"), "")

@@ -25,9 +25,22 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		split(name, parts, "/")
 		bench = parts[1]; size = parts[2]; mode = parts[3]
 		sub(/^n=/, "", size)
+		# Per-stage wall-times reported via telemetry as "<stage>-ns/op"
+		# custom metrics (BenchmarkClusterWPNs only).
+		stages = ""
+		for (i = 5; i + 1 <= NF; i += 2) {
+			unit = $(i + 1)
+			if (unit ~ /-ns\/op$/) {
+				stage = unit
+				sub(/-ns\/op$/, "", stage)
+				if (stages != "") stages = stages ", "
+				stages = stages sprintf("\"%s\": %s", stage, $(i))
+			}
+		}
+		if (stages != "") stages = sprintf(", \"stage_ns\": {%s}", stages)
 		if (out != "") out = out ",\n"
-		out = out sprintf("    {\"bench\": \"%s\", \"n\": %s, \"mode\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}",
-			bench, size, mode, iters, ns)
+		out = out sprintf("    {\"bench\": \"%s\", \"n\": %s, \"mode\": \"%s\", \"iters\": %s, \"ns_per_op\": %s%s}",
+			bench, size, mode, iters, ns, stages)
 		nsof[bench "/" size "/" mode] = ns
 	}
 	END {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# telemetry_smoke.sh — end-to-end observability gate: run a small seeded
+# chaos crawl + mine with -metrics-out/-trace-out, then validate the
+# snapshot against the golden key-set (scripts/telemetry_keys.txt) and
+# sanity-check the trace. Dependency-free: POSIX sh + the Go toolchain.
+#
+#   sh scripts/telemetry_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMPD="$(mktemp -d)"
+trap 'rm -rf "$TMPD"' EXIT
+
+echo "==> telemetry smoke: seeded chaos crawl+mine with -metrics-out/-trace-out"
+go run ./cmd/wpncrawl -seed 11 -scale 0.002 -days 7 \
+	-chaos-profile acceptance \
+	-out "$TMPD/wpns.json" \
+	-metrics-out "$TMPD/metrics.json" \
+	-trace-out "$TMPD/trace.jsonl"
+
+[ -s "$TMPD/metrics.json" ] || { echo "telemetry smoke: empty metrics snapshot" >&2; exit 1; }
+[ -s "$TMPD/trace.jsonl" ] || { echo "telemetry smoke: empty trace" >&2; exit 1; }
+
+missing=0
+while IFS= read -r key; do
+	case "$key" in ''|'#'*) continue ;; esac
+	if ! grep -q "\"$key\"" "$TMPD/metrics.json"; then
+		echo "telemetry smoke: snapshot missing golden key \"$key\"" >&2
+		missing=$((missing + 1))
+	fi
+done < scripts/telemetry_keys.txt
+[ "$missing" -eq 0 ] || { echo "telemetry smoke: $missing golden key(s) missing" >&2; exit 1; }
+
+# The trace must contain at least one complete attack chain: a push
+# received, a notification clicked, and a landing page reached.
+for kind in push_received notification_clicked landing_page; do
+	grep -q "\"name\":\"$kind\"" "$TMPD/trace.jsonl" || {
+		echo "telemetry smoke: trace has no $kind span" >&2
+		exit 1
+	}
+done
+
+echo "telemetry smoke: OK ($(grep -c . "$TMPD/trace.jsonl") spans, all golden keys present)"

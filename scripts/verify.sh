@@ -23,4 +23,6 @@ go test -run '^$' \
 	-bench '^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$/^n=200$' \
 	-benchtime 1x .
 
+sh scripts/telemetry_smoke.sh
+
 echo "verify: OK"
