@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench telemetry-smoke
+.PHONY: build test race vet verify bench bench-crawl telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ verify:
 # bench runs the mining benchmark suite and writes BENCH_mining.json.
 bench:
 	sh scripts/bench.sh
+
+# bench-crawl runs the crawl benchmark suite (serial vs parallel
+# monitor phase + end-to-end study) and writes BENCH_crawl.json.
+bench-crawl:
+	SUITE=crawl sh scripts/bench.sh
 
 # telemetry-smoke runs a seeded chaos crawl+mine with -metrics-out and
 # validates the snapshot against the golden key-set.

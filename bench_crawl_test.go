@@ -1,0 +1,82 @@
+// Crawl benchmark suite, end-to-end half: a whole study — ecosystem
+// generation, seeding, the monitor loop, and the mining pipeline —
+// through the public API, in serial (PumpWorkers=1) and parallel
+// (PumpWorkers=0) modes. The monitor-phase-only companion lives in
+// internal/crawler; scripts/bench.sh runs both and records
+// BENCH_crawl.json. The serial/parallel parity tests guarantee the two
+// modes agree byte-for-byte before the speedup counts.
+//
+// Run with:
+//
+//	make bench-crawl
+package pushadminer_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pushadminer"
+	"pushadminer/internal/chaos"
+	"pushadminer/internal/webeco"
+)
+
+// studySizes mirror internal/crawler's crawlSizes: the ecosystem scale
+// that registers at least the nominal fleet size (seed 11, desktop:
+// scale 0.01 registers ~66 containers, scale 0.05 ~290). The
+// end-to-end bench crawls the whole registered fleet.
+var studySizes = []struct {
+	n     int
+	scale float64
+}{
+	{50, 0.01},
+	{200, 0.05},
+}
+
+// studyLatency models the WAN round-trip the paper's I/O-bound crawler
+// paid on every request: a fixed real-time delay at the vnet choke
+// point (the simulated clock does not advance). Draws are
+// deterministic per request identity, so serial and parallel studies
+// stay byte-identical.
+func studyLatency() *chaos.Profile {
+	return &chaos.Profile{
+		Seed:            11,
+		LatencyFraction: 1,
+		LatencyMin:      time.Millisecond,
+		LatencyMax:      time.Millisecond,
+	}
+}
+
+var studyRecords int
+
+func benchStudy(b *testing.B, scale float64, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
+			Eco:              webeco.Config{Seed: 11, Scale: scale, Chaos: studyLatency()},
+			CollectionWindow: 7 * 24 * time.Hour,
+			SkipMobile:       true,
+			PumpWorkers:      workers,
+			BatchWindow:      time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		studyRecords += len(study.Records)
+		study.Eco.Close()
+	}
+}
+
+// BenchmarkStudyEndToEnd measures a full desktop study at the two
+// fleet-size classes. Unlike BenchmarkCrawlMonitor this includes the
+// phases that do not scale with PumpWorkers (ecosystem generation,
+// word2vec, clustering), so its speedup is a lower bound on the
+// monitor-phase ratio.
+func BenchmarkStudyEndToEnd(b *testing.B) {
+	for _, size := range studySizes {
+		b.Run(fmt.Sprintf("n=%d", size.n), func(b *testing.B) {
+			b.Run("serial", func(b *testing.B) { benchStudy(b, size.scale, 1) })
+			b.Run("parallel", func(b *testing.B) { benchStudy(b, size.scale, 0) })
+		})
+	}
+}

@@ -46,6 +46,8 @@ func main() {
 		out        = flag.String("out", "wpns.json", "output JSON path")
 		profile    = flag.String("chaos-profile", "", "fault-injection profile (mild|acceptance|harsh, with k=v overrides)")
 		ckpt       = flag.String("checkpoint", "", "base path for crash-tolerant crawl checkpoints")
+		pumpW      = flag.Int("pump-workers", 0, "parallel monitor-phase workers (1 = serial reference path, <= 0 = container-pool size); output is identical at any setting")
+		batchW     = flag.Duration("batch-window", 0, "coalesce monitor ticks: pump everything due within this window of the first due event as one batch (0 = exact per-event stepping)")
 		resume     = flag.Bool("resume", false, "resume crawls from existing checkpoints")
 		debugAddr  = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
 		metricsOut = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
@@ -82,6 +84,8 @@ func main() {
 		CollectionWindow: time.Duration(*days) * 24 * time.Hour,
 		CheckpointPath:   *ckpt,
 		Resume:           *resume,
+		PumpWorkers:      *pumpW,
+		BatchWindow:      *batchW,
 		Metrics:          reg,
 		Tracer:           tracer,
 	})

@@ -13,22 +13,53 @@ import (
 // causing notifications to be displayed (steps 5–6 of Figure 3). It
 // returns the number of push messages processed. pushHost selects the
 // push service (fcm.DefaultHost if empty).
+//
+// PumpPush is the serial composition of PollPush and DispatchPushes;
+// the crawler's batched monitor calls the two halves separately so the
+// breaker-mediated poll stays serialized while dispatch fans out.
 func (b *Browser) PumpPush(pushHost string) (int, error) {
-	regs := b.Registrations()
-	if len(regs) == 0 {
-		return 0, nil
-	}
-	byToken := make(map[string]*serviceworker.Registration, len(regs))
-	tokens := make([]string, 0, len(regs))
-	for _, r := range regs {
-		byToken[r.Sub.Token] = r
-		tokens = append(tokens, r.Sub.Token)
-	}
-	client := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker).WithRetryMetrics(b.met.retry)
-	msgs, err := client.Poll(tokens)
+	msgs, err := b.PollPush(pushHost)
 	if err != nil {
 		return 0, err
 	}
+	b.DispatchPushes(msgs)
+	return len(msgs), nil
+}
+
+// PollPush polls the push service for every subscription the browser
+// holds and returns the undelivered messages without dispatching them.
+// The poll rides the shared per-host circuit breaker, so callers that
+// parallelize across browsers must keep PollPush calls in a
+// deterministic serial order.
+func (b *Browser) PollPush(pushHost string) ([]webpush.Message, error) {
+	regs := b.Registrations()
+	if len(regs) == 0 {
+		return nil, nil
+	}
+	tokens := make([]string, 0, len(regs))
+	for _, r := range regs {
+		tokens = append(tokens, r.Sub.Token)
+	}
+	client := fcm.NewClientWith(b.cfg.Client, pushHost, b.cfg.PushBreaker).WithRetryMetrics(b.met.retry)
+	return client.Poll(tokens)
+}
+
+// DispatchPushes runs the service-worker push events for messages
+// previously returned by PollPush, causing notifications to be
+// displayed. It returns the number of messages dispatched (messages for
+// unknown tokens are skipped). Dispatch traffic uses the browser's own
+// client — no shared breaker — so distinct browsers may dispatch
+// concurrently.
+func (b *Browser) DispatchPushes(msgs []webpush.Message) int {
+	if len(msgs) == 0 {
+		return 0
+	}
+	regs := b.Registrations()
+	byToken := make(map[string]*serviceworker.Registration, len(regs))
+	for _, r := range regs {
+		byToken[r.Sub.Token] = r
+	}
+	n := 0
 	for _, msg := range msgs {
 		reg := byToken[msg.Token]
 		if reg == nil {
@@ -36,8 +67,9 @@ func (b *Browser) PumpPush(pushHost string) (int, error) {
 		}
 		b.log(EvPushReceived, map[string]string{"token": msg.Token, "sw": reg.Script.URL})
 		b.dispatchPush(reg, msg)
+		n++
 	}
-	return len(msgs), nil
+	return n
 }
 
 // dispatchPush runs one push event on a registration, capturing displayed

@@ -189,23 +189,14 @@ func (in *Injector) count(kind string) {
 }
 
 // key identifies a request class for fault draws: who, where, what.
-// The path is collapsed to its first segment so /send/tok-000123 and
-// /send/tok-000777 share attempt counters — token numbers depend on
-// nondeterministic mint order and must not influence draws.
+// The full path participates, so /send/tok-a and /send/tok-b keep
+// separate attempt counters: push tokens are minted from registration
+// identity (browser instance, origin, script — see fcm.Register), never
+// from arrival order, so per-token draw sequences stay deterministic
+// even when deliveries to different tokens are flushed concurrently.
 func requestKey(r *http.Request, host string) string {
 	client := r.Header.Get(ClientHeader)
-	seg := r.URL.Path
-	if i := strings.IndexByte(seg[min(1, len(seg)):], '/'); i >= 0 {
-		seg = seg[:i+1]
-	}
-	return client + "|" + host + "|" + r.Method + "|" + seg
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return client + "|" + host + "|" + r.Method + "|" + r.URL.Path
 }
 
 // nextAttempt increments and returns the per-key attempt counter.

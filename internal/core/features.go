@@ -60,6 +60,12 @@ type FeatureOptions struct {
 	// instead of raw term frequency (an extension beyond the paper's
 	// plain counts; see the ablation bench).
 	TFIDF bool
+	// Workers bounds the fan-out of the per-record featurization loops
+	// (tokenization, BOW/SimHash construction); word2vec training stays
+	// single-pass. Every loop writes slot-indexed slices, so the output
+	// is identical at any worker count. 1 forces the serial path; <= 0
+	// defaults to GOMAXPROCS.
+	Workers int
 }
 
 // ExtractFeatures trains word2vec on the records' message texts and
@@ -69,9 +75,9 @@ func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*Featur
 		return nil, fmt.Errorf("core: no records to extract features from")
 	}
 	docs := make([][]string, len(records))
-	for i, r := range records {
-		docs[i] = textmine.Tokenize(r.Title + " " + r.Body)
-	}
+	fanOut(len(records), opts.Workers, func(i int) {
+		docs[i] = textmine.Tokenize(records[i].Title + " " + records[i].Body)
+	})
 	emb, err := textmine.TrainWord2Vec(docs, opts.Word2Vec)
 	if err != nil {
 		return nil, err
@@ -91,13 +97,14 @@ func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*Featur
 	var idf *textmine.IDF
 	if opts.TFIDF {
 		idDocs := make([][]int, len(records))
-		for i, r := range records {
-			idDocs[i] = vocab.LookupIDs(textmine.ContentTokens(r.Title + " " + r.Body))
-		}
+		fanOut(len(records), opts.Workers, func(i int) {
+			idDocs[i] = vocab.LookupIDs(textmine.ContentTokens(records[i].Title + " " + records[i].Body))
+		})
 		idf = textmine.ComputeIDF(idDocs, vocab.Len())
 	}
 	bows := make([]textmine.BOW, len(records))
-	for i, r := range records {
+	fanOut(len(records), opts.Workers, func(i int) {
+		r := records[i]
 		content := textmine.ContentTokens(r.Title + " " + r.Body)
 		ids := vocab.LookupIDs(content)
 		var bow textmine.BOW
@@ -119,7 +126,7 @@ func ExtractFeatures(records []*crawler.WPNRecord, opts FeatureOptions) (*Featur
 			fp = append(fp, paths...)
 		}
 		fs.Hashes[i] = simhash.Of(fp)
-	}
+	})
 	fs.Kernel = textmine.NewDocKernel(bows, sim, emb)
 	return fs, nil
 }

@@ -11,6 +11,7 @@ import (
 type PipelineOptions struct {
 	Features FeatureOptions
 	Cluster  ClusterOptions
+	Labels   LabelOptions
 	// Services are the URL blocklists to query (VT, GSB).
 	Services []BlocklistLookup
 	// Scans are the lookup instants (the paper scanned during
@@ -116,7 +117,7 @@ func RunPipeline(records []*crawler.WPNRecord, opts PipelineOptions) (*Analysis,
 	}
 	cr := ClusterWPNs(fs, opts.Cluster)
 	done = st.stage("label")
-	labels, flagged, err := LabelKnownMalicious(fs, opts.Services, opts.Scans)
+	labels, flagged, err := LabelKnownMaliciousOpts(fs, opts.Services, opts.Scans, opts.Labels)
 	done()
 	if err != nil {
 		return nil, err

@@ -41,6 +41,20 @@ type StudyConfig struct {
 	// Pipeline tweaks analysis stages (ablations). Services and Scans
 	// are filled in from the ecosystem.
 	Pipeline PipelineOptions
+	// PumpWorkers bounds the crawler's parallel monitor phases (polls,
+	// push dispatch, auto-clicks, landing-page subscriptions); the
+	// ecosystem's push-delivery fan-out and the pipeline's featurize
+	// and blocklist-lookup stages follow it unless set explicitly. 1
+	// forces the serial reference path everywhere; <= 0 defaults to
+	// the crawler's container-pool size. Results are byte-identical at
+	// every worker count.
+	PumpWorkers int
+	// BatchWindow coalesces the crawler's monitor ticks (see
+	// crawler.Config.BatchWindow): everything due within the window of
+	// the first due event is pumped as one batch, which is what gives
+	// the parallel phases batches worth fanning out over. 0 keeps
+	// exact per-event stepping.
+	BatchWindow time.Duration
 
 	// Metrics, when non-nil, is threaded through every layer: the
 	// ecosystem's virtual network and chaos injector, both crawls, and
@@ -97,6 +111,17 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	if cfg.Eco.Telemetry == nil {
 		cfg.Eco.Telemetry = cfg.Metrics
 	}
+	if cfg.Eco.FlushWorkers == 0 {
+		// Scheduler deliveries follow the crawler's pump parallelism: a
+		// serial reference run (PumpWorkers=1) keeps them serial, any
+		// other setting fans them out at the crawler's container-pool
+		// width (32 mirrors the crawler's MaxContainers default).
+		if cfg.PumpWorkers > 0 {
+			cfg.Eco.FlushWorkers = cfg.PumpWorkers
+		} else {
+			cfg.Eco.FlushWorkers = 32
+		}
+	}
 	eco, err := webeco.New(cfg.Eco)
 	if err != nil {
 		return nil, err
@@ -113,6 +138,8 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			Device:           device,
 			RealDevice:       real,
 			CollectionWindow: cfg.CollectionWindow,
+			PumpWorkers:      cfg.PumpWorkers,
+			BatchWindow:      cfg.BatchWindow,
 			CrashPlan:        eco.CrashPlan(),
 			FaultCounts:      eco.FaultCounts,
 			CheckpointPath:   checkpointPathFor(cfg.CheckpointPath, device),
@@ -151,6 +178,14 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	}
 	if opts.Tracer == nil {
 		opts.Tracer = cfg.Tracer
+	}
+	// The pipeline's fan-out stages follow the study's worker setting
+	// unless the ablation options pinned their own.
+	if opts.Features.Workers == 0 {
+		opts.Features.Workers = cfg.PumpWorkers
+	}
+	if opts.Labels.Workers == 0 {
+		opts.Labels.Workers = cfg.PumpWorkers
 	}
 	if s.Analysis, err = RunPipeline(s.Records, opts); err != nil {
 		eco.Close()

@@ -35,6 +35,7 @@ import (
 	"pushadminer/internal/simclock"
 	"pushadminer/internal/telemetry"
 	"pushadminer/internal/urlx"
+	"pushadminer/internal/webpush"
 )
 
 // PushDriver is the ecosystem surface the crawler drives: flushing due
@@ -85,12 +86,27 @@ type Config struct {
 	// parallel during the seeding phase (the paper ran 20–50 Docker
 	// sessions at a time). Default 32.
 	MaxContainers int
+	// PumpWorkers bounds how many containers are pumped concurrently
+	// within one monitor tick batch. The poll, push-dispatch, click,
+	// and landing-page subscription phases all fan out: their traffic
+	// uses per-container clients and per-container circuit breakers on
+	// a frozen clock, and all cross-container state is folded on the
+	// serial merge path, so results are byte-identical at every worker
+	// count. 1 forces the serial reference path; <= 0 defaults to
+	// MaxContainers.
+	PumpWorkers int
+	// BatchWindow coalesces monitor ticks: instead of waking for every
+	// individual push delivery or resume, the event loop advances to
+	// the first due event plus this window, pumping everything that
+	// came due inside it as one batch — which is what gives the
+	// parallel phases batches worth fanning out over (real push-ad
+	// deliveries spread across hours; a per-event loop pumps them one
+	// at a time). 0 (the default) keeps exact per-event stepping.
+	// Identical windows produce identical results at any PumpWorkers.
+	BatchWindow time.Duration
 
 	// --- robustness / recovery ---
 
-	// Breaker is the shared per-host circuit breaker used for
-	// push-service calls. Created from Clock when nil.
-	Breaker *httpx.Breaker
 	// VisitAttempts bounds how many times one URL is (re)visited when
 	// the navigation fails or answers 5xx. Default 3.
 	VisitAttempts int
@@ -152,6 +168,7 @@ type crawlMetrics struct {
 	visits              *telemetry.Counter
 	visitRetries        *telemetry.Counter
 	visitFailures       *telemetry.Counter
+	visitsAborted       *telemetry.Counter
 	pollFailures        *telemetry.Counter
 	breakerFastFails    *telemetry.Counter
 	containersLost      *telemetry.Counter
@@ -159,6 +176,8 @@ type crawlMetrics struct {
 	checkpointWrites    *telemetry.Counter
 	records             *telemetry.Counter
 	pumpLatency         *telemetry.Histogram
+	batchSize           *telemetry.Histogram
+	pumpWorkers         *telemetry.Gauge
 }
 
 func newCrawlMetrics(reg *telemetry.Registry) crawlMetrics {
@@ -170,6 +189,7 @@ func newCrawlMetrics(reg *telemetry.Registry) crawlMetrics {
 		visits:              reg.Counter("crawler_visits"),
 		visitRetries:        reg.Counter("crawler_visit_retries"),
 		visitFailures:       reg.Counter("crawler_visit_failures"),
+		visitsAborted:       reg.Counter("crawler_visits_aborted"),
 		pollFailures:        reg.Counter("crawler_poll_failures"),
 		breakerFastFails:    reg.Counter("crawler_breaker_fast_fails"),
 		containersLost:      reg.Counter("crawler_containers_lost"),
@@ -177,6 +197,8 @@ func newCrawlMetrics(reg *telemetry.Registry) crawlMetrics {
 		checkpointWrites:    reg.Counter("crawler_checkpoint_writes"),
 		records:             reg.Counter("crawler_records_emitted"),
 		pumpLatency:         reg.Histogram("crawler_pump_seconds", telemetry.LatencyBuckets),
+		batchSize:           reg.Histogram("crawler_pump_batch_size", telemetry.SizeBuckets),
+		pumpWorkers:         reg.Gauge("crawler_pump_workers"),
 	}
 }
 
@@ -198,6 +220,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxContainers <= 0 {
 		c.MaxContainers = 32
+	}
+	if c.PumpWorkers <= 0 {
+		c.PumpWorkers = c.MaxContainers
 	}
 	if c.VisitAttempts <= 0 {
 		// A failed seed visit forfeits a container's entire WPN stream,
@@ -276,6 +301,9 @@ type Degradation struct {
 	// visits that stayed dead after all attempts.
 	VisitRetries  int `json:"visit_retries,omitempty"`
 	VisitFailures int `json:"visit_failures,omitempty"`
+	// VisitsAborted counts visit retry ladders cut short by context
+	// cancellation (the visit is abandoned, not failed).
+	VisitsAborted int `json:"visits_aborted,omitempty"`
 	// PollFailures counts push polls that failed after retries.
 	PollFailures int `json:"poll_failures,omitempty"`
 	// BreakerFastFails counts polls refused instantly by an open
@@ -319,6 +347,7 @@ type container struct {
 	id           int
 	seedURL      string
 	clientID     string
+	brk          *httpx.Breaker
 	br           *browser.Browser
 	registeredAt time.Time
 	activeUntil  time.Time
@@ -367,17 +396,27 @@ func New(cfg Config) (*Crawler, error) {
 		return nil, fmt.Errorf("crawler: Clock, NewClient and Driver are required")
 	}
 	cfg = cfg.withDefaults()
-	if cfg.Breaker == nil {
-		// Threshold deliberately below CrashThreshold: a sick push
-		// service must trip the circuit (fast-fails, not counted
-		// against containers) before any single container accumulates
-		// enough poll failures to be misdiagnosed as crashed.
-		cfg.Breaker = httpx.NewBreaker(cfg.Clock, httpx.BreakerConfig{Threshold: 2})
-	}
-	if cfg.Metrics != nil {
-		cfg.Breaker.SetTransitions(cfg.Metrics.Family("breaker_transitions", "edge"))
-	}
 	return &Crawler{cfg: cfg, tel: newCrawlMetrics(cfg.Metrics)}, nil
+}
+
+// newBreaker builds one container's private push-service circuit
+// breaker. Each container owns its breaker — like the paper's
+// independent Docker sessions, every browser discovers a push-service
+// outage on its own — so breaker state is a pure function of that
+// container's request sequence and polls, registrations, and landing
+// visits can fan out across containers without request interleaving
+// touching breaker decisions. All containers report transitions into
+// the same ledger family.
+func (c *Crawler) newBreaker() *httpx.Breaker {
+	// Threshold deliberately below CrashThreshold: a sick push
+	// service must trip the circuit (fast-fails, not counted
+	// against containers) before any single container accumulates
+	// enough poll failures to be misdiagnosed as crashed.
+	b := httpx.NewBreaker(c.cfg.Clock, httpx.BreakerConfig{Threshold: 2})
+	if c.cfg.Metrics != nil {
+		b.SetTransitions(c.cfg.Metrics.Family("breaker_transitions", "edge"))
+	}
+	return b
 }
 
 // Run crawls the seed URLs with background context; see RunContext.
@@ -516,13 +555,20 @@ func (r *run) seedPhase(seeds []string) []*container {
 // visitRetry visits a URL with bounded retries. A visit is retried when
 // the navigation errored (reset, truncation, blackhole, dead announce)
 // or the page answered 5xx/429 — a real crawler does not write a site
-// off on one transient failure.
+// off on one transient failure. Cancellation is checked before every
+// attempt, so a cancelled crawl never sits out a full retry ladder; the
+// abandoned visit is tallied as aborted, not failed.
 func (r *run) visitRetry(ct *container, u string) (*browser.VisitResult, error) {
 	var (
 		vr  *browser.VisitResult
 		err error
 	)
 	for attempt := 1; attempt <= r.cfg.VisitAttempts; attempt++ {
+		if cerr := r.ctx.Err(); cerr != nil {
+			r.bump(func(d *Degradation) { d.VisitsAborted++ })
+			r.c.tel.visitsAborted.Inc()
+			return vr, cerr
+		}
 		if attempt > 1 {
 			r.bump(func(d *Degradation) { d.VisitRetries++ })
 			r.c.tel.visitRetries.Inc()
@@ -553,7 +599,7 @@ func (c *Crawler) clientID(seedURL string) string {
 	return fmt.Sprintf("%s#%s", seedURL, c.cfg.Device)
 }
 
-func (c *Crawler) newBrowser(seedURL string) *browser.Browser {
+func (c *Crawler) newBrowser(seedURL string, brk *httpx.Breaker) *browser.Browser {
 	return browser.New(browser.Config{
 		Clock:       c.cfg.Clock,
 		Client:      c.cfg.NewClient(),
@@ -561,7 +607,7 @@ func (c *Crawler) newBrowser(seedURL string) *browser.Browser {
 		RealDevice:  c.cfg.RealDevice,
 		ClickDelay:  c.cfg.ClickDelay,
 		ClientID:    c.clientID(seedURL),
-		PushBreaker: c.cfg.Breaker,
+		PushBreaker: brk,
 		Metrics:     c.cfg.Metrics,
 		Tracer:      c.cfg.Tracer,
 	})
@@ -569,11 +615,13 @@ func (c *Crawler) newBrowser(seedURL string) *browser.Browser {
 
 func (c *Crawler) newContainer(seedURL string) *container {
 	c.nextID++
+	brk := c.newBreaker()
 	return &container{
 		id:             c.nextID,
 		seedURL:        seedURL,
 		clientID:       c.clientID(seedURL),
-		br:             c.newBrowser(seedURL),
+		brk:            brk,
+		br:             c.newBrowser(seedURL, brk),
 		sourceByToken:  make(map[string]string),
 		regTimeByToken: make(map[string]time.Time),
 	}
@@ -581,12 +629,13 @@ func (c *Crawler) newContainer(seedURL string) *container {
 
 // monitor is the unified event loop: it advances the simulated clock to
 // each push delivery or container resume, flushes the scheduler, pumps
-// online containers, processes notification auto-clicks, and
-// periodically checkpoints.
+// the due containers as one tick batch, processes notification
+// auto-clicks, and periodically checkpoints.
 func (r *run) monitor(live []*container) {
 	clock := r.cfg.Clock
 	r.end = clock.Now().Add(r.cfg.CollectionWindow)
 	r.lastCheckpoint = clock.Now()
+	r.c.tel.pumpWorkers.Set(int64(r.cfg.PumpWorkers))
 
 	resumes := make(containerHeap, len(live))
 	copy(resumes, live)
@@ -608,6 +657,15 @@ func (r *run) monitor(live []*container) {
 		if len(resumes) > 0 && resumes[0].nextResume.Before(next) {
 			next = resumes[0].nextResume
 		}
+		// Tick coalescing: step past the first due event by the batch
+		// window so everything due inside it is pumped as one batch.
+		if w := r.cfg.BatchWindow; w > 0 && next.Before(r.end) {
+			if q := next.Add(w); q.Before(r.end) {
+				next = q
+			} else {
+				next = r.end
+			}
+		}
 		if next.After(now) {
 			clock.Advance(next.Sub(now))
 			now = next
@@ -615,28 +673,7 @@ func (r *run) monitor(live []*container) {
 
 		r.cfg.Driver.Tick()
 
-		// Resume containers due now.
-		for len(resumes) > 0 && !resumes[0].nextResume.After(now) {
-			ct := heap.Pop(&resumes).(*container)
-			ct.cycles++
-			if !ct.dead && r.cfg.CrashPlan != nil && r.cfg.CrashPlan(ct.clientID, ct.cycles) {
-				r.crashContainer(ct)
-			}
-			if !ct.dead {
-				r.pump(ct)
-			}
-			ct.nextResume = now.Add(r.cfg.ResumeInterval)
-			if !ct.dead && ct.nextResume.Before(r.end) && ct.collected < r.cfg.MaxNotificationsPerContainer {
-				heap.Push(&resumes, ct)
-			}
-		}
-
-		// Pump containers still inside their live monitoring window.
-		for _, ct := range live {
-			if !ct.dead && !now.After(ct.activeUntil) && ct.collected < r.cfg.MaxNotificationsPerContainer {
-				r.pump(ct)
-			}
-		}
+		r.pumpBatch(r.collectDue(&resumes, live, now))
 
 		r.maybeCheckpoint(live)
 
@@ -646,75 +683,270 @@ func (r *run) monitor(live []*container) {
 		}
 	}
 
-	// Final drain at the end of the window.
+	// Final drain at the end of the window, respecting the
+	// per-container notification cap like every other pump site.
+	r.pumpBatch(r.finalBatch(live))
+}
+
+// batchItem is one container's slot in a tick batch: the messages its
+// poll returned, the click outcomes and landing-page visits of its
+// parallel phases, and its accumulated pump wall-time (telemetry
+// only). Each item is owned by exactly one goroutine during the
+// fan-out phases.
+type batchItem struct {
+	ct       *container
+	polled   bool
+	pollErr  error
+	msgs     []webpush.Message
+	outcomes []browser.ClickOutcome
+	visits   []landingVisit
+	elapsed  time.Duration
+}
+
+// landingVisit is the outcome of one landing-page subscription visit,
+// aligned index-for-index with a batchItem's click outcomes (zero
+// value where the outcome's landing page requested no permission).
+type landingVisit struct {
+	url string
+	vr  *browser.VisitResult
+	err error
+}
+
+// collectDue gathers the tick's batch: containers resumed from the
+// suspension heap plus containers still inside their live monitoring
+// window, deduplicated (a container due on both paths is pumped once)
+// and sorted by container id so every later phase iterates in one
+// stable order. Crash-plan evaluation and heap bookkeeping stay here,
+// on the serial path.
+func (r *run) collectDue(resumes *containerHeap, live []*container, now time.Time) []*batchItem {
+	var batch []*batchItem
+	inBatch := make(map[int]bool)
+
+	// Resume containers due now.
+	for len(*resumes) > 0 && !(*resumes)[0].nextResume.After(now) {
+		ct := heap.Pop(resumes).(*container)
+		ct.cycles++
+		if !ct.dead && r.cfg.CrashPlan != nil && r.cfg.CrashPlan(ct.clientID, ct.cycles) {
+			r.crashContainer(ct)
+		}
+		if !ct.dead && !inBatch[ct.id] {
+			inBatch[ct.id] = true
+			batch = append(batch, &batchItem{ct: ct})
+		}
+		ct.nextResume = now.Add(r.cfg.ResumeInterval)
+		if !ct.dead && ct.nextResume.Before(r.end) && ct.collected < r.cfg.MaxNotificationsPerContainer {
+			heap.Push(resumes, ct)
+		}
+	}
+
+	// Containers still inside their live monitoring window.
 	for _, ct := range live {
-		if !ct.dead {
-			r.pump(ct)
+		if !ct.dead && !now.After(ct.activeUntil) && ct.collected < r.cfg.MaxNotificationsPerContainer && !inBatch[ct.id] {
+			inBatch[ct.id] = true
+			batch = append(batch, &batchItem{ct: ct})
 		}
 	}
+
+	sort.Slice(batch, func(i, j int) bool { return batch[i].ct.id < batch[j].ct.id })
+	return batch
 }
 
-// pump polls one container, timing the poll-click-emit cycle when
-// telemetry is on. The disabled path takes one boolean check — no
-// timestamps, no allocations.
-func (r *run) pump(ct *container) {
-	if !r.c.tel.enabled {
-		r.pumpInner(ct)
-		return
-	}
-	start := time.Now()
-	r.pumpInner(ct)
-	r.c.tel.pumpLatency.Observe(time.Since(start).Seconds())
-}
-
-// pumpInner polls the push service for a container and, if anything
-// arrived, waits out the click delay and processes the auto-clicks into
-// records. Poll failures feed crash detection; open-circuit fast-fails
-// do not (the push service being down says nothing about the container).
-func (r *run) pumpInner(ct *container) {
-	if r.cfg.Pending != nil && !r.hasPending(ct) {
-		return
-	}
-	n, err := ct.br.PumpPush(r.cfg.PushHost)
-	if err != nil {
-		if errors.Is(err, httpx.ErrCircuitOpen) {
-			r.bump(func(d *Degradation) { d.BreakerFastFails++ })
-			r.c.tel.breakerFastFails.Inc()
-			return
+// finalBatch builds the end-of-window drain batch: live containers that
+// have not yet hit the per-container notification cap.
+func (r *run) finalBatch(live []*container) []*batchItem {
+	var batch []*batchItem
+	for _, ct := range live {
+		if !ct.dead && ct.collected < r.cfg.MaxNotificationsPerContainer {
+			batch = append(batch, &batchItem{ct: ct})
 		}
-		r.bump(func(d *Degradation) { d.PollFailures++ })
-		r.c.tel.pollFailures.Inc()
-		// Attribute the failure: if this failure tripped (or probed) the
-		// push host's circuit, the service is sick — that says nothing
-		// about the container, so it must not feed crash detection.
-		if r.cfg.Breaker.State(r.pushHostName()) == "closed" {
-			ct.pollFails++
-			if ct.pollFails >= r.cfg.CrashThreshold {
-				ct.pollFails = 0
-				r.crashContainer(ct)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].ct.id < batch[j].ct.id })
+	return batch
+}
+
+// pumpBatch processes one tick's due containers in phases:
+//
+//  1. poll (parallel, clock frozen) — each poll touches only its
+//     container's browser, client, and private circuit breaker — then
+//     a serial classification sweep in ascending container id:
+//     Degradation tallies, poll-failure crash detection, and the
+//     recovery re-seed crashContainer may run all touch shared state;
+//  2. push dispatch (parallel, clock frozen) — per-container ad
+//     fetches and notification display, ShownAt identical for the
+//     whole batch;
+//  3. one ClickDelay advance for the batch (the clock never moves
+//     inside a phase, so simulated time cannot reorder);
+//  4. auto-clicks (parallel, clock frozen) — redirect chains and
+//     landing pages, the crawl's dominant HTTP cost — then the
+//     landing pages that request permission (§6.2) are visited and
+//     subscribed in a second parallel sweep (per-container traffic;
+//     token minting is registration-identity-keyed, so cross-container
+//     arrival order cannot leak into the output);
+//  5. merge (serial, ascending container id) — record emission, ID
+//     minting, checkpoint-replay dedup, and folding the landing-page
+//     subscriptions into result and container state.
+//
+// Every phase iterates the batch in the same stable order, fault and
+// latency draws are keyed per container, and all cross-container state
+// is touched only in the serial steps, which is what makes the result
+// byte-identical at any PumpWorkers count.
+func (r *run) pumpBatch(batch []*batchItem) {
+	if len(batch) == 0 {
+		return
+	}
+	tel := r.c.tel.enabled
+	if tel {
+		r.c.tel.batchSize.Observe(float64(len(batch)))
+	}
+
+	// Phase 1: parallel polls, serial classification.
+	r.forEach(batch, tel, func(it *batchItem) {
+		it.polled, it.msgs, it.pollErr = r.pollHTTP(it.ct)
+	})
+	any := false
+	for _, it := range batch {
+		r.classifyPoll(it.ct, it.polled, it.pollErr)
+		if len(it.msgs) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		if tel {
+			for _, it := range batch {
+				r.c.tel.pumpLatency.Observe(it.elapsed.Seconds())
 			}
 		}
 		return
 	}
-	ct.pollFails = 0
-	if n == 0 {
-		return
-	}
+
+	// Phase 2: parallel push dispatch at the frozen poll instant.
+	r.forEach(batch, tel, func(it *batchItem) {
+		if len(it.msgs) > 0 {
+			it.ct.br.DispatchPushes(it.msgs)
+		}
+	})
+
+	// Phase 3: one click-delay advance for the whole batch.
 	r.cfg.Clock.Advance(r.cfg.ClickDelay)
-	for _, oc := range ct.br.ProcessClicks() {
-		r.emit(ct, oc)
-		// Landing pages that themselves request permission are the
-		// additional URLs of §6.2: subscribe right there.
-		if nav := oc.Navigation; nav != nil && nav.Doc != nil &&
-			nav.Doc.RequestsNotification && !nav.Crashed {
-			if vr, err := r.visitRetry(ct, nav.FinalURL); err == nil && vr.Registration != nil {
-				r.res.AdditionalURLs = append(r.res.AdditionalURLs, nav.FinalURL)
-				ct.sourceByToken[vr.Registration.Sub.Token] = nav.FinalURL
-				ct.regTimeByToken[vr.Registration.Sub.Token] = r.cfg.Clock.Now()
+
+	// Phase 4: parallel auto-clicks at the frozen post-delay instant,
+	// then parallel landing-page subscription visits.
+	r.forEach(batch, tel, func(it *batchItem) {
+		if len(it.msgs) > 0 {
+			it.outcomes = it.ct.br.ProcessClicks()
+		}
+	})
+	r.forEach(batch, tel, func(it *batchItem) {
+		if len(it.outcomes) == 0 {
+			return
+		}
+		it.visits = make([]landingVisit, len(it.outcomes))
+		for i, oc := range it.outcomes {
+			if nav := oc.Navigation; nav != nil && nav.Doc != nil &&
+				nav.Doc.RequestsNotification && !nav.Crashed {
+				vr, err := r.visitRetry(it.ct, nav.FinalURL)
+				it.visits[i] = landingVisit{url: nav.FinalURL, vr: vr, err: err}
+			}
+		}
+	})
+
+	// Phase 5: serial merge in container-id order.
+	for _, it := range batch {
+		ct := it.ct
+		for i, oc := range it.outcomes {
+			r.emit(ct, oc)
+			// Landing pages that themselves request permission are the
+			// additional URLs of §6.2: phase 4 subscribed right there.
+			if v := it.visits[i]; v.err == nil && v.vr != nil && v.vr.Registration != nil {
+				r.res.AdditionalURLs = append(r.res.AdditionalURLs, v.url)
+				ct.sourceByToken[v.vr.Registration.Sub.Token] = v.url
+				ct.regTimeByToken[v.vr.Registration.Sub.Token] = r.cfg.Clock.Now()
 				// Re-opening the container's live window mirrors the
 				// paper keeping sessions alive after new registrations.
 				ct.activeUntil = r.cfg.Clock.Now().Add(r.cfg.MonitorWindow)
 			}
+		}
+		if tel {
+			r.c.tel.pumpLatency.Observe(it.elapsed.Seconds())
+		}
+	}
+}
+
+// forEach runs f over the batch on PumpWorkers goroutines (the seeding
+// phase's bounded-semaphore discipline), or inline when the pool would
+// be pointless. When timed, each item's wall-time accrues to its own
+// slot — items are goroutine-private, so no lock is needed.
+func (r *run) forEach(batch []*batchItem, timed bool, f func(*batchItem)) {
+	run := f
+	if timed {
+		run = func(it *batchItem) {
+			start := time.Now()
+			f(it)
+			it.elapsed += time.Since(start)
+		}
+	}
+	if r.cfg.PumpWorkers <= 1 || len(batch) == 1 {
+		for _, it := range batch {
+			run(it)
+		}
+		return
+	}
+	sem := make(chan struct{}, r.cfg.PumpWorkers)
+	var wg sync.WaitGroup
+	for _, it := range batch {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(it *batchItem) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			run(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// pollHTTP performs one container's push-service poll: the skip of
+// containers with nothing queued and the HTTP round trip. Safe to fan
+// out — it touches only the container's own browser, client, and
+// private breaker. Folding the outcome into shared state stays on the
+// serial path (classifyPoll).
+func (r *run) pollHTTP(ct *container) (polled bool, msgs []webpush.Message, err error) {
+	if r.cfg.Pending != nil && !r.hasPending(ct) {
+		return false, nil, nil
+	}
+	msgs, err = ct.br.PollPush(r.cfg.PushHost)
+	return true, msgs, err
+}
+
+// classifyPoll folds one poll's outcome into shared state: Degradation
+// tallies and poll-failure crash detection, including the recovery
+// re-seed crashContainer may run. Open-circuit fast-fails do not feed
+// crash detection (the push service being down says nothing about the
+// container).
+func (r *run) classifyPoll(ct *container, polled bool, err error) {
+	if !polled {
+		return
+	}
+	if err == nil {
+		ct.pollFails = 0
+		return
+	}
+	if errors.Is(err, httpx.ErrCircuitOpen) {
+		r.bump(func(d *Degradation) { d.BreakerFastFails++ })
+		r.c.tel.breakerFastFails.Inc()
+		return
+	}
+	r.bump(func(d *Degradation) { d.PollFailures++ })
+	r.c.tel.pollFailures.Inc()
+	// Attribute the failure: if this failure tripped (or probed) the
+	// container's view of the push host's circuit, the service is sick
+	// — that says nothing about the container, so it must not feed
+	// crash detection.
+	if ct.brk.State(r.pushHostName()) == "closed" {
+		ct.pollFails++
+		if ct.pollFails >= r.cfg.CrashThreshold {
+			ct.pollFails = 0
+			r.crashContainer(ct)
 		}
 	}
 }
@@ -764,7 +996,10 @@ func (r *run) crashContainer(ct *container) {
 		return
 	}
 	ct.recoveries++
-	ct.br = r.c.newBrowser(ct.seedURL)
+	// The replacement process starts with a fresh breaker, like a real
+	// restarted container rediscovering push-service health from zero.
+	ct.brk = r.c.newBreaker()
+	ct.br = r.c.newBrowser(ct.seedURL, ct.brk)
 	ct.sourceByToken = make(map[string]string)
 	ct.regTimeByToken = make(map[string]time.Time)
 	vr, err := r.visitRetry(ct, ct.seedURL)

@@ -1,0 +1,208 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/chaos"
+	"pushadminer/internal/webeco"
+)
+
+// TestSerialParallelParity is the determinism contract of the batched
+// monitor: the same crawl at PumpWorkers=1 (the serial reference path)
+// and PumpWorkers=8 must produce byte-identical Result JSON — records,
+// Degradation, the lot — and byte-identical checkpoint files, across
+// seeds and with chaos on and off.
+func TestSerialParallelParity(t *testing.T) {
+	run := func(seed int64, prof *chaos.Profile, window time.Duration, workers int) ([]byte, []byte) {
+		t.Helper()
+		eco, err := webeco.New(webeco.Config{Seed: seed, Scale: 0.002, Chaos: prof, FlushWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eco.Close()
+		ckpt := filepath.Join(t.TempDir(), "parity.ckpt.json")
+		res, err := chaosCrawler(t, eco, func(c *Config) {
+			c.PumpWorkers = workers
+			c.BatchWindow = window
+			c.CheckpointPath = ckpt
+		}).Run(eco.SeedURLs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resJSON, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckptJSON, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resJSON, ckptJSON
+	}
+
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		prof   *chaos.Profile
+		window time.Duration
+	}{
+		{"seed11", 11, nil, 0},
+		{"seed23", 23, nil, 0},
+		{"seed11/chaos", 11, acceptanceProfile(), 0},
+		{"seed23/chaos", 23, acceptanceProfile(), 0},
+		// Tick coalescing plus fault injection: the quantized event
+		// loop must stay byte-deterministic too.
+		{"seed11/window/chaos", 11, acceptanceProfile(), time.Hour},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serialRes, serialCkpt := run(tc.seed, tc.prof, tc.window, 1)
+			parallelRes, parallelCkpt := run(tc.seed, tc.prof, tc.window, 8)
+			if !bytes.Equal(serialRes, parallelRes) {
+				t.Errorf("parallel Result diverges from serial (serial %d bytes, parallel %d bytes):\n%s",
+					len(serialRes), len(parallelRes), firstDiff(serialRes, parallelRes))
+			}
+			if !bytes.Equal(serialCkpt, parallelCkpt) {
+				t.Errorf("parallel checkpoint diverges from serial:\n%s", firstDiff(serialCkpt, parallelCkpt))
+			}
+			var res Result
+			if err := json.Unmarshal(serialRes, &res); err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Records) == 0 {
+				t.Error("parity run collected no records; test is vacuous")
+			}
+		})
+	}
+}
+
+// firstDiff renders the context around the first diverging byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo, hi := i-120, i+120
+			if lo < 0 {
+				lo = 0
+			}
+			ha, hb := hi, hi
+			if ha > len(a) {
+				ha = len(a)
+			}
+			if hb > len(b) {
+				hb = len(b)
+			}
+			return fmt.Sprintf("byte %d:\na: %s\nb: %s", i, a[lo:ha], b[lo:hb])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d", len(a), len(b))
+}
+
+// cancelOnFirstRequest is a RoundTripper that cancels a context on its
+// first request and fails every request, forcing visitRetry onto its
+// retry ladder with a context that is already dead.
+type cancelOnFirstRequest struct {
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (c *cancelOnFirstRequest) RoundTrip(*http.Request) (*http.Response, error) {
+	c.once.Do(c.cancel)
+	return nil, errors.New("injected transport failure")
+}
+
+// TestVisitRetryAbortsOnCancel pins the satellite bugfix: a context
+// cancelled mid-retry must abort the ladder at the next attempt — not
+// burn through the remaining attempts — and the abort must be tallied
+// in Degradation.VisitsAborted rather than as a retry or failure.
+func TestVisitRetryAbortsOnCancel(t *testing.T) {
+	eco := newEco(t, 0.002)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt := &cancelOnFirstRequest{cancel: cancel}
+	c, err := New(Config{
+		Clock:            eco.Clock,
+		NewClient:        func() *http.Client { return &http.Client{Transport: rt} },
+		Driver:           eco,
+		Pending:          eco.Push,
+		Device:           browser.Desktop,
+		CollectionWindow: 7 * 24 * time.Hour,
+		MaxContainers:    1, // one visit in flight: the abort count is exact
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunContext(ctx, eco.SeedURLs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deg := res.Degradation
+	if deg.VisitsAborted != 1 {
+		t.Errorf("VisitsAborted = %d, want 1 (attempt 1 fails and cancels, attempt 2 must abort)", deg.VisitsAborted)
+	}
+	if deg.VisitRetries != 0 {
+		t.Errorf("VisitRetries = %d, want 0: the aborted attempt must not count as a retry", deg.VisitRetries)
+	}
+	if deg.VisitFailures != 0 {
+		t.Errorf("VisitFailures = %d, want 0: the abort must not count as an exhausted ladder", deg.VisitFailures)
+	}
+}
+
+// TestFinalDrainRespectsCap pins the satellite bugfix: the end-of-window
+// drain must honour MaxNotificationsPerContainer like every other pump
+// site instead of pumping capped containers one last time.
+func TestFinalDrainRespectsCap(t *testing.T) {
+	r := &run{cfg: &Config{MaxNotificationsPerContainer: 2}}
+	under := &container{id: 3, collected: 1}
+	at := &container{id: 1, collected: 2}
+	over := &container{id: 2, collected: 5}
+	dead := &container{id: 4, collected: 0, dead: true}
+	batch := r.finalBatch([]*container{under, at, over, dead})
+	if len(batch) != 1 || batch[0].ct != under {
+		ids := make([]int, len(batch))
+		for i, it := range batch {
+			ids[i] = it.ct.id
+		}
+		t.Fatalf("finalBatch drained containers %v, want only id 3 (under cap, alive)", ids)
+	}
+}
+
+// TestCrawlHonorsNotificationCap drives a full crawl with a cap of one
+// notification per container. The cap gates scheduling, not emission: a
+// container's single pump may drain a multi-message queue, so a
+// container can overshoot by the depth of one queue — but once at cap
+// it must never be pumped again. The old final drain broke exactly
+// that, re-pumping every at-cap container at end of window and emitting
+// everything queued since its last resume; the 2× bound comfortably
+// admits single-pump overshoot while failing under the old drain.
+func TestCrawlHonorsNotificationCap(t *testing.T) {
+	const cap = 1
+	eco := newEco(t, 0.002)
+	res, err := chaosCrawler(t, eco, func(c *Config) {
+		c.MaxNotificationsPerContainer = cap
+		c.CrashPlan = nil // keep the container set fixed
+	}).Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("cap run collected no records; test is vacuous")
+	}
+	if got, max := len(res.Records), 2*res.Containers*cap; got > max {
+		t.Errorf("collected %d records from %d containers with cap %d (max %d with single-pump overshoot)",
+			got, res.Containers, cap, max)
+	}
+}

@@ -96,6 +96,7 @@ func TestTelemetryReconcilesWithChaos(t *testing.T) {
 		"crawler_containers_lost":       deg.ContainersLost,
 		"crawler_containers_recovered":  deg.ContainersRecovered,
 		"crawler_checkpoint_writes":     deg.CheckpointWrites,
+		"crawler_visits_aborted":        deg.VisitsAborted,
 		"browser_notifications_dropped": deg.DroppedNotifications,
 	} {
 		if got := snap.Counters[name]; got != int64(want) {
@@ -152,7 +153,10 @@ func TestDisabledCrawlMetricsZeroAlloc(t *testing.T) {
 		tel.pollFailures.Inc()
 		tel.breakerFastFails.Inc()
 		tel.records.Inc()
+		tel.visitsAborted.Inc()
 		tel.pumpLatency.Observe(0.5)
+		tel.batchSize.Observe(3)
+		tel.pumpWorkers.Set(8)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled crawl metrics allocate %v per pump-path round, want 0", allocs)

@@ -14,11 +14,13 @@ package fcm
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"pushadminer/internal/chaos"
 	"pushadminer/internal/httpx"
 	"pushadminer/internal/webpush"
 )
@@ -36,7 +38,7 @@ type Service struct {
 	host string
 
 	mu      sync.Mutex
-	nextID  int
+	seq     map[string]int
 	subs    map[string]*subscription
 	dropped int
 }
@@ -53,7 +55,7 @@ func New(host string) *Service {
 	if host == "" {
 		host = DefaultHost
 	}
-	return &Service{host: host, subs: make(map[string]*subscription)}
+	return &Service{host: host, seq: make(map[string]int), subs: make(map[string]*subscription)}
 }
 
 // Host returns the virtual hostname the service is mounted on.
@@ -62,10 +64,24 @@ func (s *Service) Host() string { return s.host }
 // Register creates a subscription for a service worker identified by its
 // controlling origin and script URL, returning the token and endpoint.
 func (s *Service) Register(origin, swURL string) webpush.Subscription {
+	return s.register("", origin, swURL)
+}
+
+// register mints a subscription token from the registration identity —
+// the requesting browser instance (like a real FCM instance token),
+// origin, script, and a per-identity sequence — rather than a global
+// arrival counter, so a set of concurrent registrations gets the same
+// tokens regardless of the order their requests land — what keeps
+// parallel crawls byte-identical to serial ones down to checkpoint
+// content.
+func (s *Service) register(instance, origin, swURL string) webpush.Subscription {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
-	token := fmt.Sprintf("tok-%06d", s.nextID)
+	key := instance + "|" + origin + "|" + swURL
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	token := fmt.Sprintf("tok-%016x-%02d", h.Sum64(), s.seq[key])
+	s.seq[key]++
 	sub := webpush.Subscription{
 		Token:    token,
 		Endpoint: fmt.Sprintf("https://%s/send/%s", s.host, token),
@@ -192,7 +208,12 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad register body", http.StatusBadRequest)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.Register(req.Origin, req.SWURL))
+		// The tagged client header names the requesting browser
+		// instance; folding it into the minting identity gives each
+		// browser its own token for the same service worker, exactly
+		// like real FCM instance tokens — and makes tokens independent
+		// of cross-container registration order.
+		writeJSON(w, http.StatusOK, s.register(r.Header.Get(chaos.ClientHeader), req.Origin, req.SWURL))
 
 	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/send/"):
 		token := strings.TrimPrefix(r.URL.Path, "/send/")

@@ -119,6 +119,12 @@ type Config struct {
 	// outages, all seeded (a zero Chaos.Seed inherits Seed). Nil keeps
 	// the network fault-free.
 	Chaos *chaos.Profile
+	// FlushWorkers bounds how many push endpoints the delivery
+	// scheduler sends to concurrently per Tick. Per-endpoint send order
+	// is preserved and outcomes fold in deterministic job order, so
+	// results are byte-identical at any setting. <= 1 (the default)
+	// delivers serially.
+	FlushWorkers int
 	// Telemetry, when non-nil, attaches the metrics registry to the
 	// virtual network (per-host request counts, client round trips,
 	// transport errors, injected-fault observations) and to the chaos

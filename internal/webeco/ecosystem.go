@@ -108,7 +108,7 @@ func New(cfg Config) (*Ecosystem, error) {
 	e.adEco = &AdEcosystem{
 		Cfg:      cfg,
 		Truth:    newTruth(),
-		Sched:    newScheduler(),
+		Sched:    newScheduler(cfg.FlushWorkers),
 		Now:      e.Clock.Now,
 		Longtail: newLongtailGen(cfg.Seed),
 		OnMalURL: func(u string, firstSeen time.Time) {

@@ -61,10 +61,13 @@ type scheduler struct {
 
 	retryDelay  time.Duration
 	maxAttempts int
+	// workers bounds how many endpoints Flush delivers to concurrently;
+	// <= 1 sends everything serially.
+	workers int
 }
 
-func newScheduler() *scheduler {
-	return &scheduler{retryDelay: time.Hour, maxAttempts: 48}
+func newScheduler(workers int) *scheduler {
+	return &scheduler{retryDelay: time.Hour, maxAttempts: 48, workers: workers}
 }
 
 // Schedule enqueues a delivery.
@@ -113,26 +116,98 @@ func (s *scheduler) Dropped() int {
 	return s.dropped
 }
 
+// endpointGroup is one push endpoint's slice of a flush: its due jobs
+// in (at, seq) order and, after sending, the per-job results. Each
+// group is owned by exactly one goroutine while sends are in flight.
+type endpointGroup struct {
+	jobs []*pushJob
+	errs []error
+}
+
 // Flush delivers every job due at or before now using the given push
 // client. A failed send (push-service outage, expired registration) is
 // requeued retryDelay later until maxAttempts is reached, then dropped
 // and counted; the flush itself never stops on errors.
+//
+// Deliveries fan out across endpoints on up to s.workers goroutines:
+// one endpoint's jobs always go out serially in (at, seq) order — the
+// push service queues per token, so per-endpoint send order is
+// observable in the drained message order — while the interleaving of
+// sends to *different* tokens is not observable anywhere (per-token
+// queues, identity-minted tokens, per-path fault counters). Outcomes
+// are folded back into scheduler state in the jobs' deterministic pop
+// order, so counters and retry requeues are byte-identical at any
+// worker count.
 func (s *scheduler) Flush(now time.Time, client *fcm.Client) (delivered, failed int) {
-	for {
-		s.mu.Lock()
-		if len(s.jobs) == 0 || s.jobs[0].at.After(now) {
-			s.mu.Unlock()
-			return delivered, failed
-		}
-		job := heap.Pop(&s.jobs).(*pushJob)
-		s.mu.Unlock()
+	// Collect every due job in (at, seq) order. Retries requeue at
+	// now+retryDelay, so nothing collected here can become due again
+	// within this same flush.
+	s.mu.Lock()
+	var due []*pushJob
+	for len(s.jobs) > 0 && !s.jobs[0].at.After(now) {
+		due = append(due, heap.Pop(&s.jobs).(*pushJob))
+	}
+	s.mu.Unlock()
+	if len(due) == 0 {
+		return 0, 0
+	}
 
-		if err := client.Send(job.endpoint, job.payload); err != nil {
+	// Group by endpoint, keeping first-seen group order and due order
+	// within each group.
+	groups := make(map[string]*endpointGroup)
+	var order []string
+	for _, job := range due {
+		g := groups[job.endpoint]
+		if g == nil {
+			g = &endpointGroup{}
+			groups[job.endpoint] = g
+			order = append(order, job.endpoint)
+		}
+		g.jobs = append(g.jobs, job)
+	}
+
+	send := func(g *endpointGroup) {
+		g.errs = make([]error, len(g.jobs))
+		for i, job := range g.jobs {
+			g.errs[i] = client.Send(job.endpoint, job.payload)
+		}
+	}
+	if s.workers <= 1 || len(order) == 1 {
+		for _, ep := range order {
+			send(groups[ep])
+		}
+	} else {
+		sem := make(chan struct{}, s.workers)
+		var wg sync.WaitGroup
+		for _, ep := range order {
+			g := groups[ep]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(g *endpointGroup) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				send(g)
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	// Fold outcomes in deterministic group order.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ep := range order {
+		g := groups[ep]
+		for i, job := range g.jobs {
+			err := g.errs[i]
+			if err == nil {
+				s.sent++
+				delivered++
+				continue
+			}
 			failed++
 			if permanentSendError(err) {
 				continue // expired/unknown registration: retrying is useless
 			}
-			s.mu.Lock()
 			job.attempts++
 			if job.attempts >= s.maxAttempts {
 				s.dropped++
@@ -141,12 +216,7 @@ func (s *scheduler) Flush(now time.Time, client *fcm.Client) (delivered, failed 
 				job.at = now.Add(s.retryDelay)
 				heap.Push(&s.jobs, job)
 			}
-			s.mu.Unlock()
-			continue
 		}
-		s.mu.Lock()
-		s.sent++
-		s.mu.Unlock()
-		delivered++
 	}
+	return delivered, failed
 }

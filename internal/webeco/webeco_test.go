@@ -175,7 +175,7 @@ func TestEligibility(t *testing.T) {
 }
 
 func TestSchedulerOrderAndFlush(t *testing.T) {
-	s := newScheduler()
+	s := newScheduler(0)
 	t0 := time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
 	s.Schedule(t0.Add(2*time.Hour), "e2", []byte(`{}`))
 	s.Schedule(t0.Add(1*time.Hour), "e1", []byte(`{}`))

@@ -1,22 +1,45 @@
 #!/bin/sh
-# bench.sh — run the mining benchmark suite and record the results as
-# BENCH_mining.json at the repo root, so the perf trajectory of the
-# §5.1.1 clustering hot path is tracked across PRs. Dependency-free:
-# POSIX sh + awk + the Go toolchain.
+# bench.sh — run a benchmark suite and record the results as a JSON
+# artifact at the repo root, so the perf trajectory is tracked across
+# PRs. Dependency-free: POSIX sh + awk + the Go toolchain.
+#
+# Suites:
+#   mining (default) — the §5.1.1 clustering hot path → BENCH_mining.json
+#   crawl            — the monitor event loop (serial vs parallel) and
+#                      the end-to-end study → BENCH_crawl.json
 #
 #   BENCHTIME=5x OUT=/tmp/bench.json sh scripts/bench.sh
+#   SUITE=crawl sh scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
+SUITE="${SUITE:-mining}"
 BENCHTIME="${BENCHTIME:-2x}"
-OUT="${OUT:-BENCH_mining.json}"
+case "$SUITE" in
+mining)
+	PKGS="."
+	PAT='^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$'
+	DEFOUT="BENCH_mining.json"
+	;;
+crawl)
+	PKGS="./internal/crawler ."
+	PAT='^(BenchmarkCrawlMonitor|BenchmarkStudyEndToEnd)$'
+	DEFOUT="BENCH_crawl.json"
+	;;
+*)
+	echo "unknown SUITE '$SUITE' (want mining or crawl)" >&2
+	exit 2
+	;;
+esac
+OUT="${OUT:-$DEFOUT}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
+# shellcheck disable=SC2086 # PKGS is a deliberate word list
 go test -run '^$' \
-	-bench '^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$' \
-	-benchtime "$BENCHTIME" -timeout 60m . | tee "$TMP"
+	-bench "$PAT" \
+	-benchtime "$BENCHTIME" -timeout 60m $PKGS | tee "$TMP"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 	/^Benchmark/ {
@@ -52,6 +75,16 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 			speed = speed sprintf(",\n  \"speedup_n2000_naive_vs_cached\": %.2f", naive / cached)
 		if (naive != "" && pruned != "")
 			speed = speed sprintf(",\n  \"speedup_n2000_naive_vs_pruned\": %.2f", naive / pruned)
+		for (n = 50; n <= 200; n += 150) {
+			s = nsof["BenchmarkCrawlMonitor/" n "/serial"]
+			p = nsof["BenchmarkCrawlMonitor/" n "/parallel"]
+			if (s != "" && p != "")
+				speed = speed sprintf(",\n  \"speedup_n%d_serial_vs_parallel\": %.2f", n, s / p)
+			s = nsof["BenchmarkStudyEndToEnd/" n "/serial"]
+			p = nsof["BenchmarkStudyEndToEnd/" n "/parallel"]
+			if (s != "" && p != "")
+				speed = speed sprintf(",\n  \"speedup_study_n%d_serial_vs_parallel\": %.2f", n, s / p)
+		}
 		printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"'"$BENCHTIME"'\",\n  \"results\": [\n%s\n  ]%s\n}\n",
 			date, out, speed
 	}

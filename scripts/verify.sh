@@ -23,6 +23,14 @@ go test -run '^$' \
 	-bench '^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$/^n=200$' \
 	-benchtime 1x .
 
+echo "==> parallel-monitor parity smoke (serial vs parallel, small n)"
+go test -run '^TestSerialParallelParity$/^seed11$' -count=1 ./internal/crawler/
+
+echo "==> crawl benchmark smoke (n=50, one iteration)"
+go test -run '^$' \
+	-bench '^(BenchmarkCrawlMonitor|BenchmarkStudyEndToEnd)$/^n=50$' \
+	-benchtime 1x ./internal/crawler/ .
+
 sh scripts/telemetry_smoke.sh
 
 echo "verify: OK"
