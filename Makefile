@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-crawl telemetry-smoke
+.PHONY: build test race vet verify bench bench-crawl telemetry-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,9 @@ bench-crawl:
 # validates the snapshot against the golden key-set.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# fleet-smoke runs the same seeded chaos crawl single-process and as a
+# 4-shard fleet under worker kills, and requires byte-identical output
+# plus the fleet telemetry keys.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh

@@ -49,7 +49,7 @@ func studyLatency() *chaos.Profile {
 
 var studyRecords int
 
-func benchStudy(b *testing.B, scale float64, workers int) {
+func benchStudy(b *testing.B, scale float64, workers, shards int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
@@ -58,6 +58,8 @@ func benchStudy(b *testing.B, scale float64, workers int) {
 			SkipMobile:       true,
 			PumpWorkers:      workers,
 			BatchWindow:      time.Hour,
+			Shards:           shards,
+			FleetDir:         fleetDir(b, shards),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -67,16 +69,28 @@ func benchStudy(b *testing.B, scale float64, workers int) {
 	}
 }
 
+func fleetDir(b *testing.B, shards int) string {
+	if shards <= 1 {
+		return ""
+	}
+	return b.TempDir()
+}
+
 // BenchmarkStudyEndToEnd measures a full desktop study at the two
 // fleet-size classes. Unlike BenchmarkCrawlMonitor this includes the
 // phases that do not scale with PumpWorkers (ecosystem generation,
 // word2vec, clustering), so its speedup is a lower bound on the
-// monitor-phase ratio.
+// monitor-phase ratio. The fleet4 mode runs the same study as a
+// 4-shard fleet (internal/fleet) with durable per-shard state files,
+// measuring the coordinator + state-save overhead of the sharded path
+// relative to a single parallel process; its output is byte-identical
+// to the other two modes.
 func BenchmarkStudyEndToEnd(b *testing.B) {
 	for _, size := range studySizes {
 		b.Run(fmt.Sprintf("n=%d", size.n), func(b *testing.B) {
-			b.Run("serial", func(b *testing.B) { benchStudy(b, size.scale, 1) })
-			b.Run("parallel", func(b *testing.B) { benchStudy(b, size.scale, 0) })
+			b.Run("serial", func(b *testing.B) { benchStudy(b, size.scale, 1, 0) })
+			b.Run("parallel", func(b *testing.B) { benchStudy(b, size.scale, 0, 0) })
+			b.Run("fleet4", func(b *testing.B) { benchStudy(b, size.scale, 0, 4) })
 		})
 	}
 }

@@ -8,6 +8,7 @@
 //
 //	wpncrawl -out wpns.json [-seed N] [-scale F] [-days N]
 //	         [-chaos-profile P] [-checkpoint PATH] [-resume]
+//	         [-shards N] [-heartbeat D] [-max-restarts N] [-fleet-dir DIR]
 //	         [-debug-addr HOST:PORT] [-metrics-out PATH] [-trace-out PATH]
 //
 // -chaos-profile wraps the virtual network with the deterministic fault
@@ -18,6 +19,13 @@
 // JSON files derived from the given base path, and -resume merges an
 // existing checkpoint so a killed crawl converges to the same record
 // set as an uninterrupted one.
+//
+// -shards N (> 1) runs each crawl as a sharded fleet (internal/fleet):
+// a coordinator plus N workers, each owning a disjoint container set
+// with its own durable state file, heartbeat-based dead-worker
+// detection, bounded restart-with-resume, and work stealing. The
+// merged output is byte-identical to a single-process crawl at any
+// shard count — including under "workercrashes=F" chaos kills.
 //
 // Observability: -debug-addr serves net/http/pprof, expvar and a live
 // /metrics JSON snapshot on a loopback listener while the crawl runs;
@@ -49,6 +57,10 @@ func main() {
 		pumpW      = flag.Int("pump-workers", 0, "parallel monitor-phase workers (1 = serial reference path, <= 0 = container-pool size); output is identical at any setting")
 		batchW     = flag.Duration("batch-window", 0, "coalesce monitor ticks: pump everything due within this window of the first due event as one batch (0 = exact per-event stepping)")
 		resume     = flag.Bool("resume", false, "resume crawls from existing checkpoints")
+		shards     = flag.Int("shards", 0, "run each crawl as a sharded fleet with this many workers (<= 1 = single process); output is identical at any shard count")
+		heartbeat  = flag.Duration("heartbeat", 0, "fleet liveness-check period in simulated time (0 = 6h default)")
+		maxRestart = flag.Int("max-restarts", 0, "restart budget per shard worker before its containers are stolen (0 = default 2, negative = never restart)")
+		fleetDir   = flag.String("fleet-dir", "", "directory for durable shard state files (default: private temp dir)")
 		debugAddr  = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
 		metricsOut = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
 		traceOut   = flag.String("trace-out", "", "write attack-chain trace spans as JSONL to this path")
@@ -86,6 +98,10 @@ func main() {
 		Resume:           *resume,
 		PumpWorkers:      *pumpW,
 		BatchWindow:      *batchW,
+		Shards:           *shards,
+		ShardHeartbeat:   *heartbeat,
+		MaxShardRestarts: *maxRestart,
+		FleetDir:         *fleetDir,
 		Metrics:          reg,
 		Tracer:           tracer,
 	})
@@ -103,6 +119,13 @@ func main() {
 		time.Since(start).Round(time.Millisecond), *out)
 	if deg := study.Desktop.Degradation; deg.Faults != nil || deg.ContainersLost > 0 {
 		log.Printf("desktop degradation: %+v", deg)
+	}
+	for _, dev := range []string{"desktop", "mobile"} {
+		if rep := study.FleetReports[dev]; rep != nil {
+			log.Printf("%s fleet: shards=%d heartbeats=%d kills=%d restarts=%d lost=%d stolen=%d saves=%d fallbacks=%d",
+				dev, rep.Shards, rep.Heartbeats, rep.Kills, rep.Restarts,
+				rep.WorkersLost, rep.ContainersStolen, rep.StateSaves, rep.StateFallbacks)
+		}
 	}
 	if *metricsOut != "" {
 		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {

@@ -84,6 +84,13 @@ type Profile struct {
 	// the probability a given container crashes on a given resume cycle.
 	ContainerCrashFraction float64 `json:"container_crash_fraction,omitempty"`
 
+	// WorkerCrashFraction is consulted by the fleet's worker crash
+	// plan: the probability a given shard worker dies on a given
+	// heartbeat cycle (kill -9, OOM — the whole process, not one
+	// container). Only fleet runs consult it; it has no effect on the
+	// single-process crawl.
+	WorkerCrashFraction float64 `json:"worker_crash_fraction,omitempty"`
+
 	// Blackholes maps hostnames to windows during which the host is
 	// unresolvable (transport-level "no such host" errors).
 	Blackholes map[string][]Window `json:"blackholes,omitempty"`
@@ -103,6 +110,7 @@ type Profile struct {
 func (p Profile) Enabled() bool {
 	return p.LatencyFraction > 0 || p.ResetFraction > 0 || p.Error5xxFraction > 0 ||
 		p.TruncateFraction > 0 || p.ContainerCrashFraction > 0 ||
+		p.WorkerCrashFraction > 0 ||
 		len(p.Blackholes) > 0 || len(p.PushOutages) > 0
 }
 
@@ -285,6 +293,20 @@ func (in *Injector) ShouldCrashContainer(clientID string, cycle int) bool {
 		return true
 	}
 	return false
+}
+
+// ShouldCrashWorker decides whether the fleet shard worker identified
+// by workerID dies on its cycle-th heartbeat. Used via
+// fleet.Config.WorkerCrashPlan. Deliberately NOT counted into the
+// injector's fault stats: the single-process baseline never consults
+// worker plans, and the fleet's Degradation report must stay
+// byte-identical to it — kills are tallied in the fleet's own report
+// and telemetry instead.
+func (in *Injector) ShouldCrashWorker(workerID string, cycle int) bool {
+	if in.prof.WorkerCrashFraction <= 0 {
+		return false
+	}
+	return hashFrac(in.prof.Seed, fmt.Sprintf("workercrash|%s|%d", workerID, cycle)) < in.prof.WorkerCrashFraction
 }
 
 // Middleware wraps a vnet host handler with fault injection. Faults

@@ -44,9 +44,9 @@ func Preset(name string) (Profile, bool) {
 // or "off" yields nil (chaos disabled).
 //
 // Keys: seed=N, latency=F, latmin=D, latmax=D, resets=F, errors=F,
-// truncate=F, crashes=F, retryafter=D, outage=START:DUR (repeatable),
-// blackhole=HOST:START:DUR (repeatable). Durations use Go syntax
-// ("72h", "30m"); fractions are in [0,1].
+// truncate=F, crashes=F, workercrashes=F, retryafter=D,
+// outage=START:DUR (repeatable), blackhole=HOST:START:DUR (repeatable).
+// Durations use Go syntax ("72h", "30m"); fractions are in [0,1].
 //
 // Example: "acceptance,crashes=0.01,blackhole=ads.example.test:24h:6h".
 func ParseProfile(s string) (*Profile, error) {
@@ -105,6 +105,9 @@ func merge(p *Profile, preset Profile) {
 	if preset.ContainerCrashFraction > 0 {
 		p.ContainerCrashFraction = preset.ContainerCrashFraction
 	}
+	if preset.WorkerCrashFraction > 0 {
+		p.WorkerCrashFraction = preset.WorkerCrashFraction
+	}
 	p.PushOutages = append(p.PushOutages, preset.PushOutages...)
 	for h, ws := range preset.Blackholes {
 		if p.Blackholes == nil {
@@ -153,6 +156,8 @@ func apply(p *Profile, key, val string) error {
 		return frac(&p.TruncateFraction)
 	case "crashes":
 		return frac(&p.ContainerCrashFraction)
+	case "workercrashes":
+		return frac(&p.WorkerCrashFraction)
 	case "retryafter":
 		return dur(&p.RetryAfter)
 	case "outage":

@@ -12,6 +12,7 @@ import (
 	"pushadminer/internal/adblock"
 	"pushadminer/internal/browser"
 	"pushadminer/internal/crawler"
+	"pushadminer/internal/fleet"
 	"pushadminer/internal/telemetry"
 	"pushadminer/internal/urlx"
 	"pushadminer/internal/webeco"
@@ -56,6 +57,23 @@ type StudyConfig struct {
 	// exact per-event stepping.
 	BatchWindow time.Duration
 
+	// Shards > 1 runs each crawl as a sharded fleet (internal/fleet): a
+	// coordinator plus Shards in-process workers, each owning a disjoint
+	// container set with its own durable state, heartbeat monitoring,
+	// bounded restart, and work stealing. Results are byte-identical to
+	// Shards <= 1. Incompatible with Resume (shard state is the fleet's
+	// durable layer).
+	Shards int
+	// ShardHeartbeat is the fleet's simulated-time liveness-check
+	// period; <= 0 uses the fleet default (6h).
+	ShardHeartbeat time.Duration
+	// MaxShardRestarts bounds restart-with-resume per worker (0 = fleet
+	// default of 2, negative = never restart, steal immediately).
+	MaxShardRestarts int
+	// FleetDir is where shard state files are written; empty uses a
+	// private temp directory when worker kills are possible.
+	FleetDir string
+
 	// Metrics, when non-nil, is threaded through every layer: the
 	// ecosystem's virtual network and chaos injector, both crawls, and
 	// the mining pipeline, so one snapshot covers the whole study. Nil
@@ -92,6 +110,10 @@ type Study struct {
 	Mobile   *crawler.Result
 	Records  []*crawler.WPNRecord
 	Analysis *Analysis
+
+	// FleetReports holds each device crawl's control-plane accounting
+	// when the study ran sharded (Cfg.Shards > 1), keyed by device name.
+	FleetReports map[string]*fleet.Report
 
 	// PerNetwork holds Figure 6's distribution, sorted by ad count
 	// descending.
@@ -130,7 +152,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 
 	seeds := eco.SeedURLs()
 	runCrawl := func(device browser.DeviceType, real bool) (*crawler.Result, error) {
-		c, err := crawler.New(crawler.Config{
+		crawlCfg := crawler.Config{
 			Clock:            eco.Clock,
 			NewClient:        func() *http.Client { return eco.Net.ClientNoRedirect() },
 			Driver:           eco,
@@ -146,7 +168,25 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			Resume:           cfg.Resume,
 			Metrics:          cfg.Metrics,
 			Tracer:           cfg.Tracer,
-		})
+		}
+		if cfg.Shards > 1 {
+			res, rep, err := fleet.Run(ctx, fleet.Config{
+				Crawl:           crawlCfg,
+				Shards:          cfg.Shards,
+				Heartbeat:       cfg.ShardHeartbeat,
+				MaxRestarts:     cfg.MaxShardRestarts,
+				Dir:             fleetDirFor(cfg.FleetDir, device),
+				WorkerCrashPlan: eco.WorkerCrashPlan(),
+			}, seeds)
+			if rep != nil {
+				if s.FleetReports == nil {
+					s.FleetReports = make(map[string]*fleet.Report)
+				}
+				s.FleetReports[device.String()] = rep
+			}
+			return res, err
+		}
+		c, err := crawler.New(crawlCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -204,6 +244,15 @@ func checkpointPathFor(base string, device browser.DeviceType) string {
 	}
 	ext := filepath.Ext(base)
 	return strings.TrimSuffix(base, ext) + "." + device.String() + ext
+}
+
+// fleetDirFor derives the per-device shard-state directory, so the
+// desktop and mobile fleets never clobber each other's files.
+func fleetDirFor(base string, device browser.DeviceType) string {
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, device.String())
 }
 
 // Close releases the study's ecosystem.

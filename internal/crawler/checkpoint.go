@@ -27,6 +27,7 @@ type ContainerCursor struct {
 	Collected    int                  `json:"collected"`
 	Cycles       int                  `json:"cycles"`
 	Recoveries   int                  `json:"recoveries"`
+	PollFails    int                  `json:"poll_fails,omitempty"`
 	Dead         bool                 `json:"dead,omitempty"`
 	Sources      map[string]string    `json:"sources,omitempty"`   // token → source URL
 	RegTimes     map[string]time.Time `json:"reg_times,omitempty"` // token → registration time
@@ -66,22 +67,28 @@ func (r *run) snapshot(live []*container) *Checkpoint {
 		Degradation:    r.res.Degradation,
 	}
 	for _, ct := range live {
-		cp.Cursors = append(cp.Cursors, ContainerCursor{
-			ID:           ct.id,
-			SeedURL:      ct.seedURL,
-			ClientID:     ct.clientID,
-			RegisteredAt: ct.registeredAt,
-			ActiveUntil:  ct.activeUntil,
-			NextResume:   ct.nextResume,
-			Collected:    ct.collected,
-			Cycles:       ct.cycles,
-			Recoveries:   ct.recoveries,
-			Dead:         ct.dead,
-			Sources:      ct.sourceByToken,
-			RegTimes:     ct.regTimeByToken,
-		})
+		cp.Cursors = append(cp.Cursors, ct.cursor())
 	}
 	return cp
+}
+
+// cursor captures the container's persisted position.
+func (ct *container) cursor() ContainerCursor {
+	return ContainerCursor{
+		ID:           ct.id,
+		SeedURL:      ct.seedURL,
+		ClientID:     ct.clientID,
+		RegisteredAt: ct.registeredAt,
+		ActiveUntil:  ct.activeUntil,
+		NextResume:   ct.nextResume,
+		Collected:    ct.collected,
+		Cycles:       ct.cycles,
+		Recoveries:   ct.recoveries,
+		PollFails:    ct.pollFails,
+		Dead:         ct.dead,
+		Sources:      ct.sourceByToken,
+		RegTimes:     ct.regTimeByToken,
+	}
 }
 
 // maybeCheckpoint writes a periodic checkpoint when CheckpointEvery of
@@ -112,17 +119,32 @@ func (r *run) writeCheckpoint(live []*container) {
 }
 
 // SaveCheckpoint atomically writes a checkpoint: marshal, write to a
-// temp file in the same directory, fsync, rename. A crash mid-write
-// leaves the previous checkpoint intact.
+// temp file in the same directory, fsync, rename. Before the final
+// rename, the previous checkpoint (if any) is rotated to path+".bak",
+// so even a corrupted primary — a crash between the renames, a torn
+// write on a dying disk — leaves one complete earlier snapshot for
+// LoadCheckpointFallback to resume from.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
 		return fmt.Errorf("crawler: marshal checkpoint: %w", err)
 	}
+	if err := writeFileDurable(path, data); err != nil {
+		return fmt.Errorf("crawler: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// writeFileDurable is the shared atomic-write-with-backup-rotation used
+// by run checkpoints and fleet shard state: temp file in the same
+// directory, fsync, rotate the existing file to .bak, rename into
+// place. The rotation is best-effort — failing to keep a backup must
+// not fail the write.
+func writeFileDurable(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("crawler: checkpoint temp file: %w", err)
+		return fmt.Errorf("temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.Write(data)
@@ -134,11 +156,14 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	}
 	if werr != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("crawler: write checkpoint: %w", werr)
+		return fmt.Errorf("write: %w", werr)
+	}
+	if _, err := os.Stat(path); err == nil {
+		os.Rename(path, path+".bak")
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("crawler: commit checkpoint: %w", err)
+		return fmt.Errorf("commit: %w", err)
 	}
 	return nil
 }
@@ -159,17 +184,39 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	return &cp, nil
 }
 
+// LoadCheckpointFallback loads a checkpoint, falling back to the .bak
+// rotated by SaveCheckpoint when the primary is missing, truncated,
+// corrupt, or version-mismatched — the states a crash mid-write can
+// leave behind. fellBack reports that the backup was used, so callers
+// can note the degradation. When both copies are unusable the primary's
+// error is returned (preserving os.IsNotExist for fresh starts).
+func LoadCheckpointFallback(path string) (cp *Checkpoint, fellBack bool, err error) {
+	cp, err = LoadCheckpoint(path)
+	if err == nil {
+		return cp, false, nil
+	}
+	if bcp, berr := LoadCheckpoint(path + ".bak"); berr == nil {
+		return bcp, true, nil
+	}
+	return nil, false, err
+}
+
 // loadCheckpoint merges a previous checkpoint into this run for resume:
 // records are indexed by content key so the deterministic replay can
 // hand back the already-collected copies instead of duplicating them. A
-// missing file is a fresh start, not an error.
+// missing file is a fresh start, not an error; a corrupt file falls
+// back to the last good .bak with a Degradation note rather than
+// failing the run.
 func (r *run) loadCheckpoint() error {
-	cp, err := LoadCheckpoint(r.cfg.CheckpointPath)
+	cp, fellBack, err := LoadCheckpointFallback(r.cfg.CheckpointPath)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return err
+	}
+	if fellBack {
+		r.res.Degradation.CheckpointFallbacks++
 	}
 	if cp.Device != r.cfg.Device.String() {
 		return fmt.Errorf("crawler: checkpoint %s is for device %q, this crawl is %q",

@@ -202,6 +202,11 @@ func newCrawlMetrics(reg *telemetry.Registry) crawlMetrics {
 	}
 }
 
+// WithDefaults returns the config with every unset field filled in,
+// exactly as New applies them. The fleet coordinator uses it so its
+// event loop and its shard workers agree on effective knob values.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.MonitorWindow <= 0 {
 		c.MonitorWindow = 15 * time.Minute
@@ -321,6 +326,10 @@ type Degradation struct {
 	RecordsDroppedEst int `json:"records_dropped_est,omitempty"`
 	// CheckpointWrites counts successful checkpoint writes.
 	CheckpointWrites int `json:"checkpoint_writes,omitempty"`
+	// CheckpointFallbacks counts resumes that found the primary
+	// checkpoint unreadable (truncated or corrupt JSON, e.g. after a
+	// mid-write crash) and fell back to the rotated .bak copy.
+	CheckpointFallbacks int `json:"checkpoint_fallbacks,omitempty"`
 	// ResumedFromCheckpoint marks a run that loaded a checkpoint;
 	// ReplayedRecords counts records deduplicated against it, and
 	// OrphanedCheckpointRecords counts checkpointed records the replay
@@ -328,6 +337,36 @@ type Degradation struct {
 	ResumedFromCheckpoint     bool `json:"resumed_from_checkpoint,omitempty"`
 	ReplayedRecords           int  `json:"replayed_records,omitempty"`
 	OrphanedCheckpointRecords int  `json:"orphaned_checkpoint_records,omitempty"`
+}
+
+// Merge adds o's tallies into d: counters sum, flags OR, and fault
+// maps fold key-wise. The fleet coordinator uses it to aggregate
+// per-shard Degradation reports into one — because every tally is
+// per-event and containers are partitioned across shards, the merged
+// report equals the single-process one.
+func (d *Degradation) Merge(o Degradation) {
+	if len(o.Faults) > 0 {
+		if d.Faults == nil {
+			d.Faults = make(map[string]int, len(o.Faults))
+		}
+		for k, v := range o.Faults {
+			d.Faults[k] += v
+		}
+	}
+	d.VisitRetries += o.VisitRetries
+	d.VisitFailures += o.VisitFailures
+	d.VisitsAborted += o.VisitsAborted
+	d.PollFailures += o.PollFailures
+	d.BreakerFastFails += o.BreakerFastFails
+	d.DroppedNotifications += o.DroppedNotifications
+	d.ContainersLost += o.ContainersLost
+	d.ContainersRecovered += o.ContainersRecovered
+	d.RecordsDroppedEst += o.RecordsDroppedEst
+	d.CheckpointWrites += o.CheckpointWrites
+	d.CheckpointFallbacks += o.CheckpointFallbacks
+	d.ResumedFromCheckpoint = d.ResumedFromCheckpoint || o.ResumedFromCheckpoint
+	d.ReplayedRecords += o.ReplayedRecords
+	d.OrphanedCheckpointRecords += o.OrphanedCheckpointRecords
 }
 
 // Result is the output of one crawl.
@@ -490,22 +529,44 @@ func (r *run) bump(f func(d *Degradation)) {
 
 // seedPhase visits every URL in parallel container batches (the paper's
 // 20–50 concurrent Docker sessions) and keeps containers whose visit
-// produced a push subscription. Visits do not advance the simulated
-// clock, so parallelism cannot reorder time.
+// produced a push subscription.
 func (r *run) seedPhase(seeds []string) []*container {
+	containers := make([]*container, len(seeds))
+	for i, u := range seeds {
+		containers[i] = r.c.newContainer(u)
+	}
+	live, outcomes := r.seedContainers(containers, seeds)
+	for i, oc := range outcomes {
+		if oc.requested {
+			r.res.NPRURLs = append(r.res.NPRURLs, seeds[i])
+		}
+	}
+	return live
+}
+
+// seedOutcome classifies one seed visit: did the page request
+// notification permission, and did the visit register a subscription.
+type seedOutcome struct {
+	requested  bool
+	registered bool
+}
+
+// seedContainers visits urls[i] with containers[i] in parallel (bounded
+// by MaxContainers) and folds the outcomes serially in seed order:
+// containers whose visit produced a push subscription become live.
+// Visits do not advance the simulated clock, so parallelism cannot
+// reorder time. Shared by the single-process seed phase and shard
+// workers (which pre-build containers with global ids).
+func (r *run) seedContainers(containers []*container, urls []string) ([]*container, []seedOutcome) {
 	type visitOutcome struct {
 		ct        *container
 		requested bool
 		token     string
 	}
-	outcomes := make([]visitOutcome, len(seeds))
+	outcomes := make([]visitOutcome, len(urls))
 	sem := make(chan struct{}, r.cfg.MaxContainers)
 	var wg sync.WaitGroup
-	containers := make([]*container, len(seeds))
-	for i, u := range seeds {
-		containers[i] = r.c.newContainer(u)
-	}
-	for i, u := range seeds {
+	for i, u := range urls {
 		if r.ctx.Err() != nil {
 			break
 		}
@@ -533,11 +594,10 @@ func (r *run) seedPhase(seeds []string) []*container {
 	wg.Wait()
 
 	var live []*container
+	folded := make([]seedOutcome, len(urls))
 	now := r.cfg.Clock.Now()
 	for i, oc := range outcomes {
-		if oc.requested {
-			r.res.NPRURLs = append(r.res.NPRURLs, seeds[i])
-		}
+		folded[i] = seedOutcome{requested: oc.requested, registered: oc.ct != nil}
 		if oc.ct == nil {
 			continue
 		}
@@ -545,11 +605,11 @@ func (r *run) seedPhase(seeds []string) []*container {
 		ct.registeredAt = now
 		ct.activeUntil = now.Add(r.cfg.MonitorWindow)
 		ct.nextResume = now.Add(r.cfg.ResumeInterval)
-		ct.sourceByToken[oc.token] = seeds[i]
+		ct.sourceByToken[oc.token] = urls[i]
 		ct.regTimeByToken[oc.token] = now
 		live = append(live, ct)
 	}
-	return live
+	return live, folded
 }
 
 // visitRetry visits a URL with bounded retries. A visit is retried when
@@ -615,9 +675,18 @@ func (c *Crawler) newBrowser(seedURL string, brk *httpx.Breaker) *browser.Browse
 
 func (c *Crawler) newContainer(seedURL string) *container {
 	c.nextID++
+	return c.newContainerWithID(c.nextID, seedURL)
+}
+
+// newContainerWithID builds a container with an explicit id instead of
+// minting one from the crawler's counter. Shard workers use it so a
+// container's id is its position in the *global* seed list regardless of
+// which shard owns it — the invariant the coordinator's id-order merge
+// and ID minting depend on.
+func (c *Crawler) newContainerWithID(id int, seedURL string) *container {
 	brk := c.newBreaker()
 	return &container{
-		id:             c.nextID,
+		id:             id,
 		seedURL:        seedURL,
 		clientID:       c.clientID(seedURL),
 		brk:            brk,
@@ -799,7 +868,35 @@ func (r *run) pumpBatch(batch []*batchItem) {
 		r.c.tel.batchSize.Observe(float64(len(batch)))
 	}
 
-	// Phase 1: parallel polls, serial classification.
+	if !r.phasePoll(batch, tel) {
+		r.observeBatchLatency(batch, tel)
+		return
+	}
+
+	r.phaseDispatch(batch, tel)
+
+	// Phase 3: one click-delay advance for the whole batch.
+	r.cfg.Clock.Advance(r.cfg.ClickDelay)
+
+	r.phaseClick(batch, tel)
+
+	// Phase 5: serial merge in container-id order.
+	for _, it := range batch {
+		recs, additional := r.foldItem(it)
+		for _, rec := range recs {
+			r.emit(rec)
+		}
+		r.res.AdditionalURLs = append(r.res.AdditionalURLs, additional...)
+	}
+	r.observeBatchLatency(batch, tel)
+}
+
+// phasePoll is pump phase 1: parallel polls at the frozen tick instant,
+// then a serial classification sweep in ascending container id
+// (Degradation tallies, poll-failure crash detection, recovery
+// re-seeds). Reports whether any container received messages — when no
+// shard in a fleet did, the tick ends here with no clock advance.
+func (r *run) phasePoll(batch []*batchItem, tel bool) bool {
 	r.forEach(batch, tel, func(it *batchItem) {
 		it.polled, it.msgs, it.pollErr = r.pollHTTP(it.ct)
 	})
@@ -810,27 +907,23 @@ func (r *run) pumpBatch(batch []*batchItem) {
 			any = true
 		}
 	}
-	if !any {
-		if tel {
-			for _, it := range batch {
-				r.c.tel.pumpLatency.Observe(it.elapsed.Seconds())
-			}
-		}
-		return
-	}
+	return any
+}
 
-	// Phase 2: parallel push dispatch at the frozen poll instant.
+// phaseDispatch is pump phase 2: parallel push dispatch at the frozen
+// poll instant — per-container ad fetches and notification display,
+// ShownAt identical for the whole batch.
+func (r *run) phaseDispatch(batch []*batchItem, tel bool) {
 	r.forEach(batch, tel, func(it *batchItem) {
 		if len(it.msgs) > 0 {
 			it.ct.br.DispatchPushes(it.msgs)
 		}
 	})
+}
 
-	// Phase 3: one click-delay advance for the whole batch.
-	r.cfg.Clock.Advance(r.cfg.ClickDelay)
-
-	// Phase 4: parallel auto-clicks at the frozen post-delay instant,
-	// then parallel landing-page subscription visits.
+// phaseClick is pump phase 4: parallel auto-clicks at the frozen
+// post-delay instant, then parallel landing-page subscription visits.
+func (r *run) phaseClick(batch []*batchItem, tel bool) {
 	r.forEach(batch, tel, func(it *batchItem) {
 		if len(it.msgs) > 0 {
 			it.outcomes = it.ct.br.ProcessClicks()
@@ -849,26 +942,37 @@ func (r *run) pumpBatch(batch []*batchItem) {
 			}
 		}
 	})
+}
 
-	// Phase 5: serial merge in container-id order.
+// foldItem folds one pumped batch item into its container's state (the
+// per-container half of phase 5): it builds the item's records in
+// outcome order — IDs unassigned, the caller mints on its serial path —
+// and returns the §6.2 additional-subscription URLs whose landing pages
+// phase 4 subscribed right there.
+func (r *run) foldItem(it *batchItem) (recs []*WPNRecord, additional []string) {
+	ct := it.ct
+	for i, oc := range it.outcomes {
+		recs = append(recs, r.c.record(ct, oc))
+		ct.collected++
+		if v := it.visits[i]; v.err == nil && v.vr != nil && v.vr.Registration != nil {
+			additional = append(additional, v.url)
+			ct.sourceByToken[v.vr.Registration.Sub.Token] = v.url
+			ct.regTimeByToken[v.vr.Registration.Sub.Token] = r.cfg.Clock.Now()
+			// Re-opening the container's live window mirrors the
+			// paper keeping sessions alive after new registrations.
+			ct.activeUntil = r.cfg.Clock.Now().Add(r.cfg.MonitorWindow)
+		}
+	}
+	return recs, additional
+}
+
+// observeBatchLatency records each item's accumulated pump wall-time.
+func (r *run) observeBatchLatency(batch []*batchItem, tel bool) {
+	if !tel {
+		return
+	}
 	for _, it := range batch {
-		ct := it.ct
-		for i, oc := range it.outcomes {
-			r.emit(ct, oc)
-			// Landing pages that themselves request permission are the
-			// additional URLs of §6.2: phase 4 subscribed right there.
-			if v := it.visits[i]; v.err == nil && v.vr != nil && v.vr.Registration != nil {
-				r.res.AdditionalURLs = append(r.res.AdditionalURLs, v.url)
-				ct.sourceByToken[v.vr.Registration.Sub.Token] = v.url
-				ct.regTimeByToken[v.vr.Registration.Sub.Token] = r.cfg.Clock.Now()
-				// Re-opening the container's live window mirrors the
-				// paper keeping sessions alive after new registrations.
-				ct.activeUntil = r.cfg.Clock.Now().Add(r.cfg.MonitorWindow)
-			}
-		}
-		if tel {
-			r.c.tel.pumpLatency.Observe(it.elapsed.Seconds())
-		}
+		r.c.tel.pumpLatency.Observe(it.elapsed.Seconds())
 	}
 }
 
@@ -951,12 +1055,14 @@ func (r *run) classifyPoll(ct *container, polled bool, err error) {
 	}
 }
 
-// emit converts a click outcome into a record, deduplicating against
-// restored checkpoint records when resuming: a replayed record keeps
-// the checkpointed copy so the merged result matches an uninterrupted
-// run byte for byte.
-func (r *run) emit(ct *container, oc browser.ClickOutcome) {
-	rec := r.c.record(ct, oc)
+// emit mints an ID onto a folded record and appends it, deduplicating
+// against restored checkpoint records when resuming: a replayed record
+// keeps the checkpointed copy so the merged result matches an
+// uninterrupted run byte for byte. Always called on the serial merge
+// path, in ascending container-id order within a tick.
+func (r *run) emit(rec *WPNRecord) {
+	r.c.nextID++
+	rec.ID = r.c.nextID
 	key := recordKey(rec)
 	r.occ[key]++
 	fullKey := fmt.Sprintf("%s\x1e%d", key, r.occ[key])
@@ -967,7 +1073,6 @@ func (r *run) emit(ct *container, oc browser.ClickOutcome) {
 	}
 	r.res.Records = append(r.res.Records, rec)
 	r.c.tel.records.Inc()
-	ct.collected++
 }
 
 // recordKey is the content identity of a record, independent of the
@@ -1083,9 +1188,11 @@ func (r *run) hasPending(ct *container) bool {
 	return false
 }
 
-// record converts one click outcome into a WPNRecord.
+// record converts one click outcome into a WPNRecord. The ID is left
+// unassigned: minting happens on the caller's serial merge path (the
+// run's emit, or the fleet coordinator's cross-shard merge), so shard
+// workers can build records without owning the global ID sequence.
 func (c *Crawler) record(ct *container, oc browser.ClickOutcome) *WPNRecord {
-	c.nextID++
 	dn := oc.Notification
 	src := ct.sourceByToken[dn.Registration.Sub.Token]
 	if src == "" {
@@ -1096,7 +1203,6 @@ func (c *Crawler) record(ct *container, oc browser.ClickOutcome) *WPNRecord {
 		regAt = ct.registeredAt
 	}
 	rec := &WPNRecord{
-		ID:           c.nextID,
 		Device:       c.cfg.Device.String(),
 		SourceURL:    src,
 		SourceDomain: urlx.ESLDOf(src),

@@ -1,0 +1,119 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointCorruptionFailover simulates the worst checkpoint
+// outcome a mid-write crash can leave: a truncated primary file. Resume
+// must fall back to the rotated .bak (the previous good checkpoint),
+// note the fallback in the Degradation report, and still converge to
+// the uninterrupted run's record set — the replay re-derives everything
+// the younger, lost checkpoint had.
+func TestCheckpointCorruptionFailover(t *testing.T) {
+	prof := acceptanceProfile()
+
+	// Uninterrupted reference run, counting scheduler ticks.
+	ecoA := newChaosEco(t, 0.002, prof)
+	counterA := &tickCancelDriver{PushDriver: ecoA}
+	full, err := chaosCrawler(t, ecoA, func(c *Config) { c.Driver = counterA }).Run(ecoA.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "crawl.ckpt.json")
+
+	// Killed run, far enough in to write at least two checkpoints (the
+	// second write rotates the first to .bak).
+	ecoB := newChaosEco(t, 0.002, prof)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killer := &tickCancelDriver{PushDriver: ecoB, limit: counterA.n * 3 / 4, cancel: cancel}
+	partial, err := chaosCrawler(t, ecoB, func(c *Config) {
+		c.Driver = killer
+		c.CheckpointPath = ckpt
+	}).RunContext(ctx, ecoB.SeedURLs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	if partial.Degradation.CheckpointWrites < 2 {
+		t.Fatalf("killed run wrote %d checkpoints, need >= 2 for a .bak rotation",
+			partial.Degradation.CheckpointWrites)
+	}
+	if _, err := os.Stat(ckpt + ".bak"); err != nil {
+		t.Fatalf("no rotated backup checkpoint: %v", err)
+	}
+
+	// The crash tears the primary mid-write: truncate it to garbage.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpointFallback(ckpt); err != nil {
+		t.Fatalf("fallback load failed with a good .bak present: %v", err)
+	}
+
+	// Resume: must fall back to the .bak and converge anyway.
+	ecoC := newChaosEco(t, 0.002, prof)
+	resumed, err := chaosCrawler(t, ecoC, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.Resume = true
+	}).Run(ecoC.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Degradation.ResumedFromCheckpoint {
+		t.Error("resumed run did not load a checkpoint")
+	}
+	if resumed.Degradation.CheckpointFallbacks != 1 {
+		t.Errorf("CheckpointFallbacks = %d, want 1", resumed.Degradation.CheckpointFallbacks)
+	}
+	if resumed.Degradation.ReplayedRecords == 0 {
+		t.Error("no records replayed from the backup checkpoint")
+	}
+	if resumed.Degradation.OrphanedCheckpointRecords != 0 {
+		t.Errorf("%d backup records orphaned; replay should re-mint all",
+			resumed.Degradation.OrphanedCheckpointRecords)
+	}
+	assertUniqueIDs(t, resumed.Records)
+
+	a, _ := json.Marshal(full.Records)
+	b, _ := json.Marshal(resumed.Records)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("record set after corruption failover differs from uninterrupted run: %d vs %d records",
+			len(resumed.Records), len(full.Records))
+	}
+	t.Logf("full=%d partial=%d resumed=%d (replayed %d after .bak fallback)",
+		len(full.Records), len(partial.Records), len(resumed.Records),
+		resumed.Degradation.ReplayedRecords)
+}
+
+// TestCheckpointBothCopiesCorrupt: when primary AND backup are
+// unreadable, resume must fail loudly rather than silently restart the
+// crawl from scratch.
+func TestCheckpointBothCopiesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "crawl.ckpt.json")
+	for _, p := range []string{ckpt, ckpt + ".bak"} {
+		if err := os.WriteFile(p, []byte(`{"version":1,"trunc`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eco := newChaosEco(t, 0.002, nil)
+	_, err := chaosCrawler(t, eco, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.Resume = true
+	}).Run(eco.SeedURLs())
+	if err == nil {
+		t.Fatal("resume with two corrupt checkpoints succeeded silently")
+	}
+}

@@ -1,0 +1,460 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/telemetry"
+)
+
+// coordinator replicates the single-process monitor event loop across
+// shard workers. Per tick, in order: advance the shared clock to the
+// next global event (earliest scheduled push or container resume across
+// all shards), sweep heartbeats (kills, restarts, and work stealing all
+// happen here, before any worker touches the tick), flush the push
+// scheduler, poll every live shard in parallel, dispatch + advance the
+// clock once if any shard received messages, click everywhere, then
+// merge the shards' tick items serially in container-id order, minting
+// record IDs. Only the per-shard fan-outs are concurrent; everything
+// that orders the output is serial — which is what extends the
+// PumpWorkers byte-parity discipline across shard boundaries.
+type coordinator struct {
+	ctx   context.Context
+	cfg   Config
+	crawl crawler.Config
+	tr    Transport
+	met   *fleetMetrics
+
+	// Coordinator-owned crawl instruments: the global batch-size
+	// histogram, record counter, checkpoint-write counter, and
+	// pump-worker gauge the single-process monitor would own.
+	batchSize        *telemetry.Histogram
+	records          *telemetry.Counter
+	checkpointWrites *telemetry.Counter
+	pumpWorkers      *telemetry.Gauge
+
+	res    *crawler.Result
+	report *Report
+
+	n         int
+	alive     []bool
+	status    []crawler.TickStatus
+	lastCycle []int
+	restarts  []int
+	owned     []int
+
+	nextID int
+	epoch  time.Time
+	end    time.Time
+}
+
+func newCoordinator(ctx context.Context, cfg Config, crawlCfg crawler.Config, tr Transport, met *fleetMetrics) *coordinator {
+	n := cfg.Shards
+	co := &coordinator{
+		ctx:       ctx,
+		cfg:       cfg,
+		crawl:     crawlCfg,
+		tr:        tr,
+		met:       met,
+		res:       &crawler.Result{},
+		report:    &Report{Shards: n, Workers: make([]WorkerStatus, n)},
+		n:         n,
+		alive:     make([]bool, n),
+		status:    make([]crawler.TickStatus, n),
+		lastCycle: make([]int, n),
+		restarts:  make([]int, n),
+		owned:     make([]int, n),
+	}
+	for k := 0; k < n; k++ {
+		co.alive[k] = true
+		co.lastCycle[k] = -1
+		co.report.Workers[k].Shard = k
+	}
+	if reg := crawlCfg.Metrics; reg != nil {
+		co.batchSize = reg.Histogram("crawler_pump_batch_size", telemetry.SizeBuckets)
+		co.records = reg.Counter("crawler_records_emitted")
+		co.checkpointWrites = reg.Counter("crawler_checkpoint_writes")
+		co.pumpWorkers = reg.Gauge("crawler_pump_workers")
+	}
+	return co
+}
+
+// forAlive runs f(k) concurrently for every live shard and joins the
+// errors. Each call owns its shard's slot; cross-shard state is only
+// touched on the coordinator's serial path.
+func (co *coordinator) forAlive(f func(k int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, co.n)
+	for k := 0; k < co.n; k++ {
+		if !co.alive[k] {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = f(k)
+		}(k)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// run drives the whole fleet crawl: seed, monitor loop, final drain,
+// finish. It mirrors crawler.RunContext step for step.
+func (co *coordinator) run(seeds []string) error {
+	clock := co.crawl.Clock
+	co.met.shards.Set(int64(co.n))
+	co.met.liveShards.Set(int64(co.n))
+	co.pumpWorkers.Set(int64(co.crawl.PumpWorkers))
+
+	// Seeding: all shards visit their seed subsets concurrently (the
+	// global parallelism is Shards × MaxContainers, like running the
+	// paper's Docker sessions on several hosts). Visits do not advance
+	// the simulated clock, so the fan-out cannot reorder time. Seeding
+	// is kill-free: heartbeat cycle 0 is consulted at the first tick.
+	reps := make([]*crawler.ShardSeedReport, co.n)
+	if err := co.forAlive(func(k int) error {
+		rep, err := co.tr.Seed(k)
+		reps[k] = rep
+		return err
+	}); err != nil {
+		return err
+	}
+
+	co.res.SeedURLs = seeds
+	var outcomes []crawler.ShardSeedOutcome
+	for k := 0; k < co.n; k++ {
+		outcomes = append(outcomes, reps[k].Outcomes...)
+		co.status[k] = reps[k].Status
+		co.owned[k] = reps[k].Status.Queued
+	}
+	// Global seed order, not shard order: NPRURLs must list seed URLs
+	// exactly as the single-process seed phase does.
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Index < outcomes[j].Index })
+	for _, oc := range outcomes {
+		if oc.Requested {
+			co.res.NPRURLs = append(co.res.NPRURLs, seeds[oc.Index])
+		}
+		if oc.Registered {
+			co.res.Containers++
+		}
+	}
+	// Containers minted ids 1..len(seeds); record IDs continue after.
+	co.nextID = len(seeds)
+	co.epoch = clock.Now()
+	co.end = co.epoch.Add(co.crawl.CollectionWindow)
+
+	cancelled := false
+	for {
+		if co.ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		now := clock.Now()
+		if !now.Before(co.end) {
+			break
+		}
+		// Next global event: a scheduled push or any shard's earliest
+		// container resume — the fleet-wide version of the monitor's
+		// heap peek.
+		next := co.end
+		if at, ok := co.crawl.Driver.NextPushAt(); ok && at.Before(next) {
+			next = at
+		}
+		for k := 0; k < co.n; k++ {
+			if co.alive[k] && co.status[k].HasResume && co.status[k].NextResume.Before(next) {
+				next = co.status[k].NextResume
+			}
+		}
+		if w := co.crawl.BatchWindow; w > 0 && next.Before(co.end) {
+			if q := next.Add(w); q.Before(co.end) {
+				next = q
+			} else {
+				next = co.end
+			}
+		}
+		if next.After(now) {
+			clock.Advance(next.Sub(now))
+			now = next
+		}
+
+		// Control plane first: kills, restarts, and stealing all land
+		// before any worker polls, so the tick always runs against a
+		// settled fleet.
+		if err := co.heartbeatSweep(now); err != nil {
+			return err
+		}
+
+		co.crawl.Driver.Tick()
+
+		if err := co.pump(now, false); err != nil {
+			return err
+		}
+
+		// Safety: if nothing is scheduled and no resumes remain, stop.
+		if _, ok := co.crawl.Driver.NextPushAt(); !ok && co.totalQueued() == 0 {
+			break
+		}
+	}
+
+	// Final drain at the end of the window (skipped on cancellation,
+	// like the single-process monitor).
+	if !cancelled {
+		if err := co.pump(clock.Now(), true); err != nil {
+			return err
+		}
+	}
+
+	return co.finish()
+}
+
+// pump runs one global tick's poll/dispatch/click phases across all
+// live shards and merges the results. final selects the end-of-window
+// drain batches.
+func (co *coordinator) pump(now time.Time, final bool) error {
+	polls := make([]*crawler.TickPoll, co.n)
+	if err := co.forAlive(func(k int) error {
+		p, err := co.tr.Poll(k, now, final)
+		polls[k] = p
+		return err
+	}); err != nil {
+		return err
+	}
+	any, total := false, 0
+	for k := 0; k < co.n; k++ {
+		if polls[k] == nil {
+			continue
+		}
+		co.status[k] = polls[k].Status
+		total += polls[k].Due
+		any = any || polls[k].Any
+	}
+	if total > 0 {
+		co.batchSize.Observe(float64(total))
+	}
+	if any {
+		if err := co.forAlive(func(k int) error { return co.tr.Dispatch(k) }); err != nil {
+			return err
+		}
+		// One ClickDelay advance for the whole fleet-wide batch, the
+		// same single advance the monitor's pumpBatch performs.
+		co.crawl.Clock.Advance(co.crawl.ClickDelay)
+	}
+
+	results := make([]*crawler.TickResult, co.n)
+	if err := co.forAlive(func(k int) error {
+		res, err := co.tr.Click(k)
+		results[k] = res
+		return err
+	}); err != nil {
+		return err
+	}
+
+	// Serial merge in ascending container id — the cross-shard version
+	// of pump phase 5. Container ids are global (seed index + 1) and
+	// each container lives on exactly one shard, so this ordering is
+	// exactly the order the single-process merge walks its batch in,
+	// and minting IDs here reproduces its ID sequence.
+	var items []crawler.TickItem
+	for k := 0; k < co.n; k++ {
+		if results[k] != nil {
+			items = append(items, results[k].Items...)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].ContainerID < items[j].ContainerID })
+	for _, it := range items {
+		for _, rec := range it.Records {
+			co.nextID++
+			rec.ID = co.nextID
+			co.res.Records = append(co.res.Records, rec)
+			co.records.Inc()
+		}
+		co.res.AdditionalURLs = append(co.res.AdditionalURLs, it.AdditionalURLs...)
+	}
+	return nil
+}
+
+// heartbeatSweep checks every live worker for each heartbeat cycle that
+// elapsed since its last check. Worker deaths are detected here — and
+// only here, at tick boundaries, after the previous tick's state save —
+// and handled immediately: bounded restart-with-resume, then work
+// stealing once the budget is spent.
+func (co *coordinator) heartbeatSweep(now time.Time) error {
+	cycle := int(now.Sub(co.epoch) / co.cfg.Heartbeat)
+	for k := 0; k < co.n; k++ {
+		if !co.alive[k] {
+			continue
+		}
+		for c := co.lastCycle[k] + 1; c <= cycle; c++ {
+			co.report.Heartbeats++
+			err := co.tr.Heartbeat(k, c)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, ErrWorkerDown) {
+				return err
+			}
+			if herr := co.handleDown(k); herr != nil {
+				return herr
+			}
+			if !co.alive[k] {
+				break // lost for good; containers already adopted
+			}
+		}
+		co.lastCycle[k] = cycle
+	}
+	return nil
+}
+
+// handleDown reacts to a dead worker: restart it from its last saved
+// shard state while its budget lasts, otherwise hand its orphaned
+// containers to the least-loaded live worker. Either way the containers
+// resume exactly where the last tick-boundary save left them, so the
+// kill is invisible in the merged output.
+func (co *coordinator) handleDown(k int) error {
+	co.report.Kills++
+	co.met.kills.Inc()
+
+	if co.restarts[k] < co.cfg.MaxRestarts {
+		co.restarts[k]++
+		fellBack, err := co.tr.Restart(k)
+		if fellBack {
+			co.report.StateFallbacks++
+			co.met.stateFallbacks.Inc()
+		}
+		if err != nil {
+			return err
+		}
+		co.report.Restarts++
+		co.report.Workers[k].Restarts++
+		co.met.restarts.Inc()
+		// The restored worker's scheduling state equals the saved one,
+		// which is what co.status[k] already holds.
+		return nil
+	}
+
+	// Budget exhausted: the worker stays dead.
+	co.alive[k] = false
+	co.report.WorkersLost++
+	co.report.Workers[k].Lost = true
+	co.met.workersLost.Inc()
+	co.met.liveShards.Add(-1)
+
+	st, fellBack, err := co.tr.Orphans(k)
+	if fellBack {
+		co.report.StateFallbacks++
+		co.met.stateFallbacks.Inc()
+	}
+	if err != nil {
+		return err
+	}
+	// Steal to the live worker owning the fewest containers (ties to
+	// the lowest shard id). The choice is pure load balancing: records
+	// merge by global container id and every draw is keyed by container
+	// or worker identity, so the adopter's identity cannot leak into
+	// the output.
+	target := -1
+	for j := 0; j < co.n; j++ {
+		if !co.alive[j] {
+			continue
+		}
+		if target < 0 || co.owned[j] < co.owned[target] {
+			target = j
+		}
+	}
+	if target < 0 {
+		return fmt.Errorf("fleet: all shard workers dead")
+	}
+	if err := co.tr.Adopt(target, st); err != nil {
+		return err
+	}
+	stolen := len(st.Containers)
+	co.report.ContainersStolen += stolen
+	co.report.Workers[target].Adopted += stolen
+	co.met.containersStolen.Add(int64(stolen))
+	co.owned[target] += stolen
+	co.owned[k] = 0
+	// The dead shard's pending resumes now live in the adopter's heap;
+	// the adopter's status refreshes at this tick's poll.
+	co.status[k] = crawler.TickStatus{}
+	return nil
+}
+
+func (co *coordinator) totalQueued() int {
+	total := 0
+	for k := 0; k < co.n; k++ {
+		if co.alive[k] {
+			total += co.status[k].Queued
+		}
+	}
+	return total
+}
+
+// finish aggregates the shards' final accounting — per-shard
+// Degradations merge tally-wise into one report equal to the
+// single-process one — snapshots the ecosystem fault counters once,
+// and writes the optional merged checkpoint.
+func (co *coordinator) finish() error {
+	for k := 0; k < co.n; k++ {
+		if !co.alive[k] {
+			continue
+		}
+		fin, err := co.tr.Finish(k)
+		if err != nil {
+			return err
+		}
+		co.res.Degradation.Merge(fin.Degradation)
+	}
+	if co.crawl.FaultCounts != nil {
+		if fc := co.crawl.FaultCounts(); len(fc) > 0 {
+			co.res.Degradation.Faults = fc
+		}
+	}
+	co.writeMergedCheckpoint()
+	return nil
+}
+
+// writeMergedCheckpoint writes one global checkpoint equivalent to the
+// single-process final checkpoint: all records, cursors from every live
+// shard in container-id order, and the merged Degradation. The fleet
+// writes no periodic checkpoints — per-shard state files are its
+// durable layer — so a fleet checkpoint counts exactly one write.
+func (co *coordinator) writeMergedCheckpoint() {
+	if co.crawl.CheckpointPath == "" {
+		return
+	}
+	cp := &crawler.Checkpoint{
+		Version:        crawler.CheckpointVersion,
+		Device:         co.crawl.Device.String(),
+		SimTime:        co.crawl.Clock.Now(),
+		NextID:         co.nextID,
+		SeedURLs:       co.res.SeedURLs,
+		NPRURLs:        co.res.NPRURLs,
+		AdditionalURLs: co.res.AdditionalURLs,
+		Containers:     co.res.Containers,
+		Records:        co.res.Records,
+		Degradation:    co.res.Degradation,
+	}
+	for k := 0; k < co.n; k++ {
+		if !co.alive[k] {
+			continue
+		}
+		st, err := co.tr.State(k)
+		if err != nil {
+			continue
+		}
+		for _, cs := range st.Containers {
+			cp.Cursors = append(cp.Cursors, cs.Cursor)
+		}
+	}
+	sort.Slice(cp.Cursors, func(i, j int) bool { return cp.Cursors[i].ID < cp.Cursors[j].ID })
+	if err := crawler.SaveCheckpoint(co.crawl.CheckpointPath, cp); err == nil {
+		co.res.Degradation.CheckpointWrites++
+		co.checkpointWrites.Inc()
+	}
+}

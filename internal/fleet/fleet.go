@@ -1,0 +1,204 @@
+// Package fleet shards the WPN crawl across a coordinator and N shard
+// workers with a self-healing control plane. Each shard owns a disjoint
+// subset of the containers — its own browsers, per-container circuit
+// breakers, pump-worker pool, suspension heap, and durable state file —
+// while the coordinator owns everything global: the simulated clock,
+// the push scheduler, record-ID minting, and the serial id-order merge
+// of shard results.
+//
+// The control plane heartbeats every worker at tick boundaries, detects
+// dead workers (driven by a chaos crash plan in tests), restarts them
+// from their last saved shard state a bounded number of times, and when
+// a worker's restart budget is exhausted rebalances its orphaned
+// containers onto the least-loaded live worker (work stealing). Because
+// workers only die at tick boundaries — after their state save — and
+// restore is pure deserialization, a fleet run at ANY shard count,
+// under ANY kill schedule, produces byte-identical records and an
+// identical Degradation report to the single-process crawl. The fleet
+// parity matrix test pins exactly that.
+//
+// Workers run in-process behind the Transport interface ("virtual
+// shards"); a subprocess/loopback transport can replace localTransport
+// without touching the coordinator.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/telemetry"
+)
+
+// Config configures a fleet crawl.
+type Config struct {
+	// Crawl is the shared crawl configuration every shard worker and the
+	// coordinator use. Crawl.Resume is rejected: shard state files are
+	// the fleet's durable layer (Crawl.CheckpointPath still works — the
+	// coordinator writes one merged checkpoint at the end).
+	Crawl crawler.Config
+	// Shards is the number of shard workers. <= 0 defaults to 1.
+	Shards int
+	// Heartbeat is the simulated-time liveness-check period. Worker
+	// crash plans are consulted once per elapsed heartbeat cycle, at
+	// tick boundaries. <= 0 defaults to 6h.
+	Heartbeat time.Duration
+	// MaxRestarts bounds restart-with-resume attempts per worker; after
+	// the budget a dead worker's containers are stolen by a live one.
+	// 0 defaults to 2; negative means never restart (steal immediately).
+	MaxRestarts int
+	// Dir is where shard state files (shard-<k>.json) are written.
+	// Empty with a WorkerCrashPlan set uses a private temp directory;
+	// empty without one disables shard durability entirely.
+	Dir string
+	// WorkerCrashPlan, if non-nil, is asked at each worker heartbeat
+	// whether that worker's process dies now. Wire
+	// webeco.Ecosystem.WorkerCrashPlan here to drive it from a chaos
+	// profile ("workercrashes=F").
+	WorkerCrashPlan func(workerID string, cycle int) bool
+}
+
+// WorkerStatus is one worker's line in the fleet report.
+type WorkerStatus struct {
+	Shard int `json:"shard"`
+	// Containers is how many containers the worker owned at the end
+	// (seeded survivors plus adoptions; zero for lost workers).
+	Containers int  `json:"containers"`
+	Restarts   int  `json:"restarts,omitempty"`
+	Adopted    int  `json:"adopted,omitempty"`
+	Lost       bool `json:"lost,omitempty"`
+}
+
+// Report is the fleet run's control-plane accounting, alongside the
+// crawl Result (which is byte-identical to a single-process run).
+type Report struct {
+	Shards     int            `json:"shards"`
+	Workers    []WorkerStatus `json:"workers"`
+	Heartbeats int            `json:"heartbeats"`
+	// Kills counts worker deaths; Restarts successful revivals;
+	// WorkersLost workers whose restart budget ran out.
+	Kills       int `json:"kills,omitempty"`
+	Restarts    int `json:"restarts,omitempty"`
+	WorkersLost int `json:"workers_lost,omitempty"`
+	// ContainersStolen counts containers rebalanced off dead workers.
+	ContainersStolen int `json:"containers_stolen,omitempty"`
+	// StateSaves counts shard-state writes; StateFallbacks counts
+	// restores that used a rotated .bak because the primary state file
+	// was unreadable.
+	StateSaves     int `json:"state_saves,omitempty"`
+	StateFallbacks int `json:"state_fallbacks,omitempty"`
+}
+
+// fleetMetrics holds the control plane's preresolved instruments.
+// All-nil (telemetry disabled) no-ops per the telemetry contract.
+type fleetMetrics struct {
+	shards           *telemetry.Gauge
+	liveShards       *telemetry.Gauge
+	heartbeats       *telemetry.Counter
+	kills            *telemetry.Counter
+	restarts         *telemetry.Counter
+	workersLost      *telemetry.Counter
+	containersStolen *telemetry.Counter
+	stateSaves       *telemetry.Counter
+	stateFallbacks   *telemetry.Counter
+	heartbeatSeconds *telemetry.Histogram
+}
+
+func newFleetMetrics(reg *telemetry.Registry) *fleetMetrics {
+	if reg == nil {
+		return &fleetMetrics{}
+	}
+	return &fleetMetrics{
+		shards:           reg.Gauge("fleet_shards"),
+		liveShards:       reg.Gauge("fleet_live_shards"),
+		heartbeats:       reg.Counter("fleet_heartbeats"),
+		kills:            reg.Counter("fleet_worker_kills"),
+		restarts:         reg.Counter("fleet_worker_restarts"),
+		workersLost:      reg.Counter("fleet_workers_lost"),
+		containersStolen: reg.Counter("fleet_containers_stolen"),
+		stateSaves:       reg.Counter("fleet_shard_state_saves"),
+		stateFallbacks:   reg.Counter("fleet_shard_state_fallbacks"),
+		heartbeatSeconds: reg.Histogram("fleet_heartbeat_seconds", telemetry.LatencyBuckets),
+	}
+}
+
+// Run crawls the seed URLs with a sharded fleet and returns the merged
+// result plus the control plane's report. Cancelling ctx stops the
+// crawl at the next tick boundary, like the single-process crawler.
+func Run(ctx context.Context, cfg Config, seeds []string) (*crawler.Result, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 6 * time.Hour
+	}
+	switch {
+	case cfg.MaxRestarts == 0:
+		cfg.MaxRestarts = 2
+	case cfg.MaxRestarts < 0:
+		cfg.MaxRestarts = 0
+	}
+	crawlCfg := cfg.Crawl.WithDefaults()
+	if crawlCfg.Clock == nil || crawlCfg.NewClient == nil || crawlCfg.Driver == nil {
+		return nil, nil, fmt.Errorf("fleet: Crawl.Clock, Crawl.NewClient and Crawl.Driver are required")
+	}
+	if crawlCfg.Resume {
+		return nil, nil, fmt.Errorf("fleet: checkpoint resume is not supported with shards (shard state files are the fleet's durable layer)")
+	}
+
+	// Shard durability: required the moment workers can die. A crash
+	// plan with no Dir gets a private temp directory.
+	durable := cfg.WorkerCrashPlan != nil || cfg.Dir != ""
+	dir := cfg.Dir
+	if durable && dir == "" {
+		d, err := os.MkdirTemp("", "wpnfleet-")
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: state dir: %w", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	} else if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("fleet: state dir: %w", err)
+		}
+	}
+
+	// Round-robin shard assignment over the global seed list. Seeds
+	// carry their global indices, so container ids (index+1), and with
+	// them the merge order, are independent of the shard count.
+	seedsByShard := make([][]crawler.ShardSeed, cfg.Shards)
+	for i, u := range seeds {
+		k := i % cfg.Shards
+		seedsByShard[k] = append(seedsByShard[k], crawler.ShardSeed{Index: i, URL: u})
+	}
+	names := make([]string, cfg.Shards)
+	for k := range names {
+		// The crash-plan identity: stable per (shard, device), distinct
+		// from container clientIDs so worker draws and container draws
+		// never collide.
+		names[k] = fmt.Sprintf("shard-%d#%s", k, crawlCfg.Device)
+	}
+
+	met := newFleetMetrics(crawlCfg.Metrics)
+	tr, err := newLocalTransport(ctx, crawlCfg, names, seedsByShard, dir, durable, cfg.WorkerCrashPlan, met)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	co := newCoordinator(ctx, cfg, crawlCfg, tr, met)
+	runErr := co.run(seeds)
+
+	co.report.StateSaves = tr.StateSaves()
+	for k := range co.report.Workers {
+		co.report.Workers[k].Containers = co.owned[k]
+	}
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	return co.res, co.report, runErr
+}

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pushadminer/internal/browser"
+	"pushadminer/internal/chaos"
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/telemetry"
+	"pushadminer/internal/webeco"
+)
+
+// newEco builds the standard test ecosystem at the standard test scale.
+func newEco(t *testing.T, seed int64, prof *chaos.Profile) *webeco.Ecosystem {
+	t.Helper()
+	eco, err := webeco.New(webeco.Config{Seed: seed, Scale: 0.002, Chaos: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eco.Close() })
+	return eco
+}
+
+// crawlConfig wires a crawl config to an ecosystem, mirroring the
+// crawler package's test setup.
+func crawlConfig(eco *webeco.Ecosystem, mod func(*crawler.Config)) crawler.Config {
+	cfg := crawler.Config{
+		Clock:            eco.Clock,
+		NewClient:        func() *http.Client { return eco.Net.ClientNoRedirect() },
+		Driver:           eco,
+		Pending:          eco.Push,
+		Device:           browser.Desktop,
+		CollectionWindow: 7 * 24 * time.Hour,
+		CrashPlan:        eco.CrashPlan(),
+		FaultCounts:      eco.FaultCounts,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return cfg
+}
+
+// chaosProfile is the acceptance fault mix plus worker kills: the fleet
+// must shrug off connection resets, 503 bursts, a push outage,
+// container crashes AND whole shard workers dying.
+func chaosProfile(workerCrashes float64) *chaos.Profile {
+	p, ok := chaos.Preset("acceptance")
+	if !ok {
+		panic("acceptance preset missing")
+	}
+	p.Seed = 5
+	p.WorkerCrashFraction = workerCrashes
+	return &p
+}
+
+// baselineRun is the ground truth: the single-process crawl.
+func baselineRun(t *testing.T, seed int64, prof *chaos.Profile) []byte {
+	t.Helper()
+	eco := newEco(t, seed, prof)
+	c, err := crawler.New(crawlConfig(eco, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("baseline collected no records; parity test is vacuous")
+	}
+	return marshal(t, res)
+}
+
+func fleetRun(t *testing.T, seed int64, prof *chaos.Profile, shards int) ([]byte, *Report) {
+	t.Helper()
+	eco := newEco(t, seed, prof)
+	res, rep, err := Run(context.Background(), Config{
+		Crawl:           crawlConfig(eco, nil),
+		Shards:          shards,
+		WorkerCrashPlan: eco.WorkerCrashPlan(),
+		Dir:             t.TempDir(),
+	}, eco.SeedURLs())
+	if err != nil {
+		t.Fatalf("fleet run (shards=%d): %v", shards, err)
+	}
+	return marshal(t, res), rep
+}
+
+func marshal(t *testing.T, res *crawler.Result) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFleetParityMatrix is the tentpole contract: a fleet run at any
+// shard count, with any kill schedule, converges to the single-process
+// result — byte-identical records, URL lists, and Degradation report.
+func TestFleetParityMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		prof   func() *chaos.Profile
+		shards []int
+	}{
+		// Kill-free: sharding alone must not move a byte.
+		{"seed11", 11, func() *chaos.Profile { return nil }, []int{1, 2, 4}},
+		// Full chaos plus worker kills: each worker sees ~28 heartbeat
+		// cycles at the 6h default over 7 days, so a 5% kill fraction
+		// exercises restarts (and, depending on the draw, stealing).
+		{"seed11/chaos", 11, func() *chaos.Profile { return chaosProfile(0.05) }, []int{2, 4}},
+		{"seed23/chaos", 23, func() *chaos.Profile { return chaosProfile(0.05) }, []int{3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := baselineRun(t, tc.seed, tc.prof())
+			for _, shards := range tc.shards {
+				got, rep := fleetRun(t, tc.seed, tc.prof(), shards)
+				if !bytes.Equal(want, got) {
+					t.Errorf("shards=%d diverges from single-process baseline (%d vs %d bytes):\n%s",
+						shards, len(want), len(got), firstDiff(want, got))
+				}
+				t.Logf("shards=%d kills=%d restarts=%d lost=%d stolen=%d saves=%d",
+					shards, rep.Kills, rep.Restarts, rep.WorkersLost, rep.ContainersStolen, rep.StateSaves)
+			}
+		})
+	}
+}
+
+// TestFleetRestartsUnderKills pins that the chaos kill plan actually
+// bites in the matrix scenario — otherwise the parity cases above would
+// silently test nothing about the control plane.
+func TestFleetRestartsUnderKills(t *testing.T) {
+	_, rep := fleetRun(t, 11, chaosProfile(0.05), 4)
+	if rep.Kills == 0 {
+		t.Fatal("no worker kills under workercrashes=0.05; control plane untested")
+	}
+	if rep.Restarts == 0 {
+		t.Error("kills happened but no restarts")
+	}
+	if rep.StateSaves == 0 {
+		t.Error("durable fleet run wrote no shard state")
+	}
+	if rep.Heartbeats == 0 {
+		t.Error("no heartbeats recorded")
+	}
+}
+
+// TestFleetWorkStealing kills one worker with no restart budget: its
+// containers must be adopted by a live shard and the merged result must
+// still match the single-process baseline byte for byte.
+func TestFleetWorkStealing(t *testing.T) {
+	want := baselineRun(t, 11, nil)
+
+	eco := newEco(t, 11, nil)
+	res, rep, err := Run(context.Background(), Config{
+		Crawl:       crawlConfig(eco, nil),
+		Shards:      4,
+		MaxRestarts: -1, // never restart: first kill orphans the shard
+		Dir:         t.TempDir(),
+		WorkerCrashPlan: func(workerID string, cycle int) bool {
+			return strings.HasPrefix(workerID, "shard-1#") && cycle == 2
+		},
+	}, eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorkersLost != 1 {
+		t.Fatalf("WorkersLost = %d, want 1 (report: %+v)", rep.WorkersLost, rep)
+	}
+	if rep.Restarts != 0 {
+		t.Errorf("Restarts = %d, want 0 with MaxRestarts=-1", rep.Restarts)
+	}
+	if rep.ContainersStolen == 0 {
+		t.Error("lost worker's containers were not stolen")
+	}
+	if !rep.Workers[1].Lost {
+		t.Errorf("worker 1 not marked lost: %+v", rep.Workers)
+	}
+	adopted := 0
+	for _, w := range rep.Workers {
+		adopted += w.Adopted
+	}
+	if adopted != rep.ContainersStolen {
+		t.Errorf("adopted %d != stolen %d", adopted, rep.ContainersStolen)
+	}
+	if got := marshal(t, res); !bytes.Equal(want, got) {
+		t.Errorf("result with work stealing diverges from baseline:\n%s", firstDiff(want, got))
+	}
+}
+
+// TestFleetTelemetry pins the fleet gauge/counter key set and that the
+// control-plane instruments move under kills.
+func TestFleetTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	eco := newEco(t, 11, chaosProfile(0.05))
+	_, rep, err := Run(context.Background(), Config{
+		Crawl:           crawlConfig(eco, func(c *crawler.Config) { c.Metrics = reg }),
+		Shards:          4,
+		WorkerCrashPlan: eco.WorkerCrashPlan(),
+		Dir:             t.TempDir(),
+	}, eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("fleet_shards").Value(); got != 4 {
+		t.Errorf("fleet_shards = %d, want 4", got)
+	}
+	live := reg.Gauge("fleet_live_shards").Value()
+	if want := int64(4 - rep.WorkersLost); live != want {
+		t.Errorf("fleet_live_shards = %d, want %d", live, want)
+	}
+	for name, want := range map[string]int64{
+		"fleet_heartbeats":        int64(rep.Heartbeats),
+		"fleet_worker_kills":      int64(rep.Kills),
+		"fleet_worker_restarts":   int64(rep.Restarts),
+		"fleet_workers_lost":      int64(rep.WorkersLost),
+		"fleet_containers_stolen": int64(rep.ContainersStolen),
+		"fleet_shard_state_saves": int64(rep.StateSaves),
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d (report: %+v)", name, got, want, rep)
+		}
+	}
+	if hb := reg.Histogram("fleet_heartbeat_seconds", telemetry.LatencyBuckets); hb.Count() != int64(rep.Heartbeats) {
+		t.Errorf("fleet_heartbeat_seconds count = %d, want %d", hb.Count(), rep.Heartbeats)
+	}
+	if reg.Counter("crawler_records_emitted").Value() == 0 {
+		t.Error("coordinator minted records but crawler_records_emitted is 0")
+	}
+}
+
+// TestFleetRejectsResume: checkpoint-replay resume belongs to the
+// single-process crawler; the fleet's durable layer is shard state.
+func TestFleetRejectsResume(t *testing.T) {
+	eco := newEco(t, 11, nil)
+	cfg := crawlConfig(eco, func(c *crawler.Config) {
+		c.Resume = true
+		c.CheckpointPath = t.TempDir() + "/ckpt.json"
+	})
+	if _, _, err := Run(context.Background(), Config{Crawl: cfg, Shards: 2}, eco.SeedURLs()); err == nil {
+		t.Fatal("fleet accepted Crawl.Resume; want an error")
+	}
+}
+
+// firstDiff renders the context around the first diverging byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo, hi := i-120, i+120
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n {
+				hi = n
+			}
+			return fmt.Sprintf("first diff at byte %d\n<<< %s\n>>> %s", i, a[lo:hi], b[lo:hi])
+		}
+	}
+	return "one output is a prefix of the other"
+}

@@ -2,6 +2,7 @@ package httpx
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -160,4 +161,59 @@ func (b *Breaker) State(host string) string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return stateName(b.host(host).state)
+}
+
+// BreakerHostState is one host's circuit state in serializable form.
+// OpenedAt is meaningful only while State is "open" (it anchors the
+// cooldown on the breaker's clock, the simulated clock in crawls).
+type BreakerHostState struct {
+	Host     string    `json:"host"`
+	State    string    `json:"state"`
+	Fails    int       `json:"fails,omitempty"`
+	OpenedAt time.Time `json:"opened_at,omitzero"`
+}
+
+// Export snapshots every host's circuit state, sorted by host. Hosts
+// still in the zero state (closed, no failures) are omitted — restoring
+// onto a fresh breaker recreates them on demand.
+func (b *Breaker) Export() []BreakerHostState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []BreakerHostState
+	for host, hb := range b.hosts {
+		if hb.state == stateClosed && hb.fails == 0 {
+			continue
+		}
+		out = append(out, BreakerHostState{
+			Host: host, State: stateName(hb.state), Fails: hb.fails, OpenedAt: hb.openedAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// Restore reinstates previously exported host states, so a breaker
+// rebuilt after a worker restart resumes open circuits mid-cooldown
+// instead of re-probing sick hosts at full rate. Restoring does not
+// count state transitions — the edges were already counted when they
+// happened.
+func (b *Breaker) Restore(states []BreakerHostState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range states {
+		if s.Host == "" {
+			continue
+		}
+		hb := b.host(s.Host)
+		switch s.State {
+		case "open":
+			hb.state = stateOpen
+		case "half-open":
+			hb.state = stateHalfOpen
+		default:
+			hb.state = stateClosed
+		}
+		hb.fails = s.Fails
+		hb.openedAt = s.OpenedAt
+	}
 }

@@ -12,13 +12,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/cookiejar"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"pushadminer/internal/chaos"
+	"pushadminer/internal/httpx"
 	"pushadminer/internal/telemetry"
 )
 
@@ -280,12 +280,12 @@ func (n *Network) Client() *http.Client {
 // carries its own cookie jar: each crawler container is an isolated
 // browsing session, which is exactly why the paper ran one Docker
 // container per URL — some ad networks track browsers across sessions
-// via cookies (§8).
+// via cookies (§8). The jar is an httpx.MemJar so a container's cookie
+// state can be exported and rehydrated on shard failover.
 func (n *Network) ClientNoRedirect() *http.Client {
-	jar, _ := cookiejar.New(nil) // error is impossible with nil options
 	return &http.Client{
 		Transport: n.newTransport(),
-		Jar:       jar,
+		Jar:       httpx.NewMemJar(),
 		Timeout:   10 * time.Second,
 		CheckRedirect: func(req *http.Request, via []*http.Request) error {
 			return http.ErrUseLastResponse

@@ -224,6 +224,16 @@ func (e *Ecosystem) CrashPlan() func(clientID string, cycle int) bool {
 	return e.chaos.ShouldCrashContainer
 }
 
+// WorkerCrashPlan returns the chaos injector's fleet worker-kill
+// decider, or nil without chaos. Wire it to fleet.Config.WorkerCrashPlan
+// to drive shard-worker kills from the profile's WorkerCrashFraction.
+func (e *Ecosystem) WorkerCrashPlan() func(workerID string, cycle int) bool {
+	if e.chaos == nil {
+		return nil
+	}
+	return e.chaos.ShouldCrashWorker
+}
+
 // newEvasion wires the evasion controller to this ecosystem: operators
 // probe the simulated VirusTotal, replacement domains are deterministic
 // per campaign, and fresh domains are mounted and recorded as malicious

@@ -82,8 +82,11 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 				speed = speed sprintf(",\n  \"speedup_n%d_serial_vs_parallel\": %.2f", n, s / p)
 			s = nsof["BenchmarkStudyEndToEnd/" n "/serial"]
 			p = nsof["BenchmarkStudyEndToEnd/" n "/parallel"]
+			f = nsof["BenchmarkStudyEndToEnd/" n "/fleet4"]
 			if (s != "" && p != "")
 				speed = speed sprintf(",\n  \"speedup_study_n%d_serial_vs_parallel\": %.2f", n, s / p)
+			if (p != "" && f != "")
+				speed = speed sprintf(",\n  \"overhead_study_n%d_fleet4_vs_parallel\": %.2f", n, f / p)
 		}
 		printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"'"$BENCHTIME"'\",\n  \"results\": [\n%s\n  ]%s\n}\n",
 			date, out, speed

@@ -33,4 +33,6 @@ go test -run '^$' \
 
 sh scripts/telemetry_smoke.sh
 
+sh scripts/fleet_smoke.sh
+
 echo "verify: OK"
