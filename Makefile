@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-crawl telemetry-smoke fleet-smoke
+.PHONY: build test race vet verify bench bench-crawl telemetry-smoke fleet-smoke mining-smoke
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,11 @@ telemetry-smoke:
 # plus the fleet telemetry keys.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# mining-smoke runs the blocked-vs-exact parity matrix (3 seeds × 3
+# linkages) and the incremental-converges-to-batch checks — the gates
+# behind the sub-quadratic mining path.
+mining-smoke:
+	$(GO) test -count=1 \
+		-run '^(TestClusterParityBlockedVsExact|TestBlockedComponentsPartition|TestBlockedFixedCutHeight|TestIncrementalConvergesToBatch|TestIncrementalOptionReplaysToBatch|TestIncrementalLinkageVariants)$$' \
+		./internal/core/

@@ -13,6 +13,12 @@
 //	-days N        collection window in simulated days (default 14)
 //	-table LIST    comma-separated artifacts to print:
 //	               1,2,3,4,5,6,f4,f5,f6,cost,eval,detector,scams,experiments,all
+//	-blocked       mine with the sub-quadratic LSH-blocked clustering
+//	               path (candidate pairs from the SimHash band index,
+//	               exact clustering within connected-component blocks)
+//	-incremental   mine as a replayed stream: batches feed an
+//	               incremental clusterer that re-clusters only dirty
+//	               blocks (implies the blocked path)
 //	-quiet         suppress progress logging
 //	-debug-addr A  loopback addr serving /debug/pprof, /debug/vars and
 //	               a live /metrics JSON snapshot while the study runs
@@ -37,15 +43,17 @@ import (
 
 func main() {
 	var (
-		seed       = flag.Int64("seed", 1, "ecosystem seed")
-		scaleStr   = flag.String("scale", "0.05", `fraction of paper-scale crawl ("paper" = 1.0)`)
-		days       = flag.Int("days", 14, "collection window in simulated days")
-		tables     = flag.String("table", "all", "artifacts to print (1,2,3,4,5,6,f4,f5,f6,cost,eval,detector,scams,experiments,all)")
-		quiet      = flag.Bool("quiet", false, "suppress progress logging")
-		format     = flag.String("format", "text", "output format: text or json")
-		debugAddr  = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
-		metricsOut = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
-		traceOut   = flag.String("trace-out", "", "write trace spans as JSONL to this path")
+		seed        = flag.Int64("seed", 1, "ecosystem seed")
+		scaleStr    = flag.String("scale", "0.05", `fraction of paper-scale crawl ("paper" = 1.0)`)
+		days        = flag.Int("days", 14, "collection window in simulated days")
+		tables      = flag.String("table", "all", "artifacts to print (1,2,3,4,5,6,f4,f5,f6,cost,eval,detector,scams,experiments,all)")
+		blocked     = flag.Bool("blocked", false, "use the sub-quadratic LSH-blocked clustering path")
+		incremental = flag.Bool("incremental", false, "mine as a replayed stream (implies -blocked)")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+		format      = flag.String("format", "text", "output format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
+		metricsOut  = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
+		traceOut    = flag.String("trace-out", "", "write trace spans as JSONL to this path")
 	)
 	flag.Parse()
 
@@ -83,12 +91,15 @@ func main() {
 
 	logf("building ecosystem (seed=%d scale=%.3f) and crawling %d simulated days...", *seed, scale, *days)
 	start := time.Now()
-	study, err := pushadminer.RunStudy(pushadminer.StudyConfig{
+	cfg := pushadminer.StudyConfig{
 		Eco:              pushadminer.EcosystemConfig{Seed: *seed, Scale: scale},
 		CollectionWindow: time.Duration(*days) * 24 * time.Hour,
 		Metrics:          reg,
 		Tracer:           tracer,
-	})
+	}
+	cfg.Pipeline.Cluster.Blocked = *blocked
+	cfg.Pipeline.Cluster.Incremental = *incremental
+	study, err := pushadminer.RunStudy(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

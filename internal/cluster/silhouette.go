@@ -281,6 +281,19 @@ func bestCut(d *Dendrogram, m *DistMatrix, maxCandidates int, tol float64, sil f
 	return best
 }
 
+// SampleCutHeights bounds a candidate cut-height sweep to at most max
+// heights, sampled evenly with both the first and the final height
+// always included — the same policy bestCut applies to a single
+// dendrogram's distinct merge heights. The blocked mining path calls it
+// over the heights pooled across per-block dendrograms so its sweep
+// matches the exact path's. cands must be ascending and deduplicated.
+func SampleCutHeights(cands []float64, max int) []float64 {
+	if max <= 0 {
+		max = 64
+	}
+	return sampleHeights(cands, max)
+}
+
 // sampleHeights bounds the candidate sweep to at most max heights,
 // sampled evenly and always including both the first and the final
 // heights. The pre-fix sampling (int(float64(i)*step) over the full

@@ -1,0 +1,52 @@
+package cluster
+
+import "testing"
+
+// TestUnindexRoundTripLarge extends the round-trip property to the
+// sizes the blocked mining benchmark reaches (up to n=100k), where the
+// closed-form square-root inversion operates near float64 precision
+// limits and the adjustment loops must absorb the rounding. No
+// DistMatrix is allocated — a condensed matrix at n=100k would be
+// ~20 GB — the index math is pure arithmetic.
+func TestUnindexRoundTripLarge(t *testing.T) {
+	condensed := func(n, i, j int) int { return rowOffset(n, i) + (j - i - 1) }
+	check := func(n, i, j int) {
+		t.Helper()
+		idx := condensed(n, i, j)
+		gi, gj := unindex(n, idx)
+		if gi != i || gj != j {
+			t.Fatalf("n=%d: unindex(%d) = (%d, %d), want (%d, %d)", n, idx, gi, gj, i, j)
+		}
+	}
+	for _, n := range []int{1000, 4096, 50000, 100000} {
+		total := n * (n - 1) / 2
+		// Row boundaries, where the quadratic inversion is most fragile:
+		// the first and last pair of sampled rows, including the final
+		// rows where rows are shortest.
+		for _, i := range []int{0, 1, n / 3, n / 2, n - 100, n - 3, n - 2} {
+			check(n, i, i+1)
+			check(n, i, n-1)
+			if mid := (i + 1 + n) / 2; mid > i && mid < n {
+				check(n, i, mid)
+			}
+		}
+		// Strided sweep over the condensed offsets: invert, validate the
+		// range invariant, re-project.
+		stride := total/997 + 1
+		for idx := 0; idx < total; idx += stride {
+			i, j := unindex(n, idx)
+			if i < 0 || j <= i || j >= n {
+				t.Fatalf("n=%d: unindex(%d) = (%d, %d) out of range", n, idx, i, j)
+			}
+			if back := condensed(n, i, j); back != idx {
+				t.Fatalf("n=%d: condensed(unindex(%d)) = %d", n, idx, back)
+			}
+		}
+		// The extreme offsets.
+		check(n, 0, 1)
+		check(n, n-2, n-1)
+		if i, j := unindex(n, total-1); i != n-2 || j != n-1 {
+			t.Fatalf("n=%d: last offset inverts to (%d, %d)", n, i, j)
+		}
+	}
+}

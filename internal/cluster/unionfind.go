@@ -1,0 +1,88 @@
+package cluster
+
+import "sort"
+
+// UnionFind is a disjoint-set forest with union by size and path
+// halving. The blocked mining path uses it to group banded-LSH
+// candidate pairs into connected-component blocks; amortized cost per
+// operation is effectively constant.
+type UnionFind struct {
+	parent []int
+	size   []int
+}
+
+// NewUnionFind returns a forest of n singleton sets, labeled 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	if n < 0 {
+		panic("cluster: negative size")
+	}
+	u := &UnionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Find returns the representative of x's set, halving the path as it
+// walks.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets holding a and b and returns the representative
+// of the merged set.
+func (u *UnionFind) Union(a, b int) int {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return ra
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// SizeOf returns the size of the set holding x.
+func (u *UnionFind) SizeOf(x int) int { return u.size[u.Find(x)] }
+
+// Components returns every set as a sorted member slice, ordered by
+// smallest member. The output is canonical: it depends only on the set
+// partition, not on the order unions were applied, so callers feeding
+// nondeterministically ordered edges (map-iterated LSH buckets) still
+// get deterministic blocks.
+func (u *UnionFind) Components() [][]int {
+	return u.ComponentsOf(nil)
+}
+
+// ComponentsOf is Components restricted to the elements for which
+// include returns true (nil includes everything). Members and block
+// order are canonical as in Components.
+func (u *UnionFind) ComponentsOf(include func(int) bool) [][]int {
+	groups := make(map[int][]int)
+	for i := range u.parent {
+		if include != nil && !include(i) {
+			continue
+		}
+		r := u.Find(i)
+		groups[r] = append(groups[r], i) // ascending: i iterates in order
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}

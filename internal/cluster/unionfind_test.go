@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(6)
+	if u.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", u.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if u.Find(i) != i || u.SizeOf(i) != 1 {
+			t.Fatalf("fresh element %d: Find=%d SizeOf=%d", i, u.Find(i), u.SizeOf(i))
+		}
+	}
+	u.Union(0, 1)
+	u.Union(2, 3)
+	if !u.Same(0, 1) || !u.Same(2, 3) || u.Same(0, 2) {
+		t.Fatal("wrong connectivity after two unions")
+	}
+	if u.SizeOf(0) != 2 || u.SizeOf(3) != 2 || u.SizeOf(4) != 1 {
+		t.Fatal("wrong sizes after two unions")
+	}
+	u.Union(1, 3)
+	if !u.Same(0, 2) || u.SizeOf(2) != 4 {
+		t.Fatal("wrong state after merging the two pairs")
+	}
+	// Idempotent union returns the shared root.
+	if r := u.Union(0, 3); r != u.Find(0) {
+		t.Fatalf("repeat Union returned %d, want root %d", r, u.Find(0))
+	}
+}
+
+// TestUnionFindComponentsCanonical asserts Components' output depends
+// only on the partition, not on union order — the property that makes
+// map-iterated LSH bucket feeding deterministic downstream.
+func TestUnionFindComponentsCanonical(t *testing.T) {
+	edges := [][2]int{{5, 2}, {2, 7}, {0, 9}, {3, 4}, {4, 8}}
+	want := [][]int{{0, 9}, {1}, {2, 5, 7}, {3, 4, 8}, {6}}
+
+	orders := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}}
+	for _, ord := range orders {
+		u := NewUnionFind(10)
+		for _, k := range ord {
+			u.Union(edges[k][0], edges[k][1])
+		}
+		got := u.Components()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("order %v: Components = %v, want %v", ord, got, want)
+		}
+	}
+}
+
+func TestUnionFindComponentsOf(t *testing.T) {
+	u := NewUnionFind(8)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Union(3, 4)
+	include := map[int]bool{0: true, 2: true, 4: true, 6: true}
+	got := u.ComponentsOf(func(i int) bool { return include[i] })
+	want := [][]int{{0}, {2, 4}, {6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ComponentsOf = %v, want %v", got, want)
+	}
+	if n := len(u.Components()); n != 5 {
+		t.Fatalf("full Components count = %d, want 5", n)
+	}
+}
+
+func TestUnionFindEmpty(t *testing.T) {
+	u := NewUnionFind(0)
+	if u.Len() != 0 || len(u.Components()) != 0 {
+		t.Fatal("empty forest misbehaves")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"pushadminer/internal/cluster"
+	"pushadminer/internal/simhash"
+)
+
+// IncrementalStats counts what an IncrementalClusterer did so far.
+type IncrementalStats struct {
+	// Added is the number of records ingested.
+	Added int
+	// AssignedToExisting counts records whose provisional nearest-medoid
+	// lookup landed them in an existing campaign at Add time.
+	AssignedToExisting int
+	// ProvisionalNew counts records Add could not place (no near medoid,
+	// or no clustering run yet).
+	ProvisionalNew int
+	// Reclusters is the number of Recluster calls.
+	Reclusters int
+	// BlocksReused / BlocksRebuilt count per-Recluster block dendrogram
+	// cache hits and misses. Reuse is what makes the stream cheaper than
+	// clustering from scratch after every batch.
+	BlocksReused  int
+	BlocksRebuilt int
+}
+
+// IncrementalClusterer mines a WPN stream without re-running the batch
+// pipeline per arrival. Records live in a fixed FeatureSet (the feature
+// space — embeddings, vocabularies — is trained once up front; only
+// membership grows). Add ingests one record: it unions the record into
+// the banded candidate graph and provisionally assigns it to the
+// nearest existing campaign medoid within the last cut height.
+// Recluster then re-derives campaigns, rebuilding only dirty blocks —
+// connected components whose membership changed since the previous
+// call — and reusing every untouched block's cached dendrogram.
+//
+// Because the union-find, the per-block dendrograms, the pooled cut
+// sweep, and the label stitching all depend only on the *final* set of
+// added records (never on arrival order), the result after all records
+// are added converges exactly — labels, cut height, and silhouette — to
+// what the batch Blocked path computes; the convergence test asserts
+// it. Not safe for concurrent use.
+type IncrementalClusterer struct {
+	fs   *FeatureSet
+	opts ClusterOptions
+
+	bands, link int
+	distT       float64
+
+	ix      *simhash.BandIndex
+	uf      *cluster.UnionFind
+	added   []bool
+	nAdded  int
+	candBuf []int
+
+	// cache maps a block's smallest member to its dendrogram. Valid
+	// reuse check is size equality: components only ever gain members,
+	// so an unchanged size means an unchanged member set.
+	cache map[int]*blockDendrogram
+
+	res     *ClusterResult
+	medoids map[int]int // cluster label -> medoid record index
+	stats   IncrementalStats
+}
+
+// NewIncrementalClusterer prepares an empty clusterer over the feature
+// set. opts is interpreted as for the Blocked batch path (Prune.Bands,
+// Prune.MaxHamming and Prune.BlockDistance parameterize the blocking).
+func NewIncrementalClusterer(fs *FeatureSet, opts ClusterOptions) *IncrementalClusterer {
+	bands, link, distT := blockedParams(opts.Prune)
+	return &IncrementalClusterer{
+		fs:    fs,
+		opts:  opts,
+		bands: bands,
+		link:  link,
+		distT: distT,
+		ix:    simhash.NewBandIndex(bands),
+		uf:    cluster.NewUnionFind(len(fs.Records)),
+		added: make([]bool, len(fs.Records)),
+		cache: make(map[int]*blockDendrogram),
+	}
+}
+
+// Added returns the number of records ingested so far.
+func (c *IncrementalClusterer) Added() int { return c.nAdded }
+
+// Stats returns the counters accumulated so far.
+func (c *IncrementalClusterer) Stats() IncrementalStats { return c.stats }
+
+// Result returns the labeling from the most recent Recluster (nil
+// before the first). Records not yet added carry label -1 and belong to
+// no cluster.
+func (c *IncrementalClusterer) Result() *ClusterResult { return c.res }
+
+// Add ingests record i (an index into the FeatureSet). It returns the
+// provisional campaign label — the label of the nearest existing
+// campaign medoid among the record's banded candidates, if that medoid
+// sits within the last Recluster's cut height — or -1 when the record
+// opens (provisionally) new territory. The provisional label is a cheap
+// streaming answer; Recluster is the authoritative one.
+func (c *IncrementalClusterer) Add(i int) int {
+	if c.added[i] {
+		return c.provisionalLabel(i)
+	}
+	h := c.fs.Hashes[i]
+	c.candBuf = c.ix.AppendCandidates(c.candBuf[:0], h)
+
+	prov := -1
+	if c.res != nil && c.res.CutHeight > 0 {
+		bestD := c.res.CutHeight
+		seen := make(map[int]bool)
+		for _, j := range c.candBuf {
+			l := c.res.Labels[j]
+			if l < 0 || seen[l] {
+				continue
+			}
+			seen[l] = true
+			med, ok := c.medoids[l]
+			if !ok {
+				continue
+			}
+			if d := c.fs.Distance(i, med); d <= bestD {
+				bestD, prov = d, l
+			}
+		}
+	}
+	if prov >= 0 {
+		c.stats.AssignedToExisting++
+	} else {
+		c.stats.ProvisionalNew++
+	}
+
+	// The real state change: confirmed unions into the candidate graph
+	// (Hamming gate, then exact-distance confirmation — the same edge
+	// test the batch path applies). Every pair of added records is
+	// examined exactly once — when the later of the two arrives — so
+	// the final components match the batch blockedComponents exactly.
+	for _, j := range c.candBuf {
+		if !c.uf.Same(i, j) && blockedEdge(c.fs, i, j, c.link, c.distT) {
+			c.uf.Union(i, j)
+		}
+	}
+	c.ix.Add(i, h)
+	c.added[i] = true
+	c.nAdded++
+	c.stats.Added++
+	return prov
+}
+
+func (c *IncrementalClusterer) provisionalLabel(i int) int {
+	if c.res == nil {
+		return -1
+	}
+	return c.res.Labels[i]
+}
+
+// Recluster re-derives campaigns over everything added so far and
+// returns the result (also available via Result). Blocks whose
+// membership is unchanged since the previous call reuse their cached
+// dendrograms; only dirty blocks are re-clustered (in parallel). The
+// cut sweep and stitching always re-run — they are cheap relative to
+// linkage and depend on the global pool of block heights.
+func (c *IncrementalClusterer) Recluster() *ClusterResult {
+	comps := c.uf.ComponentsOf(func(i int) bool { return c.added[i] })
+
+	blocks := make([]*blockDendrogram, len(comps))
+	var rebuild []int
+	for bi, comp := range comps {
+		if bd := c.cache[comp[0]]; bd != nil && len(bd.members) == len(comp) {
+			blocks[bi] = bd
+			c.stats.BlocksReused++
+		} else {
+			rebuild = append(rebuild, bi)
+		}
+	}
+	fanOut(len(rebuild), 0, func(k int) {
+		bi := rebuild[k]
+		blocks[bi] = buildBlockDendrogram(c.fs, comps[bi], c.opts.Linkage)
+	})
+	c.stats.BlocksRebuilt += len(rebuild)
+	// Drop stale cache entries (blocks that merged into bigger ones) so
+	// the cache tracks the live component set.
+	next := make(map[int]*blockDendrogram, len(blocks))
+	for bi, bd := range blocks {
+		next[comps[bi][0]] = bd
+	}
+	c.cache = next
+
+	var per [][]int
+	var height, sil float64
+	if c.opts.FixedCutHeight > 0 {
+		var k int
+		per, k = cutBlocksAt(blocks, c.opts.FixedCutHeight)
+		height = c.opts.FixedCutHeight
+		if k >= 2 {
+			sil = blockedSilhouette(blocks, per, blockedFar(c.fs, blocks), c.nAdded)
+		}
+	} else {
+		// The sweep may coarsen the blocks with missed threshold edges
+		// (validation scale); stitching and medoids must use the
+		// returned slice. The coarsened blocks never enter the cache —
+		// it was rebuilt above from the union-find components, which
+		// stay authoritative for reuse.
+		blocks, per, height, sil = sweepBlockedCut(c.fs, blocks, c.opts.Linkage, c.nAdded, c.opts.MaxCutCandidates, c.opts.conservativeTol())
+	}
+	labels := stitchBlockedLabels(len(c.fs.Records), blocks, per)
+	c.res = finishClusterResult(c.fs, labels, height, sil)
+	c.updateMedoids(blocks, per, labels)
+	c.stats.Reclusters++
+	return c.res
+}
+
+// updateMedoids recomputes each cluster's medoid — the member
+// minimizing the sum of within-cluster distances, ties to the lowest
+// record index — from the blocks' exact local matrices. Clusters never
+// span blocks (linkage is per-block), so each is fully resolvable from
+// one local matrix.
+func (c *IncrementalClusterer) updateMedoids(blocks []*blockDendrogram, per [][]int, labels []int) {
+	c.medoids = make(map[int]int)
+	for bi, bd := range blocks {
+		lab := per[bi]
+		kb := 0
+		for _, l := range lab {
+			if l+1 > kb {
+				kb = l + 1
+			}
+		}
+		groups := make([][]int, kb) // local indices per local label
+		for li, l := range lab {
+			groups[l] = append(groups[l], li)
+		}
+		for _, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			best, bestSum := -1, 0.0
+			for _, li := range g {
+				var sum float64
+				for _, lj := range g {
+					if lj != li {
+						sum += bd.dm.At(li, lj)
+					}
+				}
+				if best < 0 || sum < bestSum {
+					best, bestSum = li, sum
+				}
+			}
+			c.medoids[labels[bd.members[best]]] = bd.members[best]
+		}
+	}
+}
+
+// clusterWPNsIncremental replays the feature set as a stream through an
+// IncrementalClusterer in IncrementalBatch-sized batches, re-clustering
+// after each, and returns the final result. It exists to exercise (and
+// time) the streaming path inside the standard pipeline; the outcome is
+// identical to the Blocked batch path.
+func clusterWPNsIncremental(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
+	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent)
+	batch := opts.IncrementalBatch
+	if batch <= 0 {
+		batch = 256
+	}
+	inc := NewIncrementalClusterer(fs, opts)
+	n := len(fs.Records)
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		done := st.stage("blocks")
+		for i := start; i < end; i++ {
+			inc.Add(i)
+		}
+		done()
+		done = st.stage("block_linkage")
+		inc.Recluster()
+		done()
+	}
+	if n == 0 {
+		return inc.forceEmptyResult()
+	}
+	recordBlockedPairs(opts.Metrics, n, blockMembers(inc))
+	return inc.Result()
+}
+
+// blockMembers snapshots the clusterer's current block membership (for
+// pair accounting).
+func blockMembers(c *IncrementalClusterer) [][]int {
+	return c.uf.ComponentsOf(func(i int) bool { return c.added[i] })
+}
+
+// forceEmptyResult covers the n == 0 replay, where no Recluster ever
+// ran.
+func (c *IncrementalClusterer) forceEmptyResult() *ClusterResult {
+	if c.res == nil {
+		c.res = finishClusterResult(c.fs, nil, 0, 0)
+	}
+	return c.res
+}

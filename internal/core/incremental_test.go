@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"pushadminer/internal/cluster"
+)
+
+// addOrder is a deterministic non-trivial arrival permutation (stride
+// 7 with collision bumping), so consecutive arrivals are scattered
+// across the corpus rather than replaying it in index order.
+func addOrder(n int) []int {
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		j := (i * 7) % n
+		for seen[j] {
+			j = (j + 1) % n
+		}
+		seen[j] = true
+		order = append(order, j)
+	}
+	return order
+}
+
+// TestIncrementalConvergesToBatch asserts the streaming clusterer,
+// after ingesting the whole corpus in scattered order with periodic
+// re-clusters along the way, lands on exactly the batch Blocked result:
+// same labels, cut height, and silhouette. Every ingredient — the
+// union-find components, the per-block dendrograms, the cut sweep, the
+// stitching — depends only on the final membership, never on arrival
+// order, so convergence is exact, not approximate.
+func TestIncrementalConvergesToBatch(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		fs := parityFS(t, seed, 150)
+		batch := ClusterWPNs(fs, ClusterOptions{Blocked: true})
+
+		inc := NewIncrementalClusterer(fs, ClusterOptions{Blocked: true})
+		for k, i := range addOrder(len(fs.Records)) {
+			inc.Add(i)
+			if (k+1)%40 == 0 {
+				inc.Recluster()
+			}
+		}
+		res := inc.Recluster()
+
+		if !sameLabels(batch.Labels, res.Labels) {
+			t.Fatalf("seed %d: incremental labels differ from batch\nbatch: %v\ninc:   %v",
+				seed, batch.Labels, res.Labels)
+		}
+		if batch.CutHeight != res.CutHeight {
+			t.Errorf("seed %d: cut height %v != batch %v", seed, res.CutHeight, batch.CutHeight)
+		}
+		if batch.Silhouette != res.Silhouette {
+			t.Errorf("seed %d: silhouette %v != batch %v", seed, res.Silhouette, batch.Silhouette)
+		}
+		stats := inc.Stats()
+		if stats.Added != len(fs.Records) {
+			t.Errorf("seed %d: stats.Added = %d, want %d", seed, stats.Added, len(fs.Records))
+		}
+		if stats.BlocksReused == 0 {
+			t.Errorf("seed %d: no block dendrograms reused across re-clusters", seed)
+		}
+	}
+}
+
+// TestIncrementalOptionReplaysToBatch asserts the ClusterOptions
+// plumbing: Incremental mode inside ClusterWPNs replays the stream and
+// returns the batch Blocked result.
+func TestIncrementalOptionReplaysToBatch(t *testing.T) {
+	fs := parityFS(t, 3, 150)
+	batch := ClusterWPNs(fs, ClusterOptions{Blocked: true})
+	inc := ClusterWPNs(fs, ClusterOptions{Incremental: true, IncrementalBatch: 32})
+	if !sameLabels(batch.Labels, inc.Labels) {
+		t.Fatal("Incremental option result differs from batch Blocked")
+	}
+	if batch.CutHeight != inc.CutHeight || batch.Silhouette != inc.Silhouette {
+		t.Fatalf("Incremental cut/sil (%v, %v) != batch (%v, %v)",
+			inc.CutHeight, inc.Silhouette, batch.CutHeight, batch.Silhouette)
+	}
+}
+
+// TestIncrementalProvisionalAssignment asserts the streaming answer:
+// once a clustering exists, a new arrival near an existing campaign is
+// provisionally assigned to it at Add time (nearest medoid within the
+// cut height), and the final Recluster keeps the partial coverage
+// consistent — records never added carry label -1 and join no cluster.
+func TestIncrementalProvisionalAssignment(t *testing.T) {
+	fs := parityFS(t, 1, 150)
+	n := len(fs.Records)
+	inc := NewIncrementalClusterer(fs, ClusterOptions{Blocked: true})
+
+	// First wave: establish campaigns from two-thirds of the stream.
+	cutoff := 2 * n / 3
+	for i := 0; i < cutoff; i++ {
+		inc.Add(i)
+	}
+	res := inc.Recluster()
+	for i := cutoff; i < n; i++ {
+		if res.Labels[i] != -1 {
+			t.Fatalf("unadded record %d labeled %d, want -1", i, res.Labels[i])
+		}
+	}
+	for _, c := range res.Clusters {
+		for _, m := range c.Members {
+			if m >= cutoff {
+				t.Fatalf("unadded record %d appears in cluster %d", m, c.ID)
+			}
+		}
+	}
+
+	// Second wave: the synthetic corpus is ~70% campaign traffic, so at
+	// least some arrivals must land in existing campaigns at Add time.
+	assignedBefore := inc.Stats().AssignedToExisting
+	for i := cutoff; i < n; i++ {
+		inc.Add(i)
+	}
+	if inc.Stats().AssignedToExisting == assignedBefore {
+		t.Error("no second-wave arrival was provisionally assigned to an existing campaign")
+	}
+	final := inc.Recluster()
+	batch := ClusterWPNs(fs, ClusterOptions{Blocked: true})
+	if !sameLabels(batch.Labels, final.Labels) {
+		t.Fatal("final result after staged adds differs from batch")
+	}
+}
+
+// TestIncrementalLinkageVariants runs the convergence check under the
+// non-default linkages too, since the block cache and sweep both thread
+// the linkage through.
+func TestIncrementalLinkageVariants(t *testing.T) {
+	fs := parityFS(t, 2, 120)
+	for _, linkage := range []cluster.Linkage{cluster.Single, cluster.Complete} {
+		batch := ClusterWPNs(fs, ClusterOptions{Blocked: true, Linkage: linkage})
+		inc := ClusterWPNs(fs, ClusterOptions{Incremental: true, IncrementalBatch: 50, Linkage: linkage})
+		if !sameLabels(batch.Labels, inc.Labels) {
+			t.Errorf("linkage %s: incremental differs from batch", linkage)
+		}
+	}
+}

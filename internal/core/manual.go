@@ -110,7 +110,7 @@ func (a *Analyst) ConfirmPropagatedAndSuspicious(fs *FeatureSet, labels []*Recor
 	var knownLook simhash.Index
 	for i, l := range labels {
 		if l.KnownMalicious {
-			if h := recordSimHash(fs.Records[i]); h != 0 {
+			if h, ok := recordSimHash(fs.Records[i]); ok {
 				knownLook.Add(h)
 			}
 		}
@@ -124,7 +124,7 @@ func (a *Analyst) ConfirmPropagatedAndSuspicious(fs *FeatureSet, labels []*Recor
 		} else {
 			susp++
 		}
-		if h := recordSimHash(fs.Records[i]); h != 0 {
+		if h, ok := recordSimHash(fs.Records[i]); ok {
 			knownLook.Add(h)
 		}
 	}
@@ -149,8 +149,8 @@ func (a *Analyst) ConfirmPropagatedAndSuspicious(fs *FeatureSet, labels []*Recor
 		remaining := pending[:0]
 		for _, i := range pending {
 			l := labels[i]
-			h := recordSimHash(fs.Records[i])
-			if h != 0 && knownLook.AnyNear(h, VisualNearBits) {
+			h, ok := recordSimHash(fs.Records[i])
+			if ok && knownLook.AnyNear(h, VisualNearBits) {
 				confirm(i, l)
 				changed = true
 			} else {
@@ -162,7 +162,14 @@ func (a *Analyst) ConfirmPropagatedAndSuspicious(fs *FeatureSet, labels []*Recor
 	return prop, susp
 }
 
-// recordSimHash parses the record's landing fingerprint.
-func recordSimHash(r *crawler.WPNRecord) simhash.Hash {
-	return simhash.Parse(r.LandingSimHash)
+// recordSimHash parses the record's landing fingerprint. The strict
+// parse matters here because the field round-trips through checkpoint
+// files and shard state: simhash.Parse would happily read a truncated
+// or corrupt string (any valid hex prefix) into a garbage fingerprint
+// and poison the "known look" index. ok is false for malformed input
+// and for the all-zero hash — an empty landing page has no look worth
+// indexing or matching.
+func recordSimHash(r *crawler.WPNRecord) (simhash.Hash, bool) {
+	h, ok := simhash.ParseStrict(r.LandingSimHash)
+	return h, ok && h != 0
 }

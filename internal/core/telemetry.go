@@ -14,6 +14,7 @@ import (
 // separate step.
 var miningStages = []string{
 	"filter", "featurize", "distance_matrix", "linkage",
+	"blocks", "block_linkage",
 	"cut", "silhouette", "label", "propagate", "meta",
 }
 

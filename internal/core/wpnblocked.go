@@ -1,0 +1,567 @@
+package core
+
+import (
+	"sort"
+
+	"pushadminer/internal/cluster"
+	"pushadminer/internal/simhash"
+	"pushadminer/internal/telemetry"
+)
+
+// This file implements the LSH-blocked clustering path (§5.1 at crawl-
+// fleet scale): instead of filtering an all-pairs scan through the
+// SimHash band index, candidate pairs are generated *from* the index's
+// buckets, confirmed by Hamming distance, and grouped into connected-
+// component blocks by union-find. Each block is clustered exactly with
+// the cached agglomerative path (in parallel across blocks), and the
+// block-local dendrograms are stitched under one globally swept cut
+// height, so total cost tracks the candidate count — Σ|B|² — not n².
+
+// blockDendrogram is one block's clustering substrate: its member
+// records (ascending global indices), their exact local distance
+// matrix, and the dendrogram over it. It depends only on the member
+// set, which is what lets the incremental clusterer cache and reuse it.
+type blockDendrogram struct {
+	members []int
+	dm      *cluster.DistMatrix
+	dend    *cluster.Dendrogram
+}
+
+// buildBlockDendrogram clusters one block with the cached exact
+// distance. Blocks are small; the fill is serial so the caller can fan
+// out across blocks without nested pools.
+func buildBlockDendrogram(fs *FeatureSet, members []int, linkage cluster.Linkage) *blockDendrogram {
+	m := len(members)
+	dm := cluster.NewDistMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			dm.Set(i, j, fs.Distance(members[i], members[j]))
+		}
+	}
+	return &blockDendrogram{members: members, dm: dm, dend: cluster.AgglomerativeLinkage(dm, linkage)}
+}
+
+// blockedParams resolves the blocking knobs from PruneOptions: bands
+// always positive (blocking is banding; the negative disable sentinel
+// falls back to the default), link = the cheap Hamming gate on bucket
+// pairs (MaxHamming, the same candidate bound the pruned path uses;
+// negative = every bucket pair reaches the distance check), distT =
+// the exact-distance confirmation (BlockDistance; negative disables —
+// ablation only, see the field doc).
+func blockedParams(p PruneOptions) (bands, link int, distT float64) {
+	p = p.withDefaults()
+	bands = p.Bands
+	if bands <= 0 {
+		bands = 8
+	}
+	return bands, p.MaxHamming, p.BlockDistance
+}
+
+// blockedEdge reports whether records i and j (already sharing a band
+// bucket) are confirmed as a block edge: within the Hamming gate, then
+// near under the exact distance. The distance confirmation is what
+// keeps blocks from percolating at scale — spurious bucket collisions
+// are textually far, so the chains that would union the corpus into
+// one giant component never form, while every within-cluster pair sits
+// far below the threshold.
+func blockedEdge(fs *FeatureSet, i, j, link int, distT float64) bool {
+	if link >= 0 && !simhash.Near(fs.Hashes[i], fs.Hashes[j], link) {
+		return false
+	}
+	return distT < 0 || fs.Distance(i, j) <= distT
+}
+
+// unionBucketPairs unions every confirmed pair within one bucket
+// group, skipping pairs already connected (the Same short-circuit is
+// what keeps dense campaign buckets cheap: after the first spanning
+// edges, remaining pairs cost one find each, not a distance call).
+func unionBucketPairs(uf *cluster.UnionFind, fs *FeatureSet, ids []int, link int, distT float64) {
+	for a := 0; a < len(ids); a++ {
+		for b := a + 1; b < len(ids); b++ {
+			i, j := ids[a], ids[b]
+			if uf.Same(i, j) {
+				continue
+			}
+			if blockedEdge(fs, i, j, link, distT) {
+				uf.Union(i, j)
+			}
+		}
+	}
+}
+
+// blockedComponents groups all records into connected-component blocks
+// of the confirmed candidate graph. Output is canonical — blocks
+// ordered by smallest member, members ascending — regardless of bucket
+// iteration order.
+func blockedComponents(fs *FeatureSet, bands, link int, distT float64) [][]int {
+	ix := simhash.NewBandIndex(bands)
+	for i, h := range fs.Hashes {
+		ix.Add(i, h)
+	}
+	uf := cluster.NewUnionFind(len(fs.Hashes))
+	ix.ForEachGroup(func(ids []int) {
+		unionBucketPairs(uf, fs, ids, link, distT)
+	})
+	return uf.Components()
+}
+
+// buildBlockDendrograms clusters every block in parallel across
+// core.fanOut workers.
+func buildBlockDendrograms(fs *FeatureSet, comps [][]int, linkage cluster.Linkage) []*blockDendrogram {
+	blocks := make([]*blockDendrogram, len(comps))
+	fanOut(len(comps), 0, func(i int) {
+		blocks[i] = buildBlockDendrogram(fs, comps[i], linkage)
+	})
+	return blocks
+}
+
+// cutBlocksAt cuts every block dendrogram at height h and returns the
+// per-block local labelings plus the total cluster count.
+func cutBlocksAt(blocks []*blockDendrogram, h float64) (per [][]int, k int) {
+	per = make([][]int, len(blocks))
+	for bi, bd := range blocks {
+		lab := bd.dend.CutByHeight(h)
+		per[bi] = lab
+		// CutByHeight labels are contiguous from 0, so the block's
+		// cluster count is max+1.
+		kb := 0
+		for _, l := range lab {
+			if l+1 > kb {
+				kb = l + 1
+			}
+		}
+		k += kb
+	}
+	return per, k
+}
+
+// blockSilhouetteSum returns the sum of silhouette coefficients s(i)
+// over one block's members under the local labeling lab. Within-block
+// terms (a(i), and b(i) against sibling clusters in the same block) use
+// the exact local distances; for items whose block holds a single
+// cluster, b(i) falls back to farD, the corpus-level cross-block far
+// estimate — the same role the substituted ApproxDistance entries play
+// in the pruned path's full-matrix silhouette. Singleton clusters score
+// 0, matching cluster.Silhouette. Accumulation order is fixed
+// (ascending local index), so the result is deterministic.
+func blockSilhouetteSum(bd *blockDendrogram, lab []int, farD float64, multiBlock bool) float64 {
+	m := len(lab)
+	kb := 0
+	for _, l := range lab {
+		if l+1 > kb {
+			kb = l + 1
+		}
+	}
+	counts := make([]int, kb)
+	for _, l := range lab {
+		counts[l]++
+	}
+	sums := make([]float64, kb)
+	var total float64
+	for i := 0; i < m; i++ {
+		own := lab[i]
+		if counts[own] == 1 {
+			continue // s(i) = 0 for singletons
+		}
+		clear(sums)
+		for j := 0; j < m; j++ {
+			if j != i {
+				sums[lab[j]] += bd.dm.At(i, j)
+			}
+		}
+		a := sums[own] / float64(counts[own]-1)
+		bestB := -1.0
+		for c := 0; c < kb; c++ {
+			if c == own {
+				continue
+			}
+			mean := sums[c] / float64(counts[c])
+			if bestB < 0 || mean < bestB {
+				bestB = mean
+			}
+		}
+		if multiBlock && (bestB < 0 || farD < bestB) {
+			bestB = farD
+		}
+		if bestB < 0 {
+			continue // single cluster in the only block: undefined, skip
+		}
+		denom := a
+		if bestB > denom {
+			denom = bestB
+		}
+		if denom > 0 {
+			total += (bestB - a) / denom
+		}
+	}
+	return total
+}
+
+// blockedSilhouette is the blocked stand-in for the full-matrix mean
+// silhouette: exact within blocks, farD across them, averaged over
+// nLive items.
+func blockedSilhouette(blocks []*blockDendrogram, per [][]int, farD float64, nLive int) float64 {
+	if nLive == 0 {
+		return 0
+	}
+	multi := len(blocks) > 1
+	var total float64
+	for bi, bd := range blocks {
+		total += blockSilhouetteSum(bd, per[bi], farD, multi)
+	}
+	return total / float64(nLive)
+}
+
+// blockedFar estimates the typical cross-block distance from the
+// document-vector approximation over a bounded, deterministic sample of
+// block representatives (each block's smallest member; at most 64
+// blocks, sampled evenly in canonical block order).
+func blockedFar(fs *FeatureSet, blocks []*blockDendrogram) float64 {
+	if len(blocks) < 2 {
+		return 1
+	}
+	const maxReps = 64
+	reps := make([]int, 0, maxReps)
+	if len(blocks) <= maxReps {
+		for _, bd := range blocks {
+			reps = append(reps, bd.members[0])
+		}
+	} else {
+		for i := 0; i < maxReps; i++ {
+			reps = append(reps, blocks[i*len(blocks)/maxReps].members[0])
+		}
+	}
+	var sum float64
+	var cnt int
+	for a := 0; a < len(reps); a++ {
+		for b := a + 1; b < len(reps); b++ {
+			sum += fs.ApproxDistance(reps[a], reps[b])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / float64(cnt)
+}
+
+// stitchBlockedLabels turns per-block local labelings into one global
+// label slice over all len(fs.Records) records, renumbered by first
+// occurrence in ascending record order — the same convention
+// Dendrogram.CutByHeight uses, so a blocked partition equal to the
+// exact partition yields the identical label array. Records in no block
+// (not yet added, incremental mid-stream) get -1.
+func stitchBlockedLabels(nTotal int, blocks []*blockDendrogram, per [][]int) []int {
+	labels := make([]int, nTotal)
+	for i := range labels {
+		labels[i] = -1
+	}
+	// Provisional encoding: a unique (block, local-label) id per record.
+	base := 0
+	for bi, bd := range blocks {
+		kb := 0
+		for li, g := range bd.members {
+			l := per[bi][li]
+			labels[g] = base + l
+			if l+1 > kb {
+				kb = l + 1
+			}
+		}
+		base += kb
+	}
+	// Canonical renumbering by first occurrence.
+	remap := make(map[int]int, base)
+	next := 0
+	for i := 0; i < nTotal; i++ {
+		if labels[i] < 0 {
+			continue
+		}
+		nl, ok := remap[labels[i]]
+		if !ok {
+			nl = next
+			next++
+			remap[labels[i]] = nl
+		}
+		labels[i] = nl
+	}
+	return labels
+}
+
+// blockedExactSweepMaxN is the validation-scale crossover: at or below
+// this many live records the blocked path selects its cut with the
+// exact machinery (full distance matrix, global dendrogram, the same
+// BestCutConservative the exact path runs) and realizes the winning
+// assignment through the blocks — so small-n results are
+// partition-identical to the exact path by construction, which is what
+// the parity matrix pins. Above it, computing the full matrix would
+// defeat the sub-quadratic point, so the scalable sweep takes over:
+// pooled per-block merge heights scored by the blocked silhouette
+// (exact within blocks, a representative-sampled far estimate across
+// them). The approximation can pick a cut one or two merges away from
+// the exact choice; the clusters themselves stay exact per block.
+const blockedExactSweepMaxN = 512
+
+// blockedLiveMembers collects every block member in ascending global
+// order.
+func blockedLiveMembers(blocks []*blockDendrogram) []int {
+	var members []int
+	for _, bd := range blocks {
+		members = append(members, bd.members...)
+	}
+	sort.Ints(members)
+	return members
+}
+
+// mergeBlocksByLabels coarsens the LSH blocks until the exact labeling
+// over the live members factors through them: any exact cluster whose
+// members the band/Hamming gates scattered across blocks (SimHash
+// recall is below 1 — two texts can be soft-cosine-near while their
+// fingerprints collide in no band) unions those blocks, and merged
+// groups are re-clustered. Coarsening is always safe — a block that is
+// a union of whole exact clusters reproduces the exact assignment when
+// the per-block groups are stitched — so this is what makes the
+// validation-scale result partition-identical by construction.
+// labels[p] labels members[p]; members is ascending.
+func mergeBlocksByLabels(fs *FeatureSet, blocks []*blockDendrogram, members, labels []int, linkage cluster.Linkage) []*blockDendrogram {
+	if len(blocks) < 2 {
+		return blocks
+	}
+	blockOf := make(map[int]int, len(members)) // global record -> block idx
+	for bi, bd := range blocks {
+		for _, g := range bd.members {
+			blockOf[g] = bi
+		}
+	}
+	uf := cluster.NewUnionFind(len(blocks))
+	first := make(map[int]int) // exact label -> block idx of first member
+	merged := false
+	for p, g := range members {
+		b := blockOf[g]
+		if fb, ok := first[labels[p]]; !ok {
+			first[labels[p]] = b
+		} else if fb != b && !uf.Same(fb, b) {
+			uf.Union(fb, b)
+			merged = true
+		}
+	}
+	if !merged {
+		return blocks
+	}
+	out := make([]*blockDendrogram, 0, len(blocks))
+	for _, group := range uf.Components() {
+		if len(group) == 1 {
+			out = append(out, blocks[group[0]])
+			continue
+		}
+		var mem []int
+		for _, bi := range group {
+			mem = append(mem, blocks[bi].members...)
+		}
+		sort.Ints(mem)
+		out = append(out, buildBlockDendrogram(fs, mem, linkage))
+	}
+	// Components are ordered by smallest block index and blocks were
+	// canonical, so out is already ordered by smallest member; the sort
+	// just pins the invariant.
+	sort.Slice(out, func(i, j int) bool { return out[i].members[0] < out[j].members[0] })
+	return out
+}
+
+// realizeExactPerBlock translates the exact labeling over the live
+// members into per-block local labelings (each block's labels
+// contiguous from 0 by first occurrence), for stitchBlockedLabels to
+// reassemble. When every exact cluster lies within one block — which
+// mergeBlocksByLabels guarantees — the stitched global labels are
+// identical to the exact ones, since both renumber by first occurrence
+// in ascending record order.
+func realizeExactPerBlock(blocks []*blockDendrogram, members, labels []int) [][]int {
+	per := make([][]int, len(blocks))
+	for bi, bd := range blocks {
+		lab := make([]int, len(bd.members))
+		remap := make(map[int]int)
+		for li, g := range bd.members {
+			gl := labels[sort.SearchInts(members, g)]
+			nl, ok := remap[gl]
+			if !ok {
+				nl = len(remap)
+				remap[gl] = nl
+			}
+			lab[li] = nl
+		}
+		per[bi] = lab
+	}
+	return per
+}
+
+// sweepBlockedCutExact is the validation-scale cut selection: it runs
+// the exact path's own sweep over the live records and realizes the
+// winning assignment *through* the blocks — coarsening any block
+// boundary the exact clusters cross (see mergeBlocksByLabels) and
+// expressing the exact labels as per-block groups. When the live set is
+// the whole feature set, the labels, height and silhouette are
+// bit-identical to ClusterWPNs' exact path by construction. (Re-cutting
+// the per-block dendrograms at the chosen height would NOT give that
+// guarantee: average-linkage merge heights depend on NN-chain
+// tie-breaking, which shifts when out-of-block slots disappear, so a
+// borderline merge can land on the other side of the cut. The per-block
+// cut is the scalable path's tool; here the exact assignment is
+// authoritative.) Returns the possibly-coarsened blocks alongside the
+// per-block labelings.
+func sweepBlockedCutExact(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.Linkage, maxCandidates int, tol float64) (out []*blockDendrogram, per [][]int, height, sil float64) {
+	members := blockedLiveMembers(blocks)
+	dm := cluster.Compute(len(members), func(i, j int) float64 {
+		return fs.Distance(members[i], members[j])
+	})
+	dend := cluster.AgglomerativeLinkage(dm, linkage)
+	best := cluster.BestCutConservative(dend, dm, maxCandidates, tol)
+	if best.Clusters == len(members) {
+		// Degenerate sweep (no valid cut): leaves, like the exact path.
+		per = make([][]int, len(blocks))
+		for bi, bd := range blocks {
+			lab := make([]int, len(bd.members))
+			for i := range lab {
+				lab[i] = i
+			}
+			per[bi] = lab
+		}
+		return blocks, per, 0, 0
+	}
+	blocks = mergeBlocksByLabels(fs, blocks, members, best.Labels, linkage)
+	per = realizeExactPerBlock(blocks, members, best.Labels)
+	return blocks, per, best.Height, best.Silhouette
+}
+
+// sweepBlockedCut selects the global cut height. At validation scale it
+// defers to sweepBlockedCutExact (which may coarsen the blocks with
+// missed threshold edges — the returned slice supersedes the caller's);
+// beyond it, it sweeps the pooled per-block merge heights with the same
+// policy as cluster.bestCut: candidates are the distinct heights
+// (sampled to maxCandidates), degenerate partitions (k < 2 or
+// k >= nLive) are skipped, the maximum blocked silhouette is found, and
+// with tol > 0 the lowest height within tol of it wins. Returns the
+// blocks to stitch with and their chosen per-block labelings.
+func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.Linkage, nLive, maxCandidates int, tol float64) (out []*blockDendrogram, per [][]int, height, sil float64) {
+	if nLive <= blockedExactSweepMaxN {
+		return sweepBlockedCutExact(fs, blocks, linkage, maxCandidates, tol)
+	}
+	var heights []float64
+	for _, bd := range blocks {
+		for _, mg := range bd.dend.Merges() {
+			heights = append(heights, mg.Distance)
+		}
+	}
+	sort.Float64s(heights)
+	dedup := heights[:0]
+	last := -1.0
+	for _, h := range heights {
+		if h != last {
+			dedup = append(dedup, h)
+			last = h
+		}
+	}
+	if maxCandidates <= 0 {
+		maxCandidates = 64
+	}
+	cands := cluster.SampleCutHeights(dedup, maxCandidates)
+	farD := blockedFar(fs, blocks)
+
+	// Candidate heights are scored in parallel (each evaluation is
+	// independent: cut every block, sum block silhouettes) and reduced
+	// serially in ascending height order, so the selection is identical
+	// to the serial loop.
+	type eval struct {
+		sil   float64
+		valid bool
+	}
+	evals := make([]eval, len(cands))
+	fanOut(len(cands), 0, func(ci int) {
+		p, k := cutBlocksAt(blocks, cands[ci])
+		if k < 2 || k >= nLive {
+			return
+		}
+		evals[ci] = eval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true}
+	})
+	bestH, bestS := -1.0, -2.0
+	for ci, e := range evals {
+		if e.valid && e.sil > bestS {
+			bestH, bestS = cands[ci], e.sil
+		}
+	}
+	if tol > 0 && bestH >= 0 {
+		// Conservative: lowest valid height within tol of the best
+		// score; cands are in ascending height order.
+		for ci, e := range evals {
+			if e.valid && e.sil >= bestS-tol {
+				bestH, bestS = cands[ci], e.sil
+				break
+			}
+		}
+	}
+	if bestH < 0 {
+		// Degenerate: no valid cut (e.g. nLive == 2). Fall back to
+		// leaves, like the exact sweep.
+		per = make([][]int, len(blocks))
+		for bi, bd := range blocks {
+			lab := make([]int, len(bd.members))
+			for i := range lab {
+				lab[i] = i
+			}
+			per[bi] = lab
+		}
+		return blocks, per, 0, 0
+	}
+	per, _ = cutBlocksAt(blocks, bestH)
+	return blocks, per, bestH, bestS
+}
+
+// recordBlockedPairs accounts exact-vs-pruned pair counts for the
+// blocked path: within-block pairs were computed exactly, everything
+// else was never touched.
+func recordBlockedPairs(reg *telemetry.Registry, nLive int, comps [][]int) {
+	if reg == nil {
+		return
+	}
+	pairs := reg.Family("cluster_pairs", "kind")
+	var exact int64
+	for _, c := range comps {
+		m := int64(len(c))
+		exact += m * (m - 1) / 2
+	}
+	pairs.With("exact").Add(exact)
+	pairs.With("pruned").Add(int64(nLive)*int64(nLive-1)/2 - exact)
+}
+
+// clusterWPNsBlocked is the batch entry point of the blocked path; see
+// ClusterOptions.Blocked.
+func clusterWPNsBlocked(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
+	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent)
+	n := len(fs.Records)
+	bands, link, distT := blockedParams(opts.Prune)
+
+	done := st.stage("blocks")
+	comps := blockedComponents(fs, bands, link, distT)
+	done()
+	recordBlockedPairs(opts.Metrics, n, comps)
+
+	done = st.stage("block_linkage")
+	blocks := buildBlockDendrograms(fs, comps, opts.Linkage)
+	done()
+
+	done = st.stage("cut")
+	var per [][]int
+	var height, sil float64
+	if opts.FixedCutHeight > 0 {
+		var k int
+		per, k = cutBlocksAt(blocks, opts.FixedCutHeight)
+		height = opts.FixedCutHeight
+		if k >= 2 {
+			sil = blockedSilhouette(blocks, per, blockedFar(fs, blocks), n)
+		}
+	} else {
+		blocks, per, height, sil = sweepBlockedCut(fs, blocks, opts.Linkage, n, opts.MaxCutCandidates, opts.conservativeTol())
+	}
+	labels := stitchBlockedLabels(n, blocks, per)
+	done()
+
+	return finishClusterResult(fs, labels, height, sil)
+}

@@ -42,13 +42,37 @@ type PruneOptions struct {
 	// Enabled turns pruning on. Off by default so results are exact
 	// unless explicitly traded for speed.
 	Enabled bool
-	// Bands is the number of SimHash bit-bands (default 8, i.e. 8-bit
-	// bands). More bands admit more candidate pairs (safer, slower).
+	// Bands is the number of SimHash bit-bands. 0 means the default of
+	// 8 (i.e. 8-bit bands); a negative value disables the band test
+	// entirely, so pairs are admitted by MaxHamming alone. More bands
+	// admit more candidate pairs (safer, slower). The blocked path
+	// (ClusterOptions.Blocked) always needs banding, so there a
+	// negative value falls back to the default.
 	Bands int
-	// MaxHamming additionally admits any pair within this Hamming
-	// distance regardless of banding (default 24), protecting near
-	// neighbours whose bit flips happen to touch every band.
+	// MaxHamming admits any pair within this Hamming distance
+	// regardless of banding. 0 means the default of 24; a negative
+	// value disables the Hamming admission, so only band-sharing pairs
+	// survive.
 	MaxHamming int
+	// BlockDistance is the exact-distance confirmation threshold for
+	// the blocked path's union edges: band collisions propose candidate
+	// pairs, Near(MaxHamming) gates them cheaply, and the soft-cosine
+	// distance confirms — two records block together only when they are
+	// near in the metric the clustering itself uses. Hamming admission
+	// alone cannot serve here: any threshold loose enough to keep true
+	// clusters intact (co-cluster pairs reach HD ≈ 20) admits enough
+	// random chain edges (~0.1% of pairs at HD ≤ 20) to percolate the
+	// candidate graph into one corpus-sized component at n in the
+	// thousands, degenerating blocked to exact-plus-overhead. Distance
+	// confirmation is what breaks the chains: spurious band/Hamming
+	// collisions are textually far (median candidate-pair distance
+	// ≈ 0.5) while agglomeration cut heights stay well under 0.3, and
+	// any cluster cut at height h is connected in the ≤h threshold
+	// graph, so blocks at T ≥ h coarsen the exact partition by
+	// construction. 0 means the default of 0.3; a negative value
+	// disables the confirmation (band + Hamming alone link — ablation
+	// only, percolates at scale).
+	BlockDistance float64
 	// PrunedDistance, if > 0, is stored verbatim for skipped pairs
 	// instead of the document-vector estimate. The constant is faster
 	// but distorts the silhouette sweep; leave zero unless the cut
@@ -56,12 +80,20 @@ type PruneOptions struct {
 	PrunedDistance float64
 }
 
+// withDefaults resolves the 0-means-default sentinels. Negative values
+// are preserved: they mean "disabled", which a caller could not express
+// before (passing 0 silently got 24/8). Disabling both tests keeps no
+// pair at all — every distance becomes the far estimate — which is
+// almost never what you want; disable at most one.
 func (p PruneOptions) withDefaults() PruneOptions {
-	if p.Bands <= 0 {
+	if p.Bands == 0 {
 		p.Bands = 8
 	}
-	if p.MaxHamming <= 0 {
+	if p.MaxHamming == 0 {
 		p.MaxHamming = 24
+	}
+	if p.BlockDistance == 0 {
+		p.BlockDistance = 0.3
 	}
 	return p
 }
@@ -83,6 +115,24 @@ type ClusterOptions struct {
 	// Prune enables SimHash-banded candidate pruning of the distance
 	// matrix (see PruneOptions). Off by default.
 	Prune PruneOptions
+	// Blocked selects the sub-quadratic LSH-blocked path: candidate
+	// pairs are generated *from* the SimHash band index (instead of
+	// filtering an all-pairs scan), grouped into connected-component
+	// blocks by union-find, clustered exactly within each block in
+	// parallel, and stitched under one globally swept cut height. Cost
+	// tracks the candidate count, not n². Prune.Bands, Prune.MaxHamming
+	// and Prune.BlockDistance parameterize the blocking (Enabled is
+	// ignored); see DESIGN.md "Streaming mining". Naive takes
+	// precedence.
+	Blocked bool
+	// Incremental mines the records as a replayed stream: an
+	// IncrementalClusterer adds them in IncrementalBatch-sized batches,
+	// re-clustering only dirty blocks after each. The final result is
+	// identical to the Blocked batch path; the point is exercising (and
+	// timing) the resumable service loop. Implies Blocked.
+	Incremental bool
+	// IncrementalBatch is the replay batch size (default 256).
+	IncrementalBatch int
 	// Naive selects the pre-optimization reference path: per-pair
 	// distances that recompute both self quad-forms, no pruning, and
 	// the serial silhouette sweep. The parity tests assert it yields
@@ -128,6 +178,14 @@ type ClusterResult struct {
 // dendrogram cut, then derives per-cluster source/landing domain sets
 // and the ad-campaign label.
 func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
+	if !opts.Naive {
+		if opts.Incremental {
+			return clusterWPNsIncremental(fs, opts)
+		}
+		if opts.Blocked {
+			return clusterWPNsBlocked(fs, opts)
+		}
+	}
 	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent)
 	n := len(fs.Records)
 
@@ -149,9 +207,25 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 		exactPairs.Add(int64(n) * int64(n-1) / 2)
 	case opts.Prune.Enabled:
 		p := opts.Prune.withDefaults()
-		keep := func(i, j int) bool {
-			return simhash.SharesBand(fs.Hashes[i], fs.Hashes[j], p.Bands) ||
-				simhash.Near(fs.Hashes[i], fs.Hashes[j], p.MaxHamming)
+		// Negative sentinels disable a test (see PruneOptions); the
+		// closure is specialized so the hot loop never re-checks them.
+		var keep func(i, j int) bool
+		switch {
+		case p.Bands > 0 && p.MaxHamming > 0:
+			keep = func(i, j int) bool {
+				return simhash.SharesBand(fs.Hashes[i], fs.Hashes[j], p.Bands) ||
+					simhash.Near(fs.Hashes[i], fs.Hashes[j], p.MaxHamming)
+			}
+		case p.Bands > 0:
+			keep = func(i, j int) bool {
+				return simhash.SharesBand(fs.Hashes[i], fs.Hashes[j], p.Bands)
+			}
+		case p.MaxHamming > 0:
+			keep = func(i, j int) bool {
+				return simhash.Near(fs.Hashes[i], fs.Hashes[j], p.MaxHamming)
+			}
+		default:
+			keep = func(i, j int) bool { return false }
 		}
 		if exactPairs != nil {
 			inner := keep
@@ -205,7 +279,17 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 		labels, height, sil = best.Labels, best.Height, best.Silhouette
 	}
 
+	return finishClusterResult(fs, labels, height, sil)
+}
+
+// finishClusterResult derives the per-cluster source/landing domain
+// sets and ad-campaign labels from a labeling — the tail every
+// clustering path (exact, pruned, blocked, incremental) shares.
+// Negative labels mark records not yet covered (an incremental
+// clusterer mid-stream) and produce no cluster.
+func finishClusterResult(fs *FeatureSet, labels []int, height, sil float64) *ClusterResult {
 	members := cluster.Members(labels)
+	delete(members, -1)
 	ids := make([]int, 0, len(members))
 	for id := range members {
 		ids = append(ids, id)

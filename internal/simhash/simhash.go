@@ -10,6 +10,7 @@ package simhash
 import (
 	"hash/fnv"
 	"math/bits"
+	"sort"
 	"strconv"
 )
 
@@ -62,13 +63,32 @@ func (h Hash) String() string {
 }
 
 // Parse reads a hash back from String's output. It returns 0 for
-// malformed input.
+// malformed input — indistinguishable from the legitimate all-zero
+// fingerprint (an empty token sequence). Callers that round-trip
+// fingerprints through checkpoints or shard state should use
+// ParseStrict instead.
 func Parse(s string) Hash {
 	v, err := strconv.ParseUint(s, 16, 64)
 	if err != nil {
 		return 0
 	}
 	return Hash(v)
+}
+
+// ParseStrict reads a hash back from String's output and reports
+// whether the input was well-formed: exactly 16 hex digits, the fixed
+// width String always emits. Unlike Parse it distinguishes malformed
+// input (ok == false) from the legitimate all-zero hash
+// ("0000000000000000", ok == true).
+func ParseStrict(s string) (Hash, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return Hash(v), true
 }
 
 // Band extracts the i-th of nBands contiguous bit-bands of h (i in
@@ -124,10 +144,12 @@ func SharesBand(a, b Hash, nBands int) bool {
 // BandIndex buckets fingerprints by band value so candidate sets can be
 // enumerated without the O(n²) all-pairs scan: items sharing any band
 // land in a common bucket. IDs are caller-assigned (typically record
-// indices).
+// indices). A BandIndex is not safe for concurrent use: Add mutates the
+// buckets and Candidates reuses an internal scratch set.
 type BandIndex struct {
 	nBands  int
 	buckets []map[uint64][]int
+	scratch map[int]bool // reused across Candidates calls
 }
 
 // NewBandIndex returns an empty index over nBands bit-bands.
@@ -135,7 +157,11 @@ func NewBandIndex(nBands int) *BandIndex {
 	if nBands <= 0 || nBands > 64 {
 		panic("simhash: nBands out of range")
 	}
-	ix := &BandIndex{nBands: nBands, buckets: make([]map[uint64][]int, nBands)}
+	ix := &BandIndex{
+		nBands:  nBands,
+		buckets: make([]map[uint64][]int, nBands),
+		scratch: make(map[int]bool),
+	}
 	for i := range ix.buckets {
 		ix.buckets[i] = make(map[uint64][]int)
 	}
@@ -154,26 +180,44 @@ func (ix *BandIndex) Add(id int, h Hash) {
 // h, in ascending id order. An item previously Added under h is its own
 // candidate.
 func (ix *BandIndex) Candidates(h Hash) []int {
-	seen := map[int]bool{}
-	var out []int
+	return ix.AppendCandidates(nil, h)
+}
+
+// AppendCandidates appends the deduplicated ids sharing at least one
+// band with h to dst (in ascending id order) and returns the extended
+// slice, so hot loops can reuse one buffer across calls. Deduplication
+// runs on a scratch set owned by the index and the sort is
+// sort.Ints — large buckets no longer pay a per-call map allocation or
+// the old O(k²) insertion sort.
+func (ix *BandIndex) AppendCandidates(dst []int, h Hash) []int {
+	clear(ix.scratch)
+	start := len(dst)
 	for b := 0; b < ix.nBands; b++ {
 		for _, id := range ix.buckets[b][Band(h, b, ix.nBands)] {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
+			if !ix.scratch[id] {
+				ix.scratch[id] = true
+				dst = append(dst, id)
 			}
 		}
 	}
-	sortInts(out)
-	return out
+	sort.Ints(dst[start:])
+	return dst
 }
 
-func sortInts(a []int) {
-	// Insertion sort: candidate lists are short and this keeps the
-	// package dependency-free.
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
+// ForEachGroup calls fn once per bucket holding at least two ids, with
+// the bucket's id list in insertion order. Every pair of fingerprints
+// that share a band appears together in at least one group, so a caller
+// union-finding over groups recovers exactly the banded-LSH candidate
+// graph's connected components. The slice is the index's own storage:
+// fn must not retain or mutate it. Iteration order is unspecified (map
+// order); callers needing determinism must canonicalize, as union-find
+// components do.
+func (ix *BandIndex) ForEachGroup(fn func(ids []int)) {
+	for _, bkt := range ix.buckets {
+		for _, ids := range bkt {
+			if len(ids) >= 2 {
+				fn(ids)
+			}
 		}
 	}
 }

@@ -21,7 +21,13 @@ var publicSuffixes = map[string]bool{
 	"co.jp": true, "ne.jp": true, "or.jp": true,
 	"com.br": true, "com.cn": true, "com.tr": true, "com.mx": true,
 	"co.in": true, "co.kr": true, "co.za": true, "com.sg": true,
+	// Three-label suffixes, to exercise the longest-match walk.
+	"co.im": true, "ltd.co.im": true, "plc.co.im": true,
 }
+
+// maxSuffixLabels is the label count of the longest entry in
+// publicSuffixes; ESLD never probes deeper than this.
+const maxSuffixLabels = 3
 
 // ESLD returns the effective second-level domain of host: the registrable
 // domain one label below the public suffix. IP addresses and single-label
@@ -40,11 +46,19 @@ func ESLD(host string) string {
 	if len(labels) <= 1 {
 		return host
 	}
-	// Try the longest listed multi-label suffix first.
-	if len(labels) >= 3 {
-		suffix2 := strings.Join(labels[len(labels)-2:], ".")
-		if publicSuffixes[suffix2] {
-			return strings.Join(labels[len(labels)-3:], ".")
+	// Longest listed suffix wins: probe from maxSuffixLabels labels down
+	// to 2, so "x.plc.co.im" resolves against "plc.co.im" rather than
+	// stopping at "co.im". (The old code only ever consulted the last
+	// two labels, so every ≥3-label suffix in the table was dead weight
+	// and hosts under them collapsed to the wrong registrable domain.)
+	// A host that *is* a suffix (k == len(labels)) has no registrable
+	// domain; it falls through to the last-2 join, unchanged behavior.
+	for k := maxSuffixLabels; k >= 2; k-- {
+		if len(labels) <= k {
+			continue
+		}
+		if publicSuffixes[strings.Join(labels[len(labels)-k:], ".")] {
+			return strings.Join(labels[len(labels)-k-1:], ".")
 		}
 	}
 	return strings.Join(labels[len(labels)-2:], ".")

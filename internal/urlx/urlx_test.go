@@ -3,6 +3,7 @@ package urlx
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -26,6 +27,42 @@ func TestESLD(t *testing.T) {
 	for _, c := range cases {
 		if got := ESLD(c.host); got != c.want {
 			t.Errorf("ESLD(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+// TestESLDLongestMatch is the regression test for the suffix-table
+// walk: the old code consulted only 2-label suffixes, so any 3-label
+// public suffix in the table was dead weight and hosts under it
+// collapsed to the wrong registrable domain ("shop.plc.co.im" →
+// "plc.co.im", merging every registrant under that suffix into one
+// eSLD — which in the mining pipeline conflates unrelated senders).
+func TestESLDLongestMatch(t *testing.T) {
+	cases := []struct{ host, want string }{
+		// Longest match must win over the 2-label "co.im".
+		{"shop.plc.co.im", "shop.plc.co.im"},
+		{"www.shop.plc.co.im", "shop.plc.co.im"},
+		{"a.b.shop.ltd.co.im", "shop.ltd.co.im"},
+		// Plain 2-label suffix behaviour unchanged.
+		{"foo.co.im", "foo.co.im"},
+		{"www.foo.co.im", "foo.co.im"},
+		// A host that IS a public suffix has no registrable domain;
+		// the last-2 join fallback is the documented behaviour.
+		{"co.im", "co.im"},
+		{"ltd.co.im", "ltd.co.im"},
+		{"co.uk", "co.uk"},
+		// Unlisted 3-label tails never over-match.
+		{"a.b.example.com", "example.com"},
+	}
+	for _, c := range cases {
+		if got := ESLD(c.host); got != c.want {
+			t.Errorf("ESLD(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+	// The table invariant the walk depends on.
+	for s := range publicSuffixes {
+		if n := len(strings.Split(s, ".")); n > maxSuffixLabels {
+			t.Errorf("suffix %q has %d labels, above maxSuffixLabels=%d — deepen the constant", s, n, maxSuffixLabels)
 		}
 	}
 }

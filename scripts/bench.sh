@@ -19,7 +19,7 @@ BENCHTIME="${BENCHTIME:-2x}"
 case "$SUITE" in
 mining)
 	PKGS="."
-	PAT='^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$'
+	PAT='^(BenchmarkClusterWPNs|BenchmarkClusterWPNsBlockedLarge|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$'
 	DEFOUT="BENCH_mining.json"
 	;;
 crawl)
@@ -51,6 +51,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		# Per-stage wall-times reported via telemetry as "<stage>-ns/op"
 		# custom metrics (BenchmarkClusterWPNs only).
 		stages = ""
+		extras = ""
 		for (i = 5; i + 1 <= NF; i += 2) {
 			unit = $(i + 1)
 			if (unit ~ /-ns\/op$/) {
@@ -58,9 +59,15 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 				sub(/-ns\/op$/, "", stage)
 				if (stages != "") stages = stages ", "
 				stages = stages sprintf("\"%s\": %s", stage, $(i))
+			} else if (unit == "exact-pairs") {
+				# Blocked-path pair accounting: soft-cosine evaluations
+				# actually performed (Σ|B|² within blocks), vs n(n-1)/2
+				# for any exact mode.
+				extras = sprintf(", \"exact_pairs\": %.0f", $(i))
 			}
 		}
 		if (stages != "") stages = sprintf(", \"stage_ns\": {%s}", stages)
+		stages = stages extras
 		if (out != "") out = out ",\n"
 		out = out sprintf("    {\"bench\": \"%s\", \"n\": %s, \"mode\": \"%s\", \"iters\": %s, \"ns_per_op\": %s%s}",
 			bench, size, mode, iters, ns, stages)
@@ -68,13 +75,16 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 	}
 	END {
 		speed = ""
-		naive  = nsof["BenchmarkClusterWPNs/2000/naive"]
-		cached = nsof["BenchmarkClusterWPNs/2000/cached"]
-		pruned = nsof["BenchmarkClusterWPNs/2000/pruned"]
+		naive   = nsof["BenchmarkClusterWPNs/2000/naive"]
+		cached  = nsof["BenchmarkClusterWPNs/2000/cached"]
+		pruned  = nsof["BenchmarkClusterWPNs/2000/pruned"]
+		blocked = nsof["BenchmarkClusterWPNs/2000/blocked"]
 		if (naive != "" && cached != "")
 			speed = speed sprintf(",\n  \"speedup_n2000_naive_vs_cached\": %.2f", naive / cached)
 		if (naive != "" && pruned != "")
 			speed = speed sprintf(",\n  \"speedup_n2000_naive_vs_pruned\": %.2f", naive / pruned)
+		if (pruned != "" && blocked != "")
+			speed = speed sprintf(",\n  \"speedup_n2000_pruned_vs_blocked\": %.2f", pruned / blocked)
 		for (n = 50; n <= 200; n += 150) {
 			s = nsof["BenchmarkCrawlMonitor/" n "/serial"]
 			p = nsof["BenchmarkCrawlMonitor/" n "/parallel"]

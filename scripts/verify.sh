@@ -23,6 +23,11 @@ go test -run '^$' \
 	-bench '^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$/^n=200$' \
 	-benchtime 1x .
 
+echo "==> blocked-vs-exact mining parity smoke"
+go test -count=1 \
+	-run '^(TestClusterParityBlockedVsExact|TestIncrementalConvergesToBatch)$' \
+	./internal/core/
+
 echo "==> parallel-monitor parity smoke (serial vs parallel, small n)"
 go test -run '^TestSerialParallelParity$/^seed11$' -count=1 ./internal/crawler/
 
