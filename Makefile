@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-crawl telemetry-smoke fleet-smoke mining-smoke
+.PHONY: build test race vet verify bench bench-crawl bench-check telemetry-smoke fleet-smoke fleetz-smoke mining-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ bench:
 bench-crawl:
 	SUITE=crawl sh scripts/bench.sh
 
+# bench-check re-runs a cheap slice of both benchmark suites and gates
+# ns/op against the committed BENCH_*.json baselines (BENCH_TOL=4.0x).
+bench-check:
+	sh scripts/bench_check.sh
+
 # telemetry-smoke runs a seeded chaos crawl+mine with -metrics-out and
 # validates the snapshot against the golden key-set.
 telemetry-smoke:
@@ -40,6 +45,12 @@ telemetry-smoke:
 # plus the fleet telemetry keys.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# fleetz-smoke runs a 4-shard chaos crawl with the debug server up and
+# asserts the live /fleetz introspection view (JSON schema + wpnstat
+# dashboard) and the fleet event ledger.
+fleetz-smoke:
+	sh scripts/fleetz_smoke.sh
 
 # mining-smoke runs the blocked-vs-exact parity matrix (3 seeds × 3
 # linkages) and the incremental-converges-to-batch checks — the gates

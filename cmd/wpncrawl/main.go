@@ -9,7 +9,8 @@
 //	wpncrawl -out wpns.json [-seed N] [-scale F] [-days N]
 //	         [-chaos-profile P] [-checkpoint PATH] [-resume]
 //	         [-shards N] [-heartbeat D] [-max-restarts N] [-fleet-dir DIR]
-//	         [-debug-addr HOST:PORT] [-metrics-out PATH] [-trace-out PATH]
+//	         [-fleet-ledger PATH] [-debug-addr HOST:PORT] [-linger D]
+//	         [-metrics-out PATH] [-trace-out PATH]
 //
 // -chaos-profile wraps the virtual network with the deterministic fault
 // injector (internal/chaos): presets "mild", "acceptance", "harsh", or
@@ -27,12 +28,16 @@
 // merged output is byte-identical to a single-process crawl at any
 // shard count — including under "workercrashes=F" chaos kills.
 //
-// Observability: -debug-addr serves net/http/pprof, expvar and a live
-// /metrics JSON snapshot on a loopback listener while the crawl runs;
-// -metrics-out writes the final telemetry snapshot (crawler counters,
-// breaker transitions, chaos fault totals, per-host request counts) as
-// JSON; -trace-out writes the per-notification attack-chain spans as
-// JSONL (replayable with internal/audit).
+// Observability: -debug-addr serves net/http/pprof, expvar, a live
+// /metrics JSON snapshot, and — for fleet runs — the /fleetz fleet
+// introspection view (cmd/wpnstat renders it as a dashboard) on a
+// loopback listener while the crawl runs; -linger keeps that server up
+// for the given duration after the crawl so the final state can still
+// be scraped. -metrics-out writes the final telemetry snapshot (crawler
+// counters, breaker transitions, chaos fault totals, per-host request
+// counts) as JSON; -trace-out writes the per-notification attack-chain
+// spans as JSONL (replayable with internal/audit); -fleet-ledger writes
+// each fleet crawl's control-plane event timeline as per-device JSONL.
 package main
 
 import (
@@ -61,7 +66,9 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 0, "fleet liveness-check period in simulated time (0 = 6h default)")
 		maxRestart = flag.Int("max-restarts", 0, "restart budget per shard worker before its containers are stolen (0 = default 2, negative = never restart)")
 		fleetDir   = flag.String("fleet-dir", "", "directory for durable shard state files (default: private temp dir)")
-		debugAddr  = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
+		ledger     = flag.String("fleet-ledger", "", "base path for per-device fleet event-timeline JSONL files (fleet runs only)")
+		debugAddr  = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars, /metrics and /fleetz (e.g. 127.0.0.1:6060)")
+		linger     = flag.Duration("linger", 0, "keep the debug server up this long after the crawl finishes")
 		metricsOut = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
 		traceOut   = flag.String("trace-out", "", "write attack-chain trace spans as JSONL to this path")
 	)
@@ -87,7 +94,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("debug server on http://%s (/debug/pprof, /debug/vars, /metrics)", srv.Addr())
+		log.Printf("debug server on http://%s (/debug/pprof, /debug/vars, /metrics, /fleetz)", srv.Addr())
 	}
 
 	start := time.Now()
@@ -102,6 +109,7 @@ func main() {
 		ShardHeartbeat:   *heartbeat,
 		MaxShardRestarts: *maxRestart,
 		FleetDir:         *fleetDir,
+		FleetLedgerPath:  *ledger,
 		Metrics:          reg,
 		Tracer:           tracer,
 	})
@@ -125,6 +133,8 @@ func main() {
 			log.Printf("%s fleet: shards=%d heartbeats=%d kills=%d restarts=%d lost=%d stolen=%d saves=%d fallbacks=%d",
 				dev, rep.Shards, rep.Heartbeats, rep.Kills, rep.Restarts,
 				rep.WorkersLost, rep.ContainersStolen, rep.StateSaves, rep.StateFallbacks)
+			log.Printf("%s fleet plane: telemetry_pulls=%d stitched_spans=%d events=%d",
+				dev, rep.TelemetryPulls, rep.StitchedSpans, len(rep.Events))
 		}
 	}
 	if *metricsOut != "" {
@@ -138,6 +148,10 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("%d trace spans → %s", tracer.Len(), *traceOut)
+	}
+	if *linger > 0 && *debugAddr != "" {
+		log.Printf("lingering %s for debug scrapes", *linger)
+		time.Sleep(*linger)
 	}
 }
 

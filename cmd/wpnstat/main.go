@@ -1,0 +1,101 @@
+// Command wpnstat renders a live one-screen dashboard of a running
+// fleet crawl by polling the /fleetz endpoint a wpncrawl -debug-addr
+// server exposes: per-shard health (container counts, queue depth,
+// restart budgets, circuit-breaker posture, telemetry merge lag) plus
+// fleet-wide control-plane totals.
+//
+// Usage:
+//
+//	wpnstat -addr 127.0.0.1:6060 [-interval D] [-once] [-json]
+//
+// -once prints a single snapshot and exits (handy for scripts); -json
+// dumps the raw /fleetz JSON instead of the text dashboard. Without
+// -once the dashboard refreshes in place every -interval until the
+// fleet reports done or the server goes away.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"pushadminer/internal/fleet"
+)
+
+// fleetzPayload mirrors the /fleetz JSON envelope.
+type fleetzPayload struct {
+	Active bool               `json:"active"`
+	Fleet  *fleet.FleetStatus `json:"fleet"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6060", "wpncrawl debug server address")
+		interval = flag.Duration("interval", 2*time.Second, "poll period")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+		raw      = flag.Bool("json", false, "print the raw /fleetz JSON instead of the dashboard")
+	)
+	flag.Parse()
+
+	url := "http://" + *addr + "/fleetz"
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		body, err := fetch(client, url)
+		if err != nil {
+			log.Fatalf("wpnstat: %v", err)
+		}
+		if *raw {
+			os.Stdout.Write(body)
+			if len(body) > 0 && body[len(body)-1] != '\n' {
+				fmt.Println()
+			}
+			if *once {
+				return
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		var p fleetzPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			log.Fatalf("wpnstat: parse /fleetz: %v", err)
+		}
+		if !p.Active || p.Fleet == nil {
+			fmt.Println("no fleet crawl active (single-process run, or the fleet has not seeded yet)")
+			if *once {
+				return
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		if !*once {
+			// Redraw in place: clear screen, home cursor.
+			fmt.Print("\033[2J\033[H")
+		}
+		fmt.Print(p.Fleet.String())
+		if *once || p.Fleet.Done {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return body, nil
+}

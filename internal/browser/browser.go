@@ -271,6 +271,22 @@ func (b *Browser) RestoreSession(regs []*serviceworker.Registration, droppedNoti
 	b.droppedNotifs = droppedNotifs
 }
 
+// ExportChain snapshots the browser's trace chain-recorder linkage
+// state (which spans future events will parent under) for shard-state
+// serialization. Returns nil when tracing is disabled.
+func (b *Browser) ExportChain() *telemetry.ChainState {
+	return b.rec.Export()
+}
+
+// RestoreChain reinstates chain-recorder linkage captured by
+// ExportChain, so a browser rebuilt after a shard-worker restart keeps
+// linking events into the chains the lost browser left open. The span
+// IDs are only meaningful against the same tracer instance; a no-op
+// when tracing is disabled or st is nil.
+func (b *Browser) RestoreChain(st *telemetry.ChainState) {
+	b.rec.Restore(st)
+}
+
 // ExportCookies snapshots the browser's cookie jar for serialization.
 // Cookie identity matters across restarts: tracking ad networks
 // frequency-cap returning browsers they recognize by cookie (§8), so a

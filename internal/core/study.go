@@ -73,6 +73,10 @@ type StudyConfig struct {
 	// FleetDir is where shard state files are written; empty uses a
 	// private temp directory when worker kills are possible.
 	FleetDir string
+	// FleetLedgerPath, if set, writes each device crawl's fleet event
+	// timeline as JSONL (derived per device like CheckpointPath, e.g.
+	// ledger.json → ledger.desktop.json). Fleet runs only.
+	FleetLedgerPath string
 
 	// Metrics, when non-nil, is threaded through every layer: the
 	// ecosystem's virtual network and chaos injector, both crawls, and
@@ -177,6 +181,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 				MaxRestarts:     cfg.MaxShardRestarts,
 				Dir:             fleetDirFor(cfg.FleetDir, device),
 				WorkerCrashPlan: eco.WorkerCrashPlan(),
+				LedgerPath:      checkpointPathFor(cfg.FleetLedgerPath, device),
 			}, seeds)
 			if rep != nil {
 				if s.FleetReports == nil {

@@ -132,6 +132,39 @@ func (w *ShardWorker) ShardID() int { return w.id }
 // Containers returns how many containers the worker currently owns.
 func (w *ShardWorker) Containers() int { return len(w.live) }
 
+// ShardHealth is one worker's live-introspection line, served through
+// the fleet's /fleetz endpoint: container ownership, scheduling
+// pressure, and circuit-breaker posture (how many per-container host
+// circuits sit in each state — a fleet-wide "open" spike is the first
+// visible symptom of a push-service outage).
+type ShardHealth struct {
+	Shard      int            `json:"shard"`
+	Containers int            `json:"containers"`
+	Dead       int            `json:"dead,omitempty"`
+	Queued     int            `json:"queued"`
+	Collected  int            `json:"collected"`
+	Breakers   map[string]int `json:"breakers,omitempty"`
+}
+
+// Health snapshots the worker's introspection state. Called on the
+// coordinator's serial path (same discipline as every worker method).
+func (w *ShardWorker) Health() *ShardHealth {
+	h := &ShardHealth{Shard: w.id, Containers: len(w.live), Queued: len(w.resumes)}
+	for _, ct := range w.live {
+		if ct.dead {
+			h.Dead++
+		}
+		h.Collected += ct.collected
+		for _, hs := range ct.brk.Export() {
+			if h.Breakers == nil {
+				h.Breakers = make(map[string]int, 2)
+			}
+			h.Breakers[hs.State]++
+		}
+	}
+	return h
+}
+
 // TakeDirty reports whether shard state changed since the last call,
 // clearing the flag.
 func (w *ShardWorker) TakeDirty() bool {
@@ -253,6 +286,11 @@ func (w *ShardWorker) Adopt(st *ShardState) error {
 		return err
 	}
 	for i := range st.Containers {
+		// Chain-recorder state never crosses shards: its span IDs
+		// reference the dead shard's tracer, and restoring them against
+		// this worker's tracer would parent new events under unrelated
+		// spans. Adopted chains restart as roots instead.
+		st.Containers[i].Chain = nil
 		ct := w.c.containerFromState(&st.Containers[i])
 		w.live = append(w.live, ct)
 		if st.Containers[i].InHeap {

@@ -10,6 +10,7 @@ import (
 
 	"pushadminer/internal/httpx"
 	"pushadminer/internal/serviceworker"
+	"pushadminer/internal/telemetry"
 )
 
 // ShardStateVersion is bumped when the shard-state format changes
@@ -34,6 +35,14 @@ type ShardContainerState struct {
 	Registrations        []*serviceworker.Registration `json:"registrations,omitempty"`
 	DroppedNotifications int                           `json:"dropped_notifications,omitempty"`
 	Cookies              []httpx.CookieRecord          `json:"cookies,omitempty"`
+	// Chain is the browser's trace chain-recorder linkage state (span
+	// IDs future events parent under). Present only when tracing is on;
+	// its IDs reference the shard's tracer, which the fleet transport
+	// owns across restarts — so a restored worker keeps extending the
+	// chains the lost one left open and the stitched fleet trace stays
+	// byte-identical to the single-process trace. Adopt drops it: the
+	// IDs are meaningless against another shard's tracer.
+	Chain *telemetry.ChainState `json:"chain,omitempty"`
 }
 
 // ShardState is one shard worker's durable snapshot, written by the
@@ -83,6 +92,7 @@ func (w *ShardWorker) State() (*ShardState, error) {
 			Registrations:        ct.br.Registrations(),
 			DroppedNotifications: ct.br.DroppedNotifications(),
 			Cookies:              ct.br.ExportCookies(),
+			Chain:                ct.br.ExportChain(),
 		})
 	}
 	return st, nil
@@ -138,6 +148,7 @@ func (c *Crawler) containerFromState(cs *ShardContainerState) *container {
 	ct.brk.Restore(cs.Breaker)
 	ct.br.RestoreSession(cs.Registrations, cs.DroppedNotifications)
 	ct.br.RestoreCookies(cs.Cookies)
+	ct.br.RestoreChain(cs.Chain)
 	return ct
 }
 

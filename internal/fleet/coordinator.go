@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pushadminer/internal/crawler"
@@ -23,6 +25,14 @@ import (
 // record IDs. Only the per-shard fan-outs are concurrent; everything
 // that orders the output is serial — which is what extends the
 // PumpWorkers byte-parity discipline across shard boundaries.
+//
+// The coordinator also owns the fleet observability plane: it mints the
+// global trace segments the transport stamps onto per-shard spans,
+// pulls each shard's telemetry snapshot once per heartbeat cycle,
+// appends every control-plane lifecycle event to the fleet ledger, and
+// publishes a live FleetStatus for /fleetz — all on its serial path, so
+// the ledger and the merged telemetry are deterministic under a fixed
+// chaos plan.
 type coordinator struct {
 	ctx   context.Context
 	cfg   Config
@@ -51,28 +61,49 @@ type coordinator struct {
 	nextID int
 	epoch  time.Time
 	end    time.Time
+
+	// Observability plane. nextSeg is the global trace-segment mint;
+	// snaps/health/lastPull hold the coordinator's last pulled telemetry
+	// view per shard (lastPull -1 = never pulled; the view of a lost
+	// worker stays frozen at its last pull, which is what the merge-lag
+	// gauge measures); events is the fleet ledger; statusVal publishes
+	// the current *FleetStatus for the /fleetz handler (stored whole,
+	// never mutated after publish — readers are concurrent).
+	telemetryOn bool
+	nextSeg     int64
+	lastSweep   int
+	lastPull    []int
+	snaps       []telemetry.Snapshot
+	health      []*crawler.ShardHealth
+	events      []Event
+	statusVal   atomic.Value
 }
 
 func newCoordinator(ctx context.Context, cfg Config, crawlCfg crawler.Config, tr Transport, met *fleetMetrics) *coordinator {
 	n := cfg.Shards
 	co := &coordinator{
-		ctx:       ctx,
-		cfg:       cfg,
-		crawl:     crawlCfg,
-		tr:        tr,
-		met:       met,
-		res:       &crawler.Result{},
-		report:    &Report{Shards: n, Workers: make([]WorkerStatus, n)},
-		n:         n,
-		alive:     make([]bool, n),
-		status:    make([]crawler.TickStatus, n),
-		lastCycle: make([]int, n),
-		restarts:  make([]int, n),
-		owned:     make([]int, n),
+		ctx:         ctx,
+		cfg:         cfg,
+		crawl:       crawlCfg,
+		tr:          tr,
+		met:         met,
+		res:         &crawler.Result{},
+		report:      &Report{Shards: n, Workers: make([]WorkerStatus, n)},
+		n:           n,
+		alive:       make([]bool, n),
+		status:      make([]crawler.TickStatus, n),
+		lastCycle:   make([]int, n),
+		restarts:    make([]int, n),
+		owned:       make([]int, n),
+		telemetryOn: crawlCfg.Metrics != nil,
+		lastPull:    make([]int, n),
+		snaps:       make([]telemetry.Snapshot, n),
+		health:      make([]*crawler.ShardHealth, n),
 	}
 	for k := 0; k < n; k++ {
 		co.alive[k] = true
 		co.lastCycle[k] = -1
+		co.lastPull[k] = -1
 		co.report.Workers[k].Shard = k
 	}
 	if reg := crawlCfg.Metrics; reg != nil {
@@ -80,8 +111,115 @@ func newCoordinator(ctx context.Context, cfg Config, crawlCfg crawler.Config, tr
 		co.records = reg.Counter("crawler_records_emitted")
 		co.checkpointWrites = reg.Counter("crawler_checkpoint_writes")
 		co.pumpWorkers = reg.Gauge("crawler_pump_workers")
+		telemetry.SetFleetz(co.fleetStatus)
 	}
 	return co
+}
+
+// seg mints the next global trace segment. Every transport phase call
+// carries one; the per-shard tracers stamp it onto the spans the phase
+// emits, which is what lets StitchSpans restore the coordinator's
+// global phase order across concurrent shard streams.
+func (co *coordinator) seg() int64 {
+	co.nextSeg++
+	return co.nextSeg
+}
+
+// event appends one line to the fleet ledger and mirrors it into the
+// fleet_events metric family. Called only on the coordinator's serial
+// path, so Seq is both emission and causal order and the ledger is
+// deterministic under a fixed chaos plan.
+func (co *coordinator) event(kind string, shard int, attrs map[string]string) {
+	co.events = append(co.events, Event{
+		Seq:   len(co.events) + 1,
+		Time:  co.crawl.Clock.Now(),
+		Kind:  kind,
+		Shard: shard,
+		Attrs: attrs,
+	})
+	co.met.events.Add(kind, 1)
+}
+
+// pullTelemetry refreshes the coordinator's view of shard k. A failed
+// pull (worker just died) keeps the last view — that staleness is the
+// merge lag.
+func (co *coordinator) pullTelemetry(k, cycle int) {
+	if !co.telemetryOn {
+		return
+	}
+	tel, err := co.tr.Telemetry(k)
+	if err != nil {
+		return
+	}
+	co.snaps[k] = tel.Snapshot
+	co.health[k] = tel.Health
+	co.lastPull[k] = cycle
+	co.met.telemetryPulls.Inc()
+	co.report.TelemetryPulls++
+}
+
+// fleetStatus returns the last published *FleetStatus (nil before the
+// first publish). Registered as the /fleetz provider.
+func (co *coordinator) fleetStatus() any {
+	v := co.statusVal.Load()
+	if v == nil {
+		return nil
+	}
+	return v
+}
+
+// updateStatus rebuilds and publishes the /fleetz view. Fresh maps and
+// slices every time: the published pointer is read concurrently by the
+// debug server and must never be mutated afterwards.
+func (co *coordinator) updateStatus(done bool) {
+	if !co.telemetryOn {
+		return
+	}
+	st := &FleetStatus{
+		Device:     co.crawl.Device.String(),
+		Shards:     co.n,
+		Heartbeats: co.report.Heartbeats,
+		Kills:      co.report.Kills,
+		Restarts:   co.report.Restarts,
+		Lost:       co.report.WorkersLost,
+		Stolen:     co.report.ContainersStolen,
+		Records:    len(co.res.Records),
+		Events:     len(co.events),
+		SimTime:    co.crawl.Clock.Now(),
+		WindowEnd:  co.end,
+		Done:       done,
+	}
+	for k := 0; k < co.n; k++ {
+		ws := ShardStatus{
+			Shard:         k,
+			Alive:         co.alive[k],
+			Containers:    co.owned[k],
+			Queued:        co.status[k].Queued,
+			Restarts:      co.restarts[k],
+			RestartBudget: co.cfg.MaxRestarts - co.restarts[k],
+			Adopted:       co.report.Workers[k].Adopted,
+			Lost:          co.report.Workers[k].Lost,
+		}
+		if co.alive[k] {
+			st.LiveShards++
+		}
+		if h := co.health[k]; h != nil {
+			ws.Containers = h.Containers
+			ws.Collected = h.Collected
+			ws.Dead = h.Dead
+			if len(h.Breakers) > 0 {
+				ws.Breakers = make(map[string]int, len(h.Breakers))
+				for s, n := range h.Breakers {
+					ws.Breakers[s] = n
+				}
+			}
+		}
+		if co.lastPull[k] >= 0 && co.lastSweep > co.lastPull[k] {
+			ws.MergeLagCycles = co.lastSweep - co.lastPull[k]
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	co.statusVal.Store(st)
 }
 
 // forAlive runs f(k) concurrently for every live shard and joins the
@@ -118,8 +256,9 @@ func (co *coordinator) run(seeds []string) error {
 	// the simulated clock, so the fan-out cannot reorder time. Seeding
 	// is kill-free: heartbeat cycle 0 is consulted at the first tick.
 	reps := make([]*crawler.ShardSeedReport, co.n)
+	segSeed := co.seg()
 	if err := co.forAlive(func(k int) error {
-		rep, err := co.tr.Seed(k)
+		rep, err := co.tr.Seed(k, segSeed)
 		reps[k] = rep
 		return err
 	}); err != nil {
@@ -132,6 +271,9 @@ func (co *coordinator) run(seeds []string) error {
 		outcomes = append(outcomes, reps[k].Outcomes...)
 		co.status[k] = reps[k].Status
 		co.owned[k] = reps[k].Status.Queued
+		co.event(EvShardStarted, k, map[string]string{
+			"containers": strconv.Itoa(reps[k].Status.Queued),
+		})
 	}
 	// Global seed order, not shard order: NPRURLs must list seed URLs
 	// exactly as the single-process seed phase does.
@@ -218,8 +360,9 @@ func (co *coordinator) run(seeds []string) error {
 // drain batches.
 func (co *coordinator) pump(now time.Time, final bool) error {
 	polls := make([]*crawler.TickPoll, co.n)
+	segPoll := co.seg()
 	if err := co.forAlive(func(k int) error {
-		p, err := co.tr.Poll(k, now, final)
+		p, err := co.tr.Poll(k, segPoll, now, final)
 		polls[k] = p
 		return err
 	}); err != nil {
@@ -238,7 +381,8 @@ func (co *coordinator) pump(now time.Time, final bool) error {
 		co.batchSize.Observe(float64(total))
 	}
 	if any {
-		if err := co.forAlive(func(k int) error { return co.tr.Dispatch(k) }); err != nil {
+		segDispatch := co.seg()
+		if err := co.forAlive(func(k int) error { return co.tr.Dispatch(k, segDispatch) }); err != nil {
 			return err
 		}
 		// One ClickDelay advance for the whole fleet-wide batch, the
@@ -247,8 +391,9 @@ func (co *coordinator) pump(now time.Time, final bool) error {
 	}
 
 	results := make([]*crawler.TickResult, co.n)
+	segClick := co.seg()
 	if err := co.forAlive(func(k int) error {
-		res, err := co.tr.Click(k)
+		res, err := co.tr.Click(k, segClick)
 		results[k] = res
 		return err
 	}); err != nil {
@@ -267,15 +412,24 @@ func (co *coordinator) pump(now time.Time, final bool) error {
 		}
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].ContainerID < items[j].ContainerID })
+	minted := 0
 	for _, it := range items {
 		for _, rec := range it.Records {
 			co.nextID++
 			rec.ID = co.nextID
 			co.res.Records = append(co.res.Records, rec)
 			co.records.Inc()
+			minted++
 		}
 		co.res.AdditionalURLs = append(co.res.AdditionalURLs, it.AdditionalURLs...)
 	}
+	if minted > 0 {
+		co.event(EvMerge, -1, map[string]string{
+			"records": strconv.Itoa(minted),
+			"items":   strconv.Itoa(len(items)),
+		})
+	}
+	co.updateStatus(false)
 	return nil
 }
 
@@ -283,7 +437,9 @@ func (co *coordinator) pump(now time.Time, final bool) error {
 // elapsed since its last check. Worker deaths are detected here — and
 // only here, at tick boundaries, after the previous tick's state save —
 // and handled immediately: bounded restart-with-resume, then work
-// stealing once the budget is spent.
+// stealing once the budget is spent. Each shard's telemetry snapshot is
+// pulled once per new cycle on the way out, so the coordinator's merged
+// view lags a live shard by at most one heartbeat cycle.
 func (co *coordinator) heartbeatSweep(now time.Time) error {
 	cycle := int(now.Sub(co.epoch) / co.cfg.Heartbeat)
 	for k := 0; k < co.n; k++ {
@@ -299,6 +455,7 @@ func (co *coordinator) heartbeatSweep(now time.Time) error {
 			if !errors.Is(err, ErrWorkerDown) {
 				return err
 			}
+			co.event(EvHeartbeatMissed, k, map[string]string{"cycle": strconv.Itoa(c)})
 			if herr := co.handleDown(k); herr != nil {
 				return herr
 			}
@@ -307,7 +464,21 @@ func (co *coordinator) heartbeatSweep(now time.Time) error {
 			}
 		}
 		co.lastCycle[k] = cycle
+		if co.alive[k] && cycle > co.lastPull[k] {
+			co.pullTelemetry(k, cycle)
+		}
 	}
+	co.lastSweep = cycle
+	if co.telemetryOn {
+		lag := 0
+		for k := 0; k < co.n; k++ {
+			if co.lastPull[k] >= 0 && cycle-co.lastPull[k] > lag {
+				lag = cycle - co.lastPull[k]
+			}
+		}
+		co.met.mergeLag.Set(int64(lag))
+	}
+	co.updateStatus(false)
 	return nil
 }
 
@@ -319,6 +490,7 @@ func (co *coordinator) heartbeatSweep(now time.Time) error {
 func (co *coordinator) handleDown(k int) error {
 	co.report.Kills++
 	co.met.kills.Inc()
+	co.event(EvKillDetected, k, nil)
 
 	if co.restarts[k] < co.cfg.MaxRestarts {
 		co.restarts[k]++
@@ -333,6 +505,11 @@ func (co *coordinator) handleDown(k int) error {
 		co.report.Restarts++
 		co.report.Workers[k].Restarts++
 		co.met.restarts.Inc()
+		var attrs map[string]string
+		if fellBack {
+			attrs = map[string]string{"fellback": "true"}
+		}
+		co.event(EvRestart, k, attrs)
 		// The restored worker's scheduling state equals the saved one,
 		// which is what co.status[k] already holds.
 		return nil
@@ -344,6 +521,7 @@ func (co *coordinator) handleDown(k int) error {
 	co.report.Workers[k].Lost = true
 	co.met.workersLost.Inc()
 	co.met.liveShards.Add(-1)
+	co.event(EvWorkerLost, k, nil)
 
 	st, fellBack, err := co.tr.Orphans(k)
 	if fellBack {
@@ -353,6 +531,7 @@ func (co *coordinator) handleDown(k int) error {
 	if err != nil {
 		return err
 	}
+	co.event(EvOrphanSteal, k, map[string]string{"containers": strconv.Itoa(len(st.Containers))})
 	// Steal to the live worker owning the fewest containers (ties to
 	// the lowest shard id). The choice is pure load balancing: records
 	// merge by global container id and every draw is keyed by container
@@ -379,6 +558,10 @@ func (co *coordinator) handleDown(k int) error {
 	co.met.containersStolen.Add(int64(stolen))
 	co.owned[target] += stolen
 	co.owned[k] = 0
+	co.event(EvAdopt, target, map[string]string{
+		"from":       strconv.Itoa(k),
+		"containers": strconv.Itoa(stolen),
+	})
 	// The dead shard's pending resumes now live in the adopter's heap;
 	// the adopter's status refreshes at this tick's poll.
 	co.status[k] = crawler.TickStatus{}
@@ -398,13 +581,22 @@ func (co *coordinator) totalQueued() int {
 // finish aggregates the shards' final accounting — per-shard
 // Degradations merge tally-wise into one report equal to the
 // single-process one — snapshots the ecosystem fault counters once,
-// and writes the optional merged checkpoint.
+// writes the optional merged checkpoint, stitches the shard trace
+// streams into the main tracer, absorbs the shards' final telemetry
+// snapshots into the main registry, and writes the event ledger.
+//
+// The order is load-bearing: the checkpoint write and the trace stitch
+// both increment coordinator-registry counters, so they must land
+// before Report.Coordinator is captured and the shard snapshots are
+// absorbed — otherwise the exact-merge contract (final registry state
+// equals Coordinator merged with every ShardSnapshot) breaks.
 func (co *coordinator) finish() error {
+	segFin := co.seg()
 	for k := 0; k < co.n; k++ {
 		if !co.alive[k] {
 			continue
 		}
-		fin, err := co.tr.Finish(k)
+		fin, err := co.tr.Finish(k, segFin)
 		if err != nil {
 			return err
 		}
@@ -416,7 +608,64 @@ func (co *coordinator) finish() error {
 		}
 	}
 	co.writeMergedCheckpoint()
+	co.stitchTrace()
+	co.absorbTelemetry()
+	if co.cfg.LedgerPath != "" {
+		if err := WriteLedger(co.cfg.LedgerPath, co.events); err != nil {
+			return err
+		}
+	}
+	co.report.Events = co.events
+	co.updateStatus(true)
 	return nil
+}
+
+// stitchTrace reassembles the per-shard span streams into the main
+// tracer as one coordinator-rooted trace. Streams are pulled whole —
+// chain spans are retroactively mutated while open, so nothing can be
+// shipped incrementally — and include lost workers' spans (the
+// transport owns each shard's buffer across kills). At Shards=1 the
+// stitch is the identity and the main tracer's JSONL output is
+// byte-identical to a single-process traced run.
+func (co *coordinator) stitchTrace() {
+	if co.crawl.Tracer == nil {
+		return
+	}
+	streams := make([][]telemetry.Span, co.n)
+	for k := 0; k < co.n; k++ {
+		spans, err := co.tr.Spans(k)
+		if err != nil {
+			continue
+		}
+		streams[k] = spans
+	}
+	stitched := telemetry.StitchSpans(streams)
+	co.crawl.Tracer.Append(stitched)
+	co.met.traceSpans.Add(int64(len(stitched)))
+	co.report.StitchedSpans = len(stitched)
+}
+
+// absorbTelemetry takes one final pull from every live shard, captures
+// the coordinator's own registry snapshot, then folds every shard
+// snapshot into the main registry under a "shard-<k>" label. Lost
+// workers contribute their last pulled view (their post-pull deltas
+// moved to the adopter's registry with their containers). Capture
+// before absorb is the exact-merge contract the parity matrix pins.
+func (co *coordinator) absorbTelemetry() {
+	if !co.telemetryOn {
+		return
+	}
+	for k := 0; k < co.n; k++ {
+		if co.alive[k] {
+			co.pullTelemetry(k, co.lastSweep)
+		}
+	}
+	co.report.Coordinator = co.crawl.Metrics.Snapshot()
+	co.report.ShardSnapshots = make([]telemetry.Snapshot, co.n)
+	for k := 0; k < co.n; k++ {
+		co.crawl.Metrics.Absorb(fmt.Sprintf("shard-%d", k), co.snaps[k])
+		co.report.ShardSnapshots[k] = co.snaps[k]
+	}
 }
 
 // writeMergedCheckpoint writes one global checkpoint equivalent to the

@@ -23,9 +23,12 @@
 package fleet
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pushadminer/internal/crawler"
@@ -58,6 +61,82 @@ type Config struct {
 	// webeco.Ecosystem.WorkerCrashPlan here to drive it from a chaos
 	// profile ("workercrashes=F").
 	WorkerCrashPlan func(workerID string, cycle int) bool
+	// LedgerPath, if set, writes the fleet event timeline — every
+	// control-plane lifecycle event, simclock-timestamped — as JSONL at
+	// the end of the run. The ledger is deterministic under a fixed
+	// chaos plan: two identical runs produce identical ledger bytes.
+	LedgerPath string
+}
+
+// Fleet event-ledger kinds, in the order a shard's life emits them.
+const (
+	EvShardStarted    = "shard_started"    // seeding done, container count settled
+	EvHeartbeatMissed = "heartbeat_missed" // liveness check got no answer
+	EvKillDetected    = "kill_detected"    // the miss was a worker death
+	EvRestart         = "restart"          // revived from durable shard state
+	EvWorkerLost      = "worker_lost"      // restart budget exhausted
+	EvOrphanSteal     = "orphan_steal"     // dead worker's state loaded for rebalance
+	EvAdopt           = "adopt"            // a live worker adopted the orphans
+	EvMerge           = "merge"            // a tick's records merged (records > 0)
+)
+
+// Event is one line of the fleet event timeline: a simclock-timestamped
+// control-plane lifecycle event. Seq is the emission order (the ledger
+// is written by the coordinator's serial path, so Seq is also causal
+// order); Shard is -1 for fleet-wide events.
+type Event struct {
+	Seq   int               `json:"seq"`
+	Time  time.Time         `json:"time"`
+	Kind  string            `json:"kind"`
+	Shard int               `json:"shard"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteLedger writes the event timeline as JSONL, one event per line.
+func WriteLedger(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("fleet: ledger: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadLedger parses an event-ledger JSONL file.
+func ReadLedger(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("fleet: ledger: %w", err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return out, nil
 }
 
 // WorkerStatus is one worker's line in the fleet report.
@@ -89,6 +168,24 @@ type Report struct {
 	// was unreadable.
 	StateSaves     int `json:"state_saves,omitempty"`
 	StateFallbacks int `json:"state_fallbacks,omitempty"`
+	// TelemetryPulls counts per-shard snapshot pulls over the transport
+	// (one per shard per heartbeat cycle, plus the final absorb pull);
+	// StitchedSpans counts trace spans reassembled from shard tracers.
+	TelemetryPulls int `json:"telemetry_pulls,omitempty"`
+	StitchedSpans  int `json:"stitched_spans,omitempty"`
+
+	// Events is the fleet event timeline, in emission order (also
+	// written as JSONL when Config.LedgerPath is set). Excluded from
+	// the report's JSON form — the ledger file is the export format.
+	Events []Event `json:"-"`
+	// ShardSnapshots[k] is shard k's final telemetry snapshot as pulled
+	// for the end-of-run absorb; Coordinator is the coordinator's own
+	// registry snapshot captured immediately before the absorb. The
+	// exact-merge contract — final registry state equals Coordinator
+	// merged with every ShardSnapshot — is pinned by the fleet parity
+	// matrix. Test/introspection surface, not serialized.
+	ShardSnapshots []telemetry.Snapshot `json:"-"`
+	Coordinator    telemetry.Snapshot   `json:"-"`
 }
 
 // fleetMetrics holds the control plane's preresolved instruments.
@@ -104,6 +201,10 @@ type fleetMetrics struct {
 	stateSaves       *telemetry.Counter
 	stateFallbacks   *telemetry.Counter
 	heartbeatSeconds *telemetry.Histogram
+	telemetryPulls   *telemetry.Counter
+	mergeLag         *telemetry.Gauge
+	traceSpans       *telemetry.Counter
+	events           *telemetry.Family
 }
 
 func newFleetMetrics(reg *telemetry.Registry) *fleetMetrics {
@@ -121,7 +222,91 @@ func newFleetMetrics(reg *telemetry.Registry) *fleetMetrics {
 		stateSaves:       reg.Counter("fleet_shard_state_saves"),
 		stateFallbacks:   reg.Counter("fleet_shard_state_fallbacks"),
 		heartbeatSeconds: reg.Histogram("fleet_heartbeat_seconds", telemetry.LatencyBuckets),
+		telemetryPulls:   reg.Counter("fleet_telemetry_pulls"),
+		mergeLag:         reg.Gauge("fleet_telemetry_merge_lag_cycles"),
+		traceSpans:       reg.Counter("fleet_trace_spans"),
+		events:           reg.Family("fleet_events", "kind"),
 	}
+}
+
+// ShardStatus is one worker's row in the live /fleetz view.
+type ShardStatus struct {
+	Shard      int  `json:"shard"`
+	Alive      bool `json:"alive"`
+	Containers int  `json:"containers"`
+	Queued     int  `json:"queued"`
+	Collected  int  `json:"collected"`
+	Dead       int  `json:"dead_containers,omitempty"`
+	Restarts   int  `json:"restarts"`
+	// RestartBudget is how many restarts remain before the worker's
+	// containers are stolen.
+	RestartBudget int  `json:"restart_budget"`
+	Adopted       int  `json:"adopted,omitempty"`
+	Lost          bool `json:"lost,omitempty"`
+	// Breakers counts the shard's per-container host circuits by state
+	// ("open" spiking fleet-wide is the first symptom of an outage).
+	Breakers map[string]int `json:"breakers,omitempty"`
+	// MergeLagCycles is how many heartbeat cycles behind the
+	// coordinator's telemetry view of this shard is (0 = current).
+	MergeLagCycles int `json:"merge_lag_cycles"`
+}
+
+// FleetStatus is the live introspection snapshot served at /fleetz:
+// built by the coordinator on its serial path after every heartbeat
+// sweep and merge, published atomically, and rendered as JSON or (via
+// String) a one-screen text dashboard.
+type FleetStatus struct {
+	Device     string        `json:"device"`
+	Shards     int           `json:"shards"`
+	LiveShards int           `json:"live_shards"`
+	Heartbeats int           `json:"heartbeats"`
+	Kills      int           `json:"kills"`
+	Restarts   int           `json:"restarts"`
+	Lost       int           `json:"workers_lost"`
+	Stolen     int           `json:"containers_stolen"`
+	Records    int           `json:"records"`
+	Events     int           `json:"events"`
+	SimTime    time.Time     `json:"sim_time"`
+	WindowEnd  time.Time     `json:"window_end"`
+	Done       bool          `json:"done"`
+	Workers    []ShardStatus `json:"workers"`
+}
+
+// String renders the status as the one-screen dashboard wpnstat shows.
+func (s FleetStatus) String() string {
+	var b strings.Builder
+	state := "running"
+	if s.Done {
+		state = "done"
+	}
+	fmt.Fprintf(&b, "fleet %-7s  %s  shards %d/%d live  sim %s / end %s\n",
+		s.Device, state, s.LiveShards, s.Shards,
+		s.SimTime.Format("2006-01-02 15:04"), s.WindowEnd.Format("2006-01-02 15:04"))
+	fmt.Fprintf(&b, "heartbeats %-6d kills %-4d restarts %-4d lost %-3d stolen %-4d records %-6d events %d\n",
+		s.Heartbeats, s.Kills, s.Restarts, s.Lost, s.Stolen, s.Records, s.Events)
+	fmt.Fprintf(&b, "%-6s %-6s %-5s %-6s %-5s %-9s %-8s %-4s %s\n",
+		"shard", "state", "ctrs", "queued", "coll", "restarts", "adopted", "lag", "breakers")
+	for _, w := range s.Workers {
+		state := "live"
+		if w.Lost {
+			state = "lost"
+		} else if !w.Alive {
+			state = "down"
+		}
+		brk := ""
+		for _, st := range []string{"closed", "half-open", "open"} {
+			if n := w.Breakers[st]; n > 0 {
+				if brk != "" {
+					brk += " "
+				}
+				brk += fmt.Sprintf("%s:%d", st, n)
+			}
+		}
+		fmt.Fprintf(&b, "%-6d %-6s %-5d %-6d %-5d %d/%-7d %-8d %-4d %s\n",
+			w.Shard, state, w.Containers, w.Queued, w.Collected,
+			w.Restarts, w.Restarts+w.RestartBudget, w.Adopted, w.MergeLagCycles, brk)
+	}
+	return b.String()
 }
 
 // Run crawls the seed URLs with a sharded fleet and returns the merged

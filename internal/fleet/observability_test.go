@@ -1,0 +1,360 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pushadminer/internal/chaos"
+	"pushadminer/internal/crawler"
+	"pushadminer/internal/telemetry"
+)
+
+// assertExactMerge pins the fleet telemetry contract: the final main
+// registry equals the coordinator's pre-absorb snapshot merged with
+// every shard snapshot — no count lost, none double-counted.
+func assertExactMerge(t *testing.T, reg *telemetry.Registry, rep *Report) {
+	t.Helper()
+	if len(rep.ShardSnapshots) != rep.Shards {
+		t.Fatalf("report carries %d shard snapshots, want %d", len(rep.ShardSnapshots), rep.Shards)
+	}
+	want := rep.Coordinator.Clone()
+	for k, s := range rep.ShardSnapshots {
+		want.Merge(fmt.Sprintf("shard-%d", k), s)
+	}
+	gotJSON, err := json.MarshalIndent(reg.Snapshot(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.MarshalIndent(want, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("final registry is not the exact merge of coordinator + shard snapshots:\n%s",
+			firstDiff(wantJSON, gotJSON))
+	}
+}
+
+// TestFleetTelemetryExactMerge runs the parity-matrix scenarios with
+// telemetry on and asserts the exact-merge contract for each: shard
+// counts survive kills, restarts, and work stealing without loss or
+// double counting.
+func TestFleetTelemetryExactMerge(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		chaos  bool
+		shards []int
+	}{
+		{"seed11", 11, false, []int{1, 2, 4}},
+		{"seed11/chaos", 11, true, []int{2, 4}},
+		{"seed23/chaos", 23, true, []int{3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shards := range tc.shards {
+				var p *chaos.Profile
+				if tc.chaos {
+					p = chaosProfile(0.05)
+				}
+				reg := telemetry.New()
+				eco := newEco(t, tc.seed, p)
+				_, rep, err := Run(context.Background(), Config{
+					Crawl:           crawlConfig(eco, func(c *crawler.Config) { c.Metrics = reg }),
+					Shards:          shards,
+					WorkerCrashPlan: eco.WorkerCrashPlan(),
+					Dir:             t.TempDir(),
+				}, eco.SeedURLs())
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if rep.TelemetryPulls == 0 {
+					t.Errorf("shards=%d: no telemetry pulls recorded", shards)
+				}
+				if got := reg.Counter("fleet_telemetry_pulls").Value(); got != int64(rep.TelemetryPulls) {
+					t.Errorf("shards=%d: fleet_telemetry_pulls = %d, report says %d", shards, got, rep.TelemetryPulls)
+				}
+				assertExactMerge(t, reg, rep)
+			}
+		})
+	}
+}
+
+// TestFleetTraceParity: a traced fleet run's stitched spans must be
+// byte-identical (as JSONL) to the single-process trace. Pinned at
+// MaxContainers=1 and PumpWorkers=1 — the only setting where span
+// emission order is deterministic even within the seed fan-out — and
+// exercised both kill-free and under a worker kill + restart, where
+// the persisted chain-recorder state must keep cross-restart parent
+// links intact.
+func TestFleetTraceParity(t *testing.T) {
+	serial := func(c *crawler.Config) {
+		c.MaxContainers = 1
+		c.PumpWorkers = 1
+	}
+	traceJSONL := func(t *testing.T, tr *telemetry.Tracer) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	baseline := func(t *testing.T) []byte {
+		tr := telemetry.NewTracer(nil)
+		eco := newEco(t, 11, nil)
+		c, err := crawler.New(crawlConfig(eco, func(c *crawler.Config) {
+			serial(c)
+			c.Tracer = tr
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(eco.SeedURLs()); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			t.Fatal("baseline produced no spans; trace parity is vacuous")
+		}
+		return traceJSONL(t, tr)
+	}
+
+	fleetTrace := func(t *testing.T, plan func(string, int) bool) ([]byte, *Report) {
+		tr := telemetry.NewTracer(nil)
+		eco := newEco(t, 11, nil)
+		_, rep, err := Run(context.Background(), Config{
+			Crawl: crawlConfig(eco, func(c *crawler.Config) {
+				serial(c)
+				c.Tracer = tr
+			}),
+			Shards:          1,
+			Dir:             t.TempDir(),
+			WorkerCrashPlan: plan,
+		}, eco.SeedURLs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traceJSONL(t, tr), rep
+	}
+
+	want := baseline(t)
+
+	t.Run("kill-free", func(t *testing.T) {
+		got, rep := fleetTrace(t, nil)
+		if rep.StitchedSpans == 0 {
+			t.Error("fleet stitched no spans")
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("stitched trace diverges from single-process trace:\n%s", firstDiff(want, got))
+		}
+	})
+
+	t.Run("kill-restart", func(t *testing.T) {
+		got, rep := fleetTrace(t, func(workerID string, cycle int) bool {
+			return cycle == 2 || cycle == 9
+		})
+		if rep.Kills != 2 || rep.Restarts != 2 {
+			t.Fatalf("kills=%d restarts=%d, want 2/2", rep.Kills, rep.Restarts)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("stitched trace under kills diverges from single-process trace:\n%s", firstDiff(want, got))
+		}
+	})
+}
+
+// TestFleetLedger: the event timeline reconciles with the report and
+// the fleet_* metrics, and is deterministic — two identical chaos runs
+// write identical ledger bytes.
+func TestFleetLedger(t *testing.T) {
+	run := func(t *testing.T, dir string) (*Report, *telemetry.Registry, string) {
+		t.Helper()
+		reg := telemetry.New()
+		eco := newEco(t, 11, chaosProfile(0.05))
+		path := filepath.Join(dir, "ledger.jsonl")
+		_, rep, err := Run(context.Background(), Config{
+			Crawl:           crawlConfig(eco, func(c *crawler.Config) { c.Metrics = reg }),
+			Shards:          4,
+			WorkerCrashPlan: eco.WorkerCrashPlan(),
+			Dir:             t.TempDir(),
+			LedgerPath:      path,
+		}, eco.SeedURLs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, reg, path
+	}
+
+	rep, reg, path := run(t, t.TempDir())
+	events, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(rep.Events) {
+		t.Fatalf("ledger has %d events, report has %d", len(events), len(rep.Events))
+	}
+	counts := map[string]int{}
+	stolen := 0
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has Seq %d; ledger must be in emission order", i, ev.Seq)
+		}
+		counts[ev.Kind]++
+		if ev.Kind == EvAdopt {
+			n, _ := strconv.Atoi(ev.Attrs["containers"])
+			stolen += n
+		}
+	}
+	if counts[EvShardStarted] != rep.Shards {
+		t.Errorf("%d shard_started events, want %d", counts[EvShardStarted], rep.Shards)
+	}
+	for kind, want := range map[string]int{
+		EvKillDetected:    rep.Kills,
+		EvHeartbeatMissed: rep.Kills, // in-process: every miss is a kill
+		EvRestart:         rep.Restarts,
+		EvWorkerLost:      rep.WorkersLost,
+		EvOrphanSteal:     rep.WorkersLost,
+		EvAdopt:           rep.WorkersLost,
+	} {
+		if counts[kind] != want {
+			t.Errorf("%d %q events, report implies %d", counts[kind], kind, want)
+		}
+	}
+	if stolen != rep.ContainersStolen {
+		t.Errorf("adopt events account for %d containers, report says %d", stolen, rep.ContainersStolen)
+	}
+	if counts[EvMerge] == 0 {
+		t.Error("no merge events; records were collected")
+	}
+	// The fleet_events metric family mirrors the ledger exactly.
+	fam := reg.Snapshot().Families["fleet_events"]
+	for kind, n := range counts {
+		if fam[kind] != int64(n) {
+			t.Errorf("fleet_events[%s] = %d, ledger has %d", kind, fam[kind], n)
+		}
+	}
+
+	// Determinism: same seeds, same chaos plan → identical ledger bytes.
+	_, _, path2 := run(t, t.TempDir())
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("ledger is not deterministic:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestFleetzEndpoint: after a fleet run, the debug server's /fleetz
+// serves the final published status as JSON and as the text dashboard.
+func TestFleetzEndpoint(t *testing.T) {
+	reg := telemetry.New()
+	eco := newEco(t, 11, chaosProfile(0.05))
+	_, rep, err := Run(context.Background(), Config{
+		Crawl:           crawlConfig(eco, func(c *crawler.Config) { c.Metrics = reg }),
+		Shards:          4,
+		WorkerCrashPlan: eco.WorkerCrashPlan(),
+		Dir:             t.TempDir(),
+	}, eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := telemetry.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return body
+	}
+
+	var payload struct {
+		Active bool         `json:"active"`
+		Fleet  *FleetStatus `json:"fleet"`
+	}
+	if err := json.Unmarshal(get("/fleetz"), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if !payload.Active || payload.Fleet == nil {
+		t.Fatalf("/fleetz inactive after a fleet run: %+v", payload)
+	}
+	st := payload.Fleet
+	if !st.Done || st.Shards != 4 || len(st.Workers) != 4 {
+		t.Errorf("final status wrong: done=%v shards=%d workers=%d", st.Done, st.Shards, len(st.Workers))
+	}
+	if st.Kills != rep.Kills || st.Restarts != rep.Restarts || st.Lost != rep.WorkersLost {
+		t.Errorf("status control-plane totals diverge from report: %+v vs %+v", st, rep)
+	}
+	live := 0
+	for _, w := range st.Workers {
+		if w.Alive {
+			live++
+		}
+		if w.Alive && w.Containers == 0 && !w.Lost {
+			t.Errorf("live worker %d shows 0 containers: %+v", w.Shard, w)
+		}
+	}
+	if live != st.LiveShards {
+		t.Errorf("LiveShards=%d but %d workers alive", st.LiveShards, live)
+	}
+
+	text := string(get("/fleetz?format=text"))
+	for _, want := range []string{"fleet desktop", "shard", "heartbeats"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dashboard missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFleetObservabilityDisabled: with no registry and no tracer the
+// fleet plane must stay dark — no pulls, no stitching, no snapshots —
+// while the ledger (a plain file) still works.
+func TestFleetObservabilityDisabled(t *testing.T) {
+	eco := newEco(t, 11, nil)
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	_, rep, err := Run(context.Background(), Config{
+		Crawl:      crawlConfig(eco, nil),
+		Shards:     2,
+		Dir:        t.TempDir(),
+		LedgerPath: path,
+	}, eco.SeedURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TelemetryPulls != 0 || rep.StitchedSpans != 0 || rep.ShardSnapshots != nil {
+		t.Errorf("observability plane active without instruments: %+v", rep)
+	}
+	events, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Error("ledger empty; event timeline must not depend on telemetry")
+	}
+}

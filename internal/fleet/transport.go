@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pushadminer/internal/crawler"
+	"pushadminer/internal/telemetry"
 )
 
 // ErrWorkerDown reports that a shard worker's process is gone: its
@@ -26,14 +27,18 @@ type Transport interface {
 	// Heartbeat checks shard's liveness for one heartbeat cycle.
 	// Returns ErrWorkerDown when the worker is (or just became) dead.
 	Heartbeat(shard, cycle int) error
-	// Seed runs the shard's seeding phase.
-	Seed(shard int) (*crawler.ShardSeedReport, error)
+	// Seed runs the shard's seeding phase. seg is the coordinator-minted
+	// global trace segment for the phase (every Seed/Poll/Dispatch/
+	// Click/Finish call carries one): the worker stamps it onto spans it
+	// emits during the call, which is what lets the coordinator stitch
+	// per-shard span streams back into one globally ordered trace.
+	Seed(shard int, seg int64) (*crawler.ShardSeedReport, error)
 	// Poll / Dispatch / Click run the shard's pump phases for one tick.
-	Poll(shard int, now time.Time, final bool) (*crawler.TickPoll, error)
-	Dispatch(shard int) error
-	Click(shard int) (*crawler.TickResult, error)
+	Poll(shard int, seg int64, now time.Time, final bool) (*crawler.TickPoll, error)
+	Dispatch(shard int, seg int64) error
+	Click(shard int, seg int64) (*crawler.TickResult, error)
 	// Finish returns the shard's end-of-crawl accounting.
-	Finish(shard int) (*crawler.ShardFinish, error)
+	Finish(shard int, seg int64) (*crawler.ShardFinish, error)
 	// State snapshots a live shard (final merged checkpoint assembly).
 	State(shard int) (*crawler.ShardState, error)
 	// Restart revives a dead worker from its last durable state.
@@ -44,9 +49,33 @@ type Transport interface {
 	Orphans(shard int) (st *crawler.ShardState, fellBack bool, err error)
 	// Adopt merges an orphaned shard's state into a live worker.
 	Adopt(shard int, st *crawler.ShardState) error
+	// Telemetry pulls the shard's current metrics snapshot and health
+	// line. The coordinator calls it once per shard per heartbeat cycle
+	// and folds the snapshots into the fleet-wide registry at the end of
+	// the run, so per-shard instruments survive the shard's process.
+	// Fails with ErrWorkerDown for dead workers — the coordinator then
+	// keeps serving its last pulled view (that staleness is what the
+	// fleet_telemetry_merge_lag_cycles gauge measures).
+	Telemetry(shard int) (*ShardTelemetry, error)
+	// Spans drains nothing: it returns a copy of every trace span the
+	// shard has emitted, segment stamps included, for end-of-run
+	// stitching. Spans cannot be pulled incrementally — chain spans are
+	// retroactively mutated (EndAt/SetAttr) while their chain is open —
+	// so the transport owns each shard's span buffer for the whole run,
+	// across worker restarts. (A subprocess transport will need to ship
+	// the buffer on worker exit and keep the coordinator's copy per
+	// shard; the pull-whole-at-finish contract stays the same.)
+	Spans(shard int) ([]telemetry.Span, error)
 	// StateSaves reports how many shard-state writes the transport has
 	// performed (fleet Report bookkeeping).
 	StateSaves() int
+}
+
+// ShardTelemetry is one shard's observability pull: its private
+// registry's snapshot plus its live health line.
+type ShardTelemetry struct {
+	Snapshot telemetry.Snapshot   `json:"snapshot"`
+	Health   *crawler.ShardHealth `json:"health,omitempty"`
 }
 
 // localTransport runs every shard worker in-process. Durability is
@@ -74,6 +103,17 @@ type localTransport struct {
 	names   []string
 	dead    []bool
 
+	// Per-shard observability plane: each worker gets a private
+	// registry and tracer (nil when the fleet's are nil — disabled
+	// stays free), wired through cfgs[k]. Both are transport-owned and
+	// survive worker kills and restarts: they stand in for the pull
+	// stream a subprocess transport would maintain coordinator-side
+	// (per-heartbeat snapshot pulls, span shipping on worker exit), so
+	// no counter or span is lost when the in-memory worker is dropped.
+	cfgs    []crawler.Config
+	regs    []*telemetry.Registry
+	tracers []*telemetry.Tracer
+
 	saves atomic.Int64
 }
 
@@ -88,15 +128,34 @@ func newLocalTransport(ctx context.Context, cfg crawler.Config, names []string, 
 		workers: make([]*crawler.ShardWorker, len(names)),
 		names:   names,
 		dead:    make([]bool, len(names)),
+		cfgs:    make([]crawler.Config, len(names)),
+		regs:    make([]*telemetry.Registry, len(names)),
+		tracers: make([]*telemetry.Tracer, len(names)),
 	}
 	for k := range names {
-		w, err := crawler.NewShardWorker(ctx, cfg, k, seedsByShard[k])
+		shardCfg := cfg
+		if cfg.Metrics != nil {
+			t.regs[k] = telemetry.New()
+			shardCfg.Metrics = t.regs[k]
+		}
+		if cfg.Tracer != nil {
+			t.tracers[k] = telemetry.NewTracer(nil)
+			shardCfg.Tracer = t.tracers[k]
+		}
+		t.cfgs[k] = shardCfg
+		w, err := crawler.NewShardWorker(ctx, shardCfg, k, seedsByShard[k])
 		if err != nil {
 			return nil, err
 		}
 		t.workers[k] = w
 	}
 	return t, nil
+}
+
+// setSeg stamps the coordinator's global phase segment onto the shard's
+// tracer before a phase runs. Nil-safe (tracing disabled).
+func (t *localTransport) setSeg(shard int, seg int64) {
+	t.tracers[shard].SetSegment(seg)
 }
 
 // statePath names shard k's durable state file.
@@ -155,11 +214,12 @@ func (t *localTransport) maybeSave(shard int, w *crawler.ShardWorker) error {
 	return nil
 }
 
-func (t *localTransport) Seed(shard int) (*crawler.ShardSeedReport, error) {
+func (t *localTransport) Seed(shard int, seg int64) (*crawler.ShardSeedReport, error) {
 	w, err := t.worker(shard)
 	if err != nil {
 		return nil, err
 	}
+	t.setSeg(shard, seg)
 	rep, err := w.Seed()
 	if err != nil {
 		return nil, err
@@ -167,27 +227,30 @@ func (t *localTransport) Seed(shard int) (*crawler.ShardSeedReport, error) {
 	return rep, t.maybeSave(shard, w)
 }
 
-func (t *localTransport) Poll(shard int, now time.Time, final bool) (*crawler.TickPoll, error) {
+func (t *localTransport) Poll(shard int, seg int64, now time.Time, final bool) (*crawler.TickPoll, error) {
 	w, err := t.worker(shard)
 	if err != nil {
 		return nil, err
 	}
+	t.setSeg(shard, seg)
 	return w.Poll(now, final)
 }
 
-func (t *localTransport) Dispatch(shard int) error {
+func (t *localTransport) Dispatch(shard int, seg int64) error {
 	w, err := t.worker(shard)
 	if err != nil {
 		return err
 	}
+	t.setSeg(shard, seg)
 	return w.Dispatch()
 }
 
-func (t *localTransport) Click(shard int) (*crawler.TickResult, error) {
+func (t *localTransport) Click(shard int, seg int64) (*crawler.TickResult, error) {
 	w, err := t.worker(shard)
 	if err != nil {
 		return nil, err
 	}
+	t.setSeg(shard, seg)
 	res, err := w.Click()
 	if err != nil {
 		return nil, err
@@ -195,12 +258,31 @@ func (t *localTransport) Click(shard int) (*crawler.TickResult, error) {
 	return res, t.maybeSave(shard, w)
 }
 
-func (t *localTransport) Finish(shard int) (*crawler.ShardFinish, error) {
+func (t *localTransport) Finish(shard int, seg int64) (*crawler.ShardFinish, error) {
 	w, err := t.worker(shard)
 	if err != nil {
 		return nil, err
 	}
+	t.setSeg(shard, seg)
 	return w.Finish()
+}
+
+func (t *localTransport) Telemetry(shard int) (*ShardTelemetry, error) {
+	w, err := t.worker(shard)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardTelemetry{Snapshot: t.regs[shard].Snapshot(), Health: w.Health()}, nil
+}
+
+func (t *localTransport) Spans(shard int) ([]telemetry.Span, error) {
+	if shard < 0 || shard >= len(t.tracers) {
+		return nil, fmt.Errorf("fleet: no shard %d", shard)
+	}
+	// Deliberately no liveness check: the span buffer is
+	// transport-owned and outlives the worker (see the interface doc),
+	// so a lost shard's chains still reach the stitched trace.
+	return t.tracers[shard].Spans(), nil
 }
 
 func (t *localTransport) State(shard int) (*crawler.ShardState, error) {
@@ -219,7 +301,9 @@ func (t *localTransport) Restart(shard int) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("fleet: restart shard %d: %w", shard, err)
 	}
-	w, err := crawler.RestoreShardWorker(t.ctx, t.cfg, st)
+	// Restore with the shard's own config so the revived worker keeps
+	// feeding the same transport-owned registry and tracer.
+	w, err := crawler.RestoreShardWorker(t.ctx, t.cfgs[shard], st)
 	if err != nil {
 		return fellBack, fmt.Errorf("fleet: restart shard %d: %w", shard, err)
 	}

@@ -57,6 +57,63 @@ func NewChainRecorder(tr *Tracer, container string) *ChainRecorder {
 	}
 }
 
+// ChainState is a ChainRecorder's linkage state in serializable form:
+// the span IDs future events will parent under. It is persisted with
+// shard-worker state so a restarted worker's recorders keep linking
+// events into the chains the killed worker left open — without it,
+// every post-restart event would start a fresh root and the stitched
+// trace could never match the uninterrupted single-process one. The
+// IDs are only meaningful against the same tracer the state was
+// captured from (the fleet transport owns per-shard tracers across
+// restarts); chains adopted onto a different shard's tracer must be
+// dropped instead of restored.
+type ChainState struct {
+	Visit SpanID            `json:"visit,omitempty"`
+	SWReg map[string]SpanID `json:"sw_reg,omitempty"`
+	Chain SpanID            `json:"chain,omitempty"`
+	Click SpanID            `json:"click,omitempty"`
+	Shown map[string]SpanID `json:"shown,omitempty"`
+}
+
+// Export snapshots the recorder's linkage state. Returns nil on a nil
+// recorder (tracing disabled).
+func (c *ChainRecorder) Export() *ChainState {
+	if c == nil {
+		return nil
+	}
+	st := &ChainState{Visit: c.visit, Chain: c.chain, Click: c.click}
+	if len(c.swReg) > 0 {
+		st.SWReg = make(map[string]SpanID, len(c.swReg))
+		for k, v := range c.swReg {
+			st.SWReg[k] = v
+		}
+	}
+	if len(c.shown) > 0 {
+		st.Shown = make(map[string]SpanID, len(c.shown))
+		for k, v := range c.shown {
+			st.Shown[k] = v
+		}
+	}
+	return st
+}
+
+// Restore reinstates linkage state captured by Export. No-op when
+// either side is nil.
+func (c *ChainRecorder) Restore(st *ChainState) {
+	if c == nil || st == nil {
+		return
+	}
+	c.visit, c.chain, c.click = st.Visit, st.Chain, st.Click
+	c.swReg = make(map[string]SpanID, len(st.SWReg))
+	for k, v := range st.SWReg {
+		c.swReg[k] = v
+	}
+	c.shown = make(map[string]SpanID, len(st.Shown))
+	for k, v := range st.Shown {
+		c.shown[k] = v
+	}
+}
+
 // Event records one browser event, linking it into the chain in
 // progress. at is the event's (simulated) time; fields are stored as
 // span attributes verbatim.

@@ -1,13 +1,71 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
+
+// fleetz is the registered fleet-introspection provider. The fleet
+// coordinator registers one (SetFleetz) when a sharded crawl starts;
+// telemetry stays a leaf package and only knows it gets *something*
+// JSON-marshalable back — or a fmt.Stringer for the text rendering.
+var (
+	fleetzMu sync.RWMutex
+	fleetzFn func() any
+)
+
+// SetFleetz registers the provider behind the /fleetz debug endpoint.
+// The provider is called per request on the debug server's goroutine,
+// so it must be safe for concurrent use and should return an immutable
+// snapshot. Registering nil (or never registering) makes /fleetz
+// report {"active": false}; re-registering replaces the provider
+// (desktop fleet, then mobile fleet — latest wins, like expvar
+// republication).
+func SetFleetz(fn func() any) {
+	fleetzMu.Lock()
+	fleetzFn = fn
+	fleetzMu.Unlock()
+}
+
+// fleetzHandler serves the live fleet snapshot: JSON by default, the
+// provider's fmt.Stringer rendering with ?format=text.
+func fleetzHandler(w http.ResponseWriter, r *http.Request) {
+	fleetzMu.RLock()
+	fn := fleetzFn
+	fleetzMu.RUnlock()
+	var payload any
+	if fn != nil {
+		payload = fn()
+	}
+	if payload == nil {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"active": false}`)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		if str, ok := payload.(fmt.Stringer); ok {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, str.String())
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(struct {
+		Active bool `json:"active"`
+		Fleet  any  `json:"fleet"`
+	}{Active: true, Fleet: payload}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(b, '\n')) //nolint:errcheck // best-effort debug endpoint
+}
 
 // DebugServer is the optional runtime-profiling endpoint behind the
 // -debug-addr flag: net/http/pprof, /debug/vars (expvar), and /metrics
@@ -30,6 +88,7 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/fleetz", fleetzHandler)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {

@@ -1,0 +1,191 @@
+package telemetry
+
+import "math"
+
+// Snapshot merging — the fleet observability plane's core operation.
+// Each shard worker owns a private Registry; the coordinator pulls
+// per-shard Snapshots over the fleet transport and folds them into one
+// fleet-wide view. The fold is exact, not approximate:
+//
+//   - counters sum;
+//   - gauges cannot sum meaningfully (they are instantaneous values),
+//     so each shard gauge becomes one labeled sample in a counter
+//     family of the same name, keyed by the shard label;
+//   - histograms share the package's fixed bucket layouts, so their
+//     per-bucket counts, totals, and sums merge exactly (a histogram
+//     whose bounds disagree is kept under "<name>/<label>" instead of
+//     silently mixing incompatible layouts);
+//   - families sum per label value.
+//
+// Merge (snapshot + snapshot) and Registry.Absorb (snapshot into a live
+// registry) implement the same semantics, so
+//
+//	reg.Absorb(label, snap); reg.Snapshot()
+//
+// equals
+//
+//	s := reg.Snapshot(); s.Merge(label, snap)
+//
+// — the fleet parity matrix pins that equality across kill schedules.
+
+// Merge folds another snapshot into s under the given shard label.
+// s's maps are created on demand; o is not modified.
+func (s *Snapshot) Merge(label string, o Snapshot) {
+	if s == nil {
+		return
+	}
+	for k, v := range o.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64, len(o.Counters))
+		}
+		s.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		if s.Families == nil {
+			s.Families = make(map[string]map[string]int64)
+		}
+		fam := s.Families[k]
+		if fam == nil {
+			fam = make(map[string]int64, 1)
+			s.Families[k] = fam
+		}
+		fam[label] += v
+	}
+	for k, hs := range o.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot, len(o.Histograms))
+		}
+		cur, ok := s.Histograms[k]
+		if !ok {
+			s.Histograms[k] = cloneHistogramSnapshot(hs)
+			continue
+		}
+		if !sameBounds(cur.Bounds, hs.Bounds) {
+			s.Histograms[k+"/"+label] = cloneHistogramSnapshot(hs)
+			continue
+		}
+		for i := range hs.Counts {
+			cur.Counts[i] += hs.Counts[i]
+		}
+		cur.Count += hs.Count
+		cur.Sum += hs.Sum
+		s.Histograms[k] = cur
+	}
+	for k, counts := range o.Families {
+		if s.Families == nil {
+			s.Families = make(map[string]map[string]int64, len(o.Families))
+		}
+		fam := s.Families[k]
+		if fam == nil {
+			fam = make(map[string]int64, len(counts))
+			s.Families[k] = fam
+		}
+		for lv, v := range counts {
+			fam[lv] += v
+		}
+	}
+}
+
+// Clone deep-copies a snapshot, so a merged view can be built without
+// aliasing the source maps.
+func (s Snapshot) Clone() Snapshot {
+	var out Snapshot
+	if s.Counters != nil {
+		out.Counters = make(map[string]int64, len(s.Counters))
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+	}
+	if s.Gauges != nil {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+	}
+	if s.Histograms != nil {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for k, hs := range s.Histograms {
+			out.Histograms[k] = cloneHistogramSnapshot(hs)
+		}
+	}
+	if s.Families != nil {
+		out.Families = make(map[string]map[string]int64, len(s.Families))
+		for k, counts := range s.Families {
+			fam := make(map[string]int64, len(counts))
+			for lv, v := range counts {
+				fam[lv] = v
+			}
+			out.Families[k] = fam
+		}
+	}
+	return out
+}
+
+func cloneHistogramSnapshot(hs HistogramSnapshot) HistogramSnapshot {
+	out := hs
+	out.Bounds = append([]float64(nil), hs.Bounds...)
+	out.Counts = append([]int64(nil), hs.Counts...)
+	return out
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Absorb folds a snapshot into the live registry with Merge's exact
+// semantics: counters add, gauges become labeled samples in a counter
+// family of the gauge's name, histograms bucket-merge (bounds must
+// match; mismatches are kept under "<name>/<label>"), families add per
+// label. No-op on a nil registry (nil = disabled = zero cost).
+func (r *Registry) Absorb(label string, s Snapshot) {
+	if r == nil {
+		return
+	}
+	for k, v := range s.Counters {
+		r.Counter(k).Add(v)
+	}
+	for k, v := range s.Gauges {
+		r.Family(k, "shard").Add(label, v)
+	}
+	for k, hs := range s.Histograms {
+		h := r.Histogram(k, hs.Bounds)
+		if !sameBounds(h.bounds, hs.Bounds) {
+			h = r.Histogram(k+"/"+label, hs.Bounds)
+		}
+		h.merge(hs)
+	}
+	for k, counts := range s.Families {
+		fam := r.Family(k, "key")
+		for lv, v := range counts {
+			fam.Add(lv, v)
+		}
+	}
+}
+
+// merge adds a snapshot's buckets into the live histogram. The caller
+// guarantees matching bounds.
+func (h *Histogram) merge(hs HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	for i := range hs.Counts {
+		if i < len(h.counts) {
+			h.counts[i].Add(hs.Counts[i])
+		}
+	}
+	h.count.Add(hs.Count)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+hs.Sum)) {
+			return
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -385,17 +386,48 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteSnapshotFile writes the snapshot JSON to a file.
+// WriteSnapshotFile writes the snapshot JSON to a file atomically, with
+// the same temp-file + fsync + rename discipline as the crawler's
+// checkpoint writer: a crash mid-write can never leave a truncated or
+// half-serialized metrics file at path, only a stale previous one.
 func (r *Registry) WriteSnapshotFile(path string) error {
-	f, err := os.Create(path)
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal snapshot: %w", err)
+	}
+	b = append(b, '\n')
+	return writeFileAtomic(path, b)
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so readers observe either the old contents or the
+// complete new contents — never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("telemetry: %w", err)
 	}
-	if err := r.WriteJSON(f); err != nil {
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return err
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: write %s: %w", tmp, err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("telemetry: rename %s: %w", tmp, err)
+	}
+	return nil
 }
 
 // published guards expvar.Publish, which panics on duplicate names

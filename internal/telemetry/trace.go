@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 )
@@ -27,6 +28,14 @@ type Span struct {
 	Start     time.Time         `json:"start"`
 	End       time.Time         `json:"end"`
 	Attrs     map[string]string `json:"attrs,omitempty"`
+
+	// Seg is the coordinator-minted global phase sequence number the
+	// span was emitted under (fleet crawls only; 0 otherwise). It
+	// exists so spans from per-shard tracers can be stitched back into
+	// one coordinator-ordered trace (StitchSpans), and is deliberately
+	// excluded from the JSONL export: a stitched fleet trace must be
+	// byte-identical to the single-process trace at shards=1.
+	Seg int64 `json:"-"`
 }
 
 // Duration is the span's elapsed time.
@@ -45,6 +54,7 @@ type Tracer struct {
 
 	mu    sync.Mutex
 	spans []Span
+	seg   int64 // current segment stamped onto new spans (fleet crawls)
 }
 
 // NewTracer creates a Tracer. now supplies span timestamps for the
@@ -77,9 +87,24 @@ func (t *Tracer) StartAt(container, name string, parent SpanID, attrs map[string
 	id := SpanID(len(t.spans) + 1)
 	t.spans = append(t.spans, Span{
 		ID: id, Parent: parent, Container: container, Name: name,
-		Start: at, End: at, Attrs: attrs,
+		Start: at, End: at, Attrs: attrs, Seg: t.seg,
 	})
 	return id
+}
+
+// SetSegment sets the segment number stamped onto spans emitted from
+// now on. The fleet coordinator mints one global segment per transport
+// phase (seed, poll, dispatch, click, finish) and sets it on each
+// shard's tracer before invoking the phase, so per-shard span streams
+// carry enough ordering information to be stitched back into the
+// single coordinator-rooted trace. Nil-safe no-op.
+func (t *Tracer) SetSegment(seg int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seg = seg
+	t.mu.Unlock()
 }
 
 // End closes a span at the tracer's current time. Unknown or zero IDs
@@ -169,6 +194,94 @@ func (t *Tracer) WriteTraceFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// StitchSpans reassembles per-shard span streams into one
+// coordinator-ordered trace. Streams are per-tracer span slices in
+// shard order (each internally consistent: IDs ascending, parents
+// referencing earlier spans of the same stream). Spans are interleaved
+// by (segment, shard, local ID) — the order the coordinator drove the
+// phases in — then renumbered from 1 with parents remapped per stream.
+// At shards=1 the stitch is the identity: segments ascend with local
+// IDs, so the output equals the input stream renumbered onto itself,
+// which is what makes a stitched fleet trace byte-identical to the
+// single-process trace.
+//
+// The returned spans carry Seg 0 and are self-consistent, ready for
+// Tracer.Append or WriteJSONL.
+func StitchSpans(streams [][]Span) []Span {
+	total := 0
+	for _, st := range streams {
+		total += len(st)
+	}
+	if total == 0 {
+		return nil
+	}
+	type ref struct {
+		stream int
+		span   Span
+	}
+	refs := make([]ref, 0, total)
+	for si, st := range streams {
+		for _, sp := range st {
+			refs = append(refs, ref{stream: si, span: sp})
+		}
+	}
+	sort.SliceStable(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.span.Seg != b.span.Seg {
+			return a.span.Seg < b.span.Seg
+		}
+		if a.stream != b.stream {
+			return a.stream < b.stream
+		}
+		return a.span.ID < b.span.ID
+	})
+	// Parents always precede children within a stream (lower local ID,
+	// emitted under the same or an earlier segment), so a single forward
+	// pass sees every parent before its children.
+	remap := make([]map[SpanID]SpanID, len(streams))
+	for i := range remap {
+		remap[i] = make(map[SpanID]SpanID)
+	}
+	out := make([]Span, 0, total)
+	for i, r := range refs {
+		sp := r.span
+		newID := SpanID(i + 1)
+		remap[r.stream][sp.ID] = newID
+		sp.ID = newID
+		if sp.Parent > 0 {
+			// A parent missing from the map (e.g. chain state carried
+			// across shards) degrades to a root rather than pointing at
+			// an unrelated span.
+			sp.Parent = remap[r.stream][sp.Parent]
+		}
+		sp.Seg = 0
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Append splices an already-stitched, self-consistent span slice onto
+// the tracer, re-basing IDs and parent links past the spans already
+// recorded. The fleet coordinator uses it to land each device crawl's
+// stitched trace on the study's shared tracer exactly where the
+// single-process crawl would have emitted it. Nil-safe no-op.
+func (t *Tracer) Append(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := SpanID(len(t.spans))
+	for _, sp := range spans {
+		sp.ID += base
+		if sp.Parent > 0 {
+			sp.Parent += base
+		}
+		sp.Seg = t.seg
+		t.spans = append(t.spans, sp)
+	}
 }
 
 // ReadSpans parses trace JSONL.

@@ -10,6 +10,7 @@
 #
 #   BENCHTIME=5x OUT=/tmp/bench.json sh scripts/bench.sh
 #   SUITE=crawl sh scripts/bench.sh
+#   FILTER='^n=200$' sh scripts/bench.sh   # restrict to one size tier
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +34,11 @@ crawl)
 	;;
 esac
 OUT="${OUT:-$DEFOUT}"
+# FILTER narrows the run to matching sub-benchmarks (e.g. '^n=200$'),
+# used by bench_check.sh to keep the regression gate cheap.
+if [ -n "${FILTER:-}" ]; then
+	PAT="$PAT/$FILTER"
+fi
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 

@@ -1,0 +1,99 @@
+#!/bin/sh
+# bench_check.sh — bench regression gate: re-run a cheap slice of each
+# benchmark suite (smallest size tier, one iteration) through bench.sh
+# and compare ns/op per (bench, n, mode) against the committed
+# baselines BENCH_mining.json / BENCH_crawl.json. A benchmark that got
+# more than BENCH_TOL times slower than its baseline fails the gate.
+# Dependency-free: POSIX sh + awk + the Go toolchain.
+#
+# The tolerance is deliberately wide (default 4.0x): baselines are
+# recorded at BENCHTIME=2x on whatever machine last ran `make bench`,
+# while this gate runs 1x on the current one — it catches accidental
+# algorithmic regressions (a quadratic path sneaking back in), not
+# single-digit-percent drift. Results under BENCH_MIN_NS (default 1ms)
+# are skipped as noise-floor. Benchmarks present in only one file are
+# reported but never fail the gate, so adding or retiring a benchmark
+# does not require regenerating baselines in the same commit.
+#
+#   sh scripts/bench_check.sh
+#   BENCH_TOL=2.5 sh scripts/bench_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOL="${BENCH_TOL:-4.0}"
+MIN_NS="${BENCH_MIN_NS:-1000000}"
+TMPD="$(mktemp -d)"
+trap 'rm -rf "$TMPD"' EXIT
+
+compare() {
+	baseline="$1"
+	fresh="$2"
+	awk -v tol="$TOL" -v minns="$MIN_NS" '
+		function sval(line, name,    m) {
+			if (match(line, "\"" name "\": \"[^\"]*\"")) {
+				m = substr(line, RSTART, RLENGTH)
+				sub("^\"" name "\": \"", "", m)
+				sub("\"$", "", m)
+				return m
+			}
+			return ""
+		}
+		function nval(line, name,    m) {
+			if (match(line, "\"" name "\": [0-9]+")) {
+				m = substr(line, RSTART, RLENGTH)
+				sub("^\"" name "\": ", "", m)
+				return m + 0
+			}
+			return -1
+		}
+		/"bench":/ {
+			key = sval($0, "bench") "/n=" nval($0, "n") "/" sval($0, "mode")
+			ns = nval($0, "ns_per_op")
+			if (NR == FNR) { base[key] = ns; next }
+			if (!(key in base)) {
+				printf "  %-55s new benchmark, no baseline — skipped\n", key
+				next
+			}
+			seen[key] = 1
+			if (base[key] < minns) {
+				printf "  %-55s baseline %.2fms under noise floor — skipped\n", key, base[key] / 1e6
+				next
+			}
+			ratio = ns / base[key]
+			verdict = "ok"
+			if (ratio > tol) { verdict = "REGRESSION"; failed++ }
+			printf "  %-55s %10.2fms -> %10.2fms  (%.2fx %s)\n",
+				key, base[key] / 1e6, ns / 1e6, ratio, verdict
+		}
+		END {
+			if (failed > 0) {
+				printf "bench check: %d benchmark(s) regressed beyond %.1fx\n", failed, tol
+				exit 1
+			}
+		}
+	' "$baseline" "$fresh"
+}
+
+check_suite() {
+	suite="$1"
+	filter="$2"
+	baseline="$3"
+	if [ ! -f "$baseline" ]; then
+		echo "bench check: no baseline $baseline — skipping $suite suite" >&2
+		return 0
+	fi
+	echo "==> bench check: $suite suite ($filter, 1x) vs $baseline (tol ${TOL}x)"
+	SUITE="$suite" FILTER="$filter" BENCHTIME=1x OUT="$TMPD/$suite.json" \
+		sh scripts/bench.sh > "$TMPD/$suite.log" 2>&1 || {
+		cat "$TMPD/$suite.log" >&2
+		echo "bench check: $suite suite failed to run" >&2
+		exit 1
+	}
+	compare "$baseline" "$TMPD/$suite.json"
+}
+
+check_suite mining '^n=200$' BENCH_mining.json
+check_suite crawl '^n=50$' BENCH_crawl.json
+
+echo "bench check: OK"

@@ -18,11 +18,6 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> mining benchmark smoke (n=200, one iteration)"
-go test -run '^$' \
-	-bench '^(BenchmarkClusterWPNs|BenchmarkSoftCosineMatrix|BenchmarkSilhouetteSweep)$/^n=200$' \
-	-benchtime 1x .
-
 echo "==> blocked-vs-exact mining parity smoke"
 go test -count=1 \
 	-run '^(TestClusterParityBlockedVsExact|TestIncrementalConvergesToBatch)$' \
@@ -31,13 +26,15 @@ go test -count=1 \
 echo "==> parallel-monitor parity smoke (serial vs parallel, small n)"
 go test -run '^TestSerialParallelParity$/^seed11$' -count=1 ./internal/crawler/
 
-echo "==> crawl benchmark smoke (n=50, one iteration)"
-go test -run '^$' \
-	-bench '^(BenchmarkCrawlMonitor|BenchmarkStudyEndToEnd)$/^n=50$' \
-	-benchtime 1x ./internal/crawler/ .
+# bench_check subsumes the old bench smokes: it runs the same cheap
+# slices (mining n=200, crawl n=50, 1x) and additionally gates them
+# against the committed BENCH_*.json baselines.
+sh scripts/bench_check.sh
 
 sh scripts/telemetry_smoke.sh
 
 sh scripts/fleet_smoke.sh
+
+sh scripts/fleetz_smoke.sh
 
 echo "verify: OK"
