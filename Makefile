@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-crawl bench-check telemetry-smoke fleet-smoke fleetz-smoke mining-smoke
+.PHONY: build test race vet verify bench bench-crawl bench-check telemetry-smoke fleet-smoke fleetz-smoke mining-smoke miningz-smoke profile-mining
 
 build:
 	$(GO) build ./...
@@ -59,3 +59,16 @@ mining-smoke:
 	$(GO) test -count=1 \
 		-run '^(TestClusterParityBlockedVsExact|TestBlockedComponentsPartition|TestBlockedFixedCutHeight|TestIncrementalConvergesToBatch|TestIncrementalOptionReplaysToBatch|TestIncrementalLinkageVariants)$$' \
 		./internal/core/
+
+# miningz-smoke runs a blocked mine with the debug server up and asserts
+# the live /miningz introspection view (JSON schema + wpnstat dashboard),
+# the deterministic mining ledger's byte-stability across reruns, and the
+# blocked-only telemetry keys.
+miningz-smoke:
+	sh scripts/miningz_smoke.sh
+
+# profile-mining captures CPU/heap pprof profiles of the n=50k blocked
+# clustering benchmark plus its sweep_ns cut-sweep attribution, under
+# PROFILE_DIR (never clobbers the committed BENCH_mining.json).
+profile-mining:
+	sh scripts/profile_mining.sh

@@ -14,6 +14,7 @@ package pushadminer_test
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -127,6 +128,23 @@ func BenchmarkClusterWPNsBlockedLarge(b *testing.B) {
 			}
 			if pairs := snap.Families["cluster_pairs"]; pairs != nil {
 				b.ReportMetric(float64(pairs["exact"]), "exact-pairs")
+			}
+			// Cut-sweep attribution: wall time per candidate-height
+			// bucket ("sweep_<bucket>-ns/op"), folded by bench.sh into a
+			// sweep_ns object so BENCH_mining.json shows where the sweep
+			// spends its time. Zero buckets (heights the corpus never
+			// sampled) are skipped.
+			if sweep := snap.Families["mining_sweep_ns"]; sweep != nil {
+				buckets := make([]string, 0, len(sweep))
+				for k := range sweep {
+					buckets = append(buckets, k)
+				}
+				sort.Strings(buckets)
+				for _, k := range buckets {
+					if ns := sweep[k]; ns > 0 {
+						b.ReportMetric(float64(ns), "sweep_"+k+"-ns/op")
+					}
+				}
 			}
 			b.StartTimer()
 		})

@@ -19,12 +19,23 @@
 //	-incremental   mine as a replayed stream: batches feed an
 //	               incremental clusterer that re-clusters only dirty
 //	               blocks (implies the blocked path)
-//	-quiet         suppress progress logging
-//	-debug-addr A  loopback addr serving /debug/pprof, /debug/vars and
-//	               a live /metrics JSON snapshot while the study runs
+//	-quiet         suppress progress logging, including the periodic
+//	               mining-progress lines; the live /miningz status is
+//	               still published and served — quiet only silences
+//	               what this process prints
+//	-debug-addr A  loopback addr serving /debug/pprof, /debug/vars,
+//	               a live /metrics JSON snapshot, and the /miningz
+//	               mining status while the study runs
 //	-metrics-out P write the final telemetry snapshot (crawler counters,
 //	               mining stage wall-times, per-host request counts) to P
 //	-trace-out P   write attack-chain + mining-stage spans as JSONL to P
+//	-mining-ledger P write the deterministic mining event ledger
+//	               (stage brackets, blocks, heights, incremental
+//	               batches) as JSONL to P; byte-stable across reruns
+//	               at a fixed seed
+//	-linger D      keep the process (and its debug server) alive for D
+//	               after the run, so /miningz and /metrics can be
+//	               scraped post-completion
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"time"
 
 	"pushadminer"
+	"pushadminer/internal/core"
 	"pushadminer/internal/telemetry"
 )
 
@@ -51,9 +63,11 @@ func main() {
 		incremental = flag.Bool("incremental", false, "mine as a replayed stream (implies -blocked)")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 		format      = flag.String("format", "text", "output format: text or json")
-		debugAddr   = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars and /metrics (e.g. 127.0.0.1:6060)")
+		debugAddr   = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars, /metrics and /miningz (e.g. 127.0.0.1:6060)")
 		metricsOut  = flag.String("metrics-out", "", "write final telemetry snapshot JSON to this path")
 		traceOut    = flag.String("trace-out", "", "write trace spans as JSONL to this path")
+		ledgerOut   = flag.String("mining-ledger", "", "write the deterministic mining event ledger as JSONL to this path")
+		linger      = flag.Duration("linger", 0, "keep the process (and debug server) alive this long after the run")
 	)
 	flag.Parse()
 
@@ -86,7 +100,33 @@ func main() {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		logf("debug server on http://%s (/debug/pprof, /debug/vars, /metrics)", srv.Addr())
+		logf("debug server on http://%s (/debug/pprof, /debug/vars, /metrics, /miningz)", srv.Addr())
+	}
+	var ledger *core.MiningLedger
+	if *ledgerOut != "" {
+		ledger = core.NewMiningLedger()
+	}
+
+	// Periodic mining-progress lines off the live /miningz status.
+	// -quiet suppresses only the logging; the status itself is still
+	// published (and served when -debug-addr is set).
+	stopProgress := make(chan struct{})
+	if !*quiet && (reg != nil || tracer != nil || ledger != nil) {
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					if ms := core.CurrentMiningStatus(); ms != nil && !ms.Done {
+						log.Printf("mining: stage=%s blocks=%d/%d heights=%d/%d",
+							ms.Stage, ms.BlocksDone, ms.BlocksTotal, ms.HeightsDone, ms.HeightsTotal)
+					}
+				}
+			}
+		}()
 	}
 
 	logf("building ecosystem (seed=%d scale=%.3f) and crawling %d simulated days...", *seed, scale, *days)
@@ -99,7 +139,9 @@ func main() {
 	}
 	cfg.Pipeline.Cluster.Blocked = *blocked
 	cfg.Pipeline.Cluster.Incremental = *incremental
+	cfg.Pipeline.Ledger = ledger
 	study, err := pushadminer.RunStudy(cfg)
+	close(stopProgress)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,6 +149,13 @@ func main() {
 	logf("study complete in %s: %d WPNs collected, %d with valid landing pages",
 		time.Since(start).Round(time.Millisecond),
 		study.Analysis.Report.TotalCollected, study.Analysis.Report.ValidLanding)
+	if *ledgerOut != "" {
+		events := ledger.Events()
+		if err := core.WriteMiningLedger(*ledgerOut, events); err != nil {
+			log.Fatal(err)
+		}
+		logf("%d mining ledger events → %s", len(events), *ledgerOut)
+	}
 	if *metricsOut != "" {
 		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
 			log.Fatal(err)
@@ -159,6 +208,10 @@ func main() {
 		}
 	}
 	_ = os.Stdout.Sync()
+	if *linger > 0 {
+		logf("lingering %s for debug scrapes...", *linger)
+		time.Sleep(*linger)
+	}
 }
 
 func printExperiments(study *pushadminer.Study, seed int64, scale float64, logf func(string, ...interface{})) error {

@@ -40,7 +40,7 @@ func TestClusterParityBlockedVsExact(t *testing.T) {
 func TestBlockedComponentsPartition(t *testing.T) {
 	fs := parityFS(t, 1, 150)
 	bands, link, distT := blockedParams(PruneOptions{})
-	comps := blockedComponents(fs, bands, link, distT)
+	comps := blockedComponents(fs, bands, link, distT, nil)
 	if len(comps) < 2 {
 		t.Fatalf("only %d block(s): candidate graph percolated", len(comps))
 	}

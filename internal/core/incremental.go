@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"pushadminer/internal/cluster"
 	"pushadminer/internal/simhash"
 )
@@ -61,6 +63,7 @@ type IncrementalClusterer struct {
 	res     *ClusterResult
 	medoids map[int]int // cluster label -> medoid record index
 	stats   IncrementalStats
+	obs     *blockedObs
 }
 
 // NewIncrementalClusterer prepares an empty clusterer over the feature
@@ -78,6 +81,7 @@ func NewIncrementalClusterer(fs *FeatureSet, opts ClusterOptions) *IncrementalCl
 		uf:    cluster.NewUnionFind(len(fs.Records)),
 		added: make([]bool, len(fs.Records)),
 		cache: make(map[int]*blockDendrogram),
+		obs:   newBlockedObs(opts.Metrics, opts.Ledger, opts.prog),
 	}
 }
 
@@ -144,6 +148,7 @@ func (c *IncrementalClusterer) Add(i int) int {
 	c.added[i] = true
 	c.nAdded++
 	c.stats.Added++
+	c.obs.incrementalAdd()
 	return prov
 }
 
@@ -173,10 +178,21 @@ func (c *IncrementalClusterer) Recluster() *ClusterResult {
 			rebuild = append(rebuild, bi)
 		}
 	}
-	fanOut(len(rebuild), 0, func(k int) {
-		bi := rebuild[k]
-		blocks[bi] = buildBlockDendrogram(c.fs, comps[bi], c.opts.Linkage)
-	})
+	c.obs.setBlocksTotal(len(rebuild))
+	if c.obs == nil {
+		fanOut(len(rebuild), 0, func(k int) {
+			bi := rebuild[k]
+			blocks[bi] = buildBlockDendrogram(c.fs, comps[bi], c.opts.Linkage)
+		})
+	} else {
+		fanOut(len(rebuild), 0, func(k int) {
+			bi := rebuild[k]
+			start := time.Now()
+			blocks[bi] = buildBlockDendrogram(c.fs, comps[bi], c.opts.Linkage)
+			c.obs.blockBuilt(len(comps[bi]), time.Since(start).Nanoseconds())
+		})
+	}
+	c.obs.blocksRebuilt(rebuild, comps)
 	c.stats.BlocksRebuilt += len(rebuild)
 	// Drop stale cache entries (blocks that merged into bigger ones) so
 	// the cache tracks the live component set.
@@ -201,12 +217,13 @@ func (c *IncrementalClusterer) Recluster() *ClusterResult {
 		// returned slice. The coarsened blocks never enter the cache —
 		// it was rebuilt above from the union-find components, which
 		// stay authoritative for reuse.
-		blocks, per, height, sil = sweepBlockedCut(c.fs, blocks, c.opts.Linkage, c.nAdded, c.opts.MaxCutCandidates, c.opts.conservativeTol())
+		blocks, per, height, sil = sweepBlockedCut(c.fs, blocks, c.opts.Linkage, c.nAdded, c.opts.MaxCutCandidates, c.opts.conservativeTol(), c.obs)
 	}
 	labels := stitchBlockedLabels(len(c.fs.Records), blocks, per)
 	c.res = finishClusterResult(c.fs, labels, height, sil)
 	c.updateMedoids(blocks, per, labels)
 	c.stats.Reclusters++
+	c.obs.reclustered(len(comps), len(comps)-len(rebuild), len(rebuild), len(c.res.Clusters))
 	return c.res
 }
 
@@ -256,7 +273,7 @@ func (c *IncrementalClusterer) updateMedoids(blocks []*blockDendrogram, per [][]
 // time) the streaming path inside the standard pipeline; the outcome is
 // identical to the Blocked batch path.
 func clusterWPNsIncremental(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
-	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent)
+	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent, opts.Ledger, opts.prog)
 	batch := opts.IncrementalBatch
 	if batch <= 0 {
 		batch = 256
@@ -268,11 +285,18 @@ func clusterWPNsIncremental(fs *FeatureSet, opts ClusterOptions) *ClusterResult 
 		if end > n {
 			end = n
 		}
+		prev := inc.Stats()
 		done := st.stage("blocks")
 		for i := start; i < end; i++ {
 			inc.Add(i)
 		}
 		done()
+		if opts.Ledger != nil {
+			cur := inc.Stats()
+			opts.Ledger.IncrementalAdd(end-start,
+				cur.AssignedToExisting-prev.AssignedToExisting,
+				cur.ProvisionalNew-prev.ProvisionalNew)
+		}
 		done = st.stage("block_linkage")
 		inc.Recluster()
 		done()
@@ -281,6 +305,18 @@ func clusterWPNsIncremental(fs *FeatureSet, opts ClusterOptions) *ClusterResult 
 		return inc.forceEmptyResult()
 	}
 	recordBlockedPairs(opts.Metrics, n, blockMembers(inc))
+	if opts.prog != nil {
+		comps := blockMembers(inc)
+		var exact int64
+		for _, c := range comps {
+			m := int64(len(c))
+			exact += m * (m - 1) / 2
+		}
+		opts.prog.addPairs(exact, int64(n)*int64(n-1)/2-exact)
+	}
+	if res := inc.Result(); opts.Ledger != nil && res != nil {
+		opts.Ledger.CutChosen(res.CutHeight, numClusters(res.Labels), res.Silhouette)
+	}
 	return inc.Result()
 }
 

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"pushadminer/internal/telemetry"
+)
+
+// ledgerFS builds a corpus big enough to cross the
+// blockedExactSweepMaxN crossover, so the pooled cut sweep (the source
+// of height_swept events and sweep timings) actually runs.
+func ledgerFS(t *testing.T) *FeatureSet {
+	t.Helper()
+	return parityFS(t, 1, 600)
+}
+
+func writeLedger(t *testing.T, dir, name string, events []MiningEvent) []byte {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := WriteMiningLedger(path, events); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMiningLedgerDeterminism reruns the blocked path at a fixed seed
+// and byte-compares the serialized ledgers: events carry no wall-clock
+// time and are flushed from serial code in canonical order, so two runs
+// must serialize identically — with or without telemetry attached.
+func TestMiningLedgerDeterminism(t *testing.T) {
+	fs := ledgerFS(t)
+	dir := t.TempDir()
+
+	run := func(withMetrics bool) []MiningEvent {
+		opts := ClusterOptions{Blocked: true, Ledger: NewMiningLedger()}
+		if withMetrics {
+			opts.Metrics = telemetry.New()
+		}
+		ClusterWPNs(fs, opts)
+		return opts.Ledger.Events()
+	}
+
+	a := writeLedger(t, dir, "a.jsonl", run(false))
+	b := writeLedger(t, dir, "b.jsonl", run(false))
+	if !bytes.Equal(a, b) {
+		t.Error("two plain runs serialized different ledgers")
+	}
+	c := writeLedger(t, dir, "c.jsonl", run(true))
+	if !bytes.Equal(a, c) {
+		t.Error("attaching telemetry changed the ledger bytes")
+	}
+
+	events, err := ReadMiningLedger(filepath.Join(dir, "a.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := LedgerEventCounts(events)
+	if counts[EvHeightSwept] == 0 {
+		t.Error("no height_swept events: corpus did not cross the pooled-sweep crossover")
+	}
+	if counts[EvBlockClustered] == 0 || counts[EvCutChosen] != 1 {
+		t.Errorf("event counts = %v, want blocks > 0 and exactly one cut_chosen", counts)
+	}
+	if counts[EvStageBegin] == 0 || counts[EvStageBegin] != counts[EvStageEnd] {
+		t.Errorf("unbalanced stage brackets: %d begin, %d end", counts[EvStageBegin], counts[EvStageEnd])
+	}
+}
+
+func atoi(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad int attr %q: %v", s, err)
+	}
+	return v
+}
+
+// TestMiningLedgerReconciliation cross-checks the ledger against the
+// telemetry snapshot of the same run: the two observation surfaces must
+// agree on pair volumes, and the cut event must match the returned
+// result.
+func TestMiningLedgerReconciliation(t *testing.T) {
+	fs := ledgerFS(t)
+	reg := telemetry.New()
+	led := NewMiningLedger()
+	res := ClusterWPNs(fs, ClusterOptions{Blocked: true, Metrics: reg, Ledger: led})
+
+	snap := reg.Snapshot()
+	pairs := snap.Families["mining_pairs"]
+
+	var linkagePairs, sweepPairs int64
+	var cut *MiningEvent
+	for _, ev := range led.Events() {
+		ev := ev
+		switch ev.Kind {
+		case EvBlockClustered:
+			m := atoi(t, ev.Attrs["size"])
+			linkagePairs += m * (m - 1) / 2
+		case EvHeightSwept:
+			if ev.Attrs["valid"] == "true" {
+				sweepPairs += atoi(t, ev.Attrs["scored_pairs"])
+			}
+		case EvCutChosen:
+			cut = &ev
+		}
+	}
+	if linkagePairs == 0 {
+		t.Fatal("no block_clustered events")
+	}
+	if got := pairs["block_linkage_exact"]; got != linkagePairs {
+		t.Errorf("mining_pairs[block_linkage_exact] = %d, ledger says %d", got, linkagePairs)
+	}
+	if got := pairs["sweep_scored"]; got != sweepPairs {
+		t.Errorf("mining_pairs[sweep_scored] = %d, ledger says %d", got, sweepPairs)
+	}
+	if pairs["blocks_gate_checked"] == 0 || pairs["blocks_edges"] == 0 {
+		t.Errorf("union-phase accounting empty: %v", pairs)
+	}
+	if cut == nil {
+		t.Fatal("no cut_chosen event")
+	}
+	if h, _ := strconv.ParseFloat(cut.Attrs["height"], 64); h != res.CutHeight {
+		t.Errorf("cut event height = %v, result says %v", h, res.CutHeight)
+	}
+	if k := atoi(t, cut.Attrs["k"]); int(k) != numClusters(res.Labels) {
+		t.Errorf("cut event k = %d, result has %d clusters", k, numClusters(res.Labels))
+	}
+
+	// Sub-stage sweep attribution landed: some height bucket saw time,
+	// and the full preresolved key set is present even for empty buckets.
+	sweep := snap.Families["mining_sweep_ns"]
+	if len(sweep) != len(sweepBucketNames) {
+		t.Errorf("mining_sweep_ns has %d buckets, want %d preresolved", len(sweep), len(sweepBucketNames))
+	}
+	var sweepNS int64
+	for _, v := range sweep {
+		sweepNS += v
+	}
+	if sweepNS <= 0 {
+		t.Error("no sweep time attributed to any height bucket")
+	}
+	// Memory accounting landed at stage boundaries.
+	if snap.Families["mining_stage_alloc_bytes"] == nil {
+		t.Error("mining_stage_alloc_bytes family missing")
+	}
+	if _, ok := snap.Gauges["mining_heap_alloc_bytes"]; !ok {
+		t.Error("mining_heap_alloc_bytes gauge missing")
+	}
+}
+
+// TestMiningLedgerRoundTrip pins Write/Read symmetry and the seq-gap
+// validation.
+func TestMiningLedgerRoundTrip(t *testing.T) {
+	led := NewMiningLedger()
+	led.StageBegin("blocks")
+	led.BlockClustered(0, 3)
+	led.BlockClustered(1, 1)
+	led.StageEnd("blocks")
+	led.HeightSwept(0.25, 4, true, 0.5, 12)
+	led.CutChosen(0.25, 4, 0.5)
+	events := led.Events()
+
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := WriteMiningLedger(path, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMiningLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-trip read %d events, wrote %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].Seq != events[i].Seq || got[i].Kind != events[i].Kind {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+		for k, v := range events[i].Attrs {
+			if got[i].Attrs[k] != v {
+				t.Errorf("event %d attr %s: got %q, want %q", i, k, got[i].Attrs[k], v)
+			}
+		}
+	}
+
+	// A seq gap (dropped line) must be rejected.
+	gap := append([]MiningEvent{}, events[:2]...)
+	gap = append(gap, events[3:]...)
+	if err := WriteMiningLedger(path, gap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMiningLedger(path); err == nil {
+		t.Error("seq gap not detected on read")
+	}
+}
+
+// TestMiningLedgerWithoutTelemetry pins the sinks-are-independent
+// contract: a run with only a ledger attached (no Metrics, no Tracer)
+// still records the full event stream.
+func TestMiningLedgerWithoutTelemetry(t *testing.T) {
+	fs := parityFS(t, 2, 150)
+	led := NewMiningLedger()
+	ClusterWPNs(fs, ClusterOptions{Blocked: true, Ledger: led})
+	counts := LedgerEventCounts(led.Events())
+	if counts[EvStageBegin] == 0 || counts[EvBlockClustered] == 0 || counts[EvCutChosen] != 1 {
+		t.Errorf("ledger-only run events = %v", counts)
+	}
+}
+
+// TestMiningLedgerIncremental checks the streaming path's events
+// reconcile with its own stats: batch counts sum to the corpus size and
+// every recluster round is recorded.
+func TestMiningLedgerIncremental(t *testing.T) {
+	fs := parityFS(t, 1, 150)
+	led := NewMiningLedger()
+	ClusterWPNs(fs, ClusterOptions{Incremental: true, IncrementalBatch: 40, Ledger: led})
+
+	var added, batches, reclusters int64
+	for _, ev := range led.Events() {
+		switch ev.Kind {
+		case EvIncrementalAdd:
+			batches++
+			added += atoi(t, ev.Attrs["count"])
+		case EvRecluster:
+			reclusters++
+		}
+	}
+	if added != int64(len(fs.Records)) {
+		t.Errorf("incremental_add events cover %d records, corpus has %d", added, len(fs.Records))
+	}
+	if wantBatches := int64((len(fs.Records) + 39) / 40); batches != wantBatches {
+		t.Errorf("%d incremental_add events, want %d", batches, wantBatches)
+	}
+	if reclusters == 0 {
+		t.Error("no recluster events")
+	}
+}

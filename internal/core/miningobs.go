@@ -1,0 +1,217 @@
+package core
+
+import (
+	"pushadminer/internal/telemetry"
+)
+
+// sweepBucketNames are the mining_sweep_ns family's height-bucket
+// labels: candidate cut heights land in 0.1-wide distance buckets
+// (soft-cosine distance lives in [0, 1]; anything at or above 1 —
+// possible under non-average linkages — pools in "1.0+"). All labels
+// are preresolved at obs creation so a snapshot always carries the full
+// key set regardless of which heights a given corpus sampled.
+var sweepBucketNames = []string{
+	"0.0-0.1", "0.1-0.2", "0.2-0.3", "0.3-0.4", "0.4-0.5",
+	"0.5-0.6", "0.6-0.7", "0.7-0.8", "0.8-0.9", "0.9-1.0",
+	"1.0+",
+}
+
+// sweepHeightBucket maps a candidate cut height to its label.
+func sweepHeightBucket(h float64) string {
+	if h >= 1 {
+		return "1.0+"
+	}
+	if h < 0 {
+		h = 0
+	}
+	return sweepBucketNames[int(h*10)]
+}
+
+// mining_pairs phase labels: where each candidate pair of the blocked
+// path was decided. blocks_* cover the union phase (gate = Hamming,
+// dist = exact-distance confirmation), block_linkage_exact counts the
+// within-block exact distance evaluations of the dendrogram builds, and
+// sweep_scored counts the within-block distance lookups the pooled
+// sweep's silhouette scoring re-reads per evaluated height.
+var miningPairPhases = []string{
+	"blocks_gate_checked", "blocks_gate_rejected",
+	"blocks_dist_checked", "blocks_edges",
+	"block_linkage_exact", "sweep_scored",
+}
+
+// blockedObs bundles the blocked/incremental path's observation sinks:
+// the sub-stage attribution instruments (mining_sweep_ns by height
+// bucket, mining_block_size/mining_block_ns histograms, mining_pairs by
+// phase), the deterministic ledger, and the live progress status. A nil
+// *blockedObs disables everything with no allocation; histograms and
+// family counters are atomic, so the parallel block/sweep fan-outs
+// observe directly, while ledger events are always flushed from serial
+// code in canonical order.
+type blockedObs struct {
+	led  *MiningLedger
+	prog *miningProgress
+
+	sweepFam  *telemetry.Family
+	blockSize *telemetry.Histogram
+	blockNS   *telemetry.Histogram
+	pairsFam  *telemetry.Family
+}
+
+// newBlockedObs builds the bundle, or returns nil when every sink is
+// off (the zero-alloc disabled path).
+func newBlockedObs(reg *telemetry.Registry, led *MiningLedger, prog *miningProgress) *blockedObs {
+	if reg == nil && led == nil && prog == nil {
+		return nil
+	}
+	o := &blockedObs{led: led, prog: prog}
+	if reg != nil {
+		o.sweepFam = reg.Family("mining_sweep_ns", "height_bucket")
+		for _, b := range sweepBucketNames {
+			o.sweepFam.With(b)
+		}
+		o.blockSize = reg.Histogram("mining_block_size", telemetry.SizeBuckets)
+		o.blockNS = reg.Histogram("mining_block_ns", telemetry.NanosBuckets)
+		o.pairsFam = reg.Family("mining_pairs", "phase")
+		for _, p := range miningPairPhases {
+			o.pairsFam.With(p)
+		}
+	}
+	return o
+}
+
+// blockedTally accumulates the union phase's pair decisions with plain
+// int64s — it is only ever written from the serial bucket-pair loop, so
+// no atomics — and is folded into mining_pairs afterwards. A nil tally
+// keeps the hot loop on its uninstrumented branch.
+type blockedTally struct {
+	gateChecked  int64 // pairs reaching the edge test (not already unioned)
+	gateRejected int64 // rejected by the Hamming gate
+	distChecked  int64 // exact distances evaluated for confirmation
+	edges        int64 // confirmed union edges
+}
+
+// tally returns the union-phase accumulator, or nil when observation is
+// off.
+func (o *blockedObs) tally() *blockedTally {
+	if o == nil {
+		return nil
+	}
+	return &blockedTally{}
+}
+
+// recordTally folds the union-phase tally into mining_pairs.
+func (o *blockedObs) recordTally(t *blockedTally) {
+	if o == nil || t == nil || o.pairsFam == nil {
+		return
+	}
+	o.pairsFam.Add("blocks_gate_checked", t.gateChecked)
+	o.pairsFam.Add("blocks_gate_rejected", t.gateRejected)
+	o.pairsFam.Add("blocks_dist_checked", t.distChecked)
+	o.pairsFam.Add("blocks_edges", t.edges)
+}
+
+// setBlocksTotal resets the live per-block progress for a build round.
+func (o *blockedObs) setBlocksTotal(n int) {
+	if o == nil {
+		return
+	}
+	o.prog.setBlocks(n)
+}
+
+// blockBuilt observes one block dendrogram build (called from inside
+// the parallel fan-out — histogram/progress only; the ledger event is
+// flushed serially by the caller).
+func (o *blockedObs) blockBuilt(size int, ns int64) {
+	if o == nil {
+		return
+	}
+	o.blockSize.Observe(float64(size))
+	o.blockNS.Observe(float64(ns))
+	o.prog.blockDone()
+}
+
+// blocksLinked records the exact pair volume of a round of dendrogram
+// builds and flushes the per-block ledger events in canonical
+// (ascending block index) order.
+func (o *blockedObs) blocksLinked(comps [][]int) {
+	if o == nil {
+		return
+	}
+	var exact int64
+	for _, c := range comps {
+		m := int64(len(c))
+		exact += m * (m - 1) / 2
+	}
+	o.pairsFam.Add("block_linkage_exact", exact)
+	for i, c := range comps {
+		o.led.BlockClustered(i, len(c))
+	}
+}
+
+// setHeightsTotal resets the live sweep progress for one pooled sweep.
+func (o *blockedObs) setHeightsTotal(n int) {
+	if o == nil {
+		return
+	}
+	o.prog.setHeights(n)
+}
+
+// sweepEvaluated observes one candidate height's scoring (called from
+// inside the sweep fan-out).
+func (o *blockedObs) sweepEvaluated(height float64, ns int64) {
+	if o == nil {
+		return
+	}
+	o.sweepFam.Add(sweepHeightBucket(height), ns)
+	o.prog.heightDone()
+}
+
+// blocksRebuilt records an incremental Recluster round's dendrogram
+// rebuilds: exact pair volume into mining_pairs plus one ledger event
+// per rebuilt block, in ascending block order (rebuild is built in
+// canonical component order, so the flush is deterministic).
+func (o *blockedObs) blocksRebuilt(rebuild []int, comps [][]int) {
+	if o == nil {
+		return
+	}
+	var exact int64
+	for _, bi := range rebuild {
+		m := int64(len(comps[bi]))
+		exact += m * (m - 1) / 2
+	}
+	o.pairsFam.Add("block_linkage_exact", exact)
+	for _, bi := range rebuild {
+		o.led.BlockClustered(bi, len(comps[bi]))
+	}
+}
+
+// incrementalAdd observes one streamed record ingested.
+func (o *blockedObs) incrementalAdd() {
+	if o == nil {
+		return
+	}
+	o.prog.incrementalAdd()
+}
+
+// reclustered records one Recluster call draining the add queue.
+func (o *blockedObs) reclustered(blocks, reused, rebuilt, clusters int) {
+	if o == nil {
+		return
+	}
+	o.led.Recluster(blocks, reused, rebuilt, clusters)
+	o.prog.reclustered()
+}
+
+// heightSwept records one candidate height's outcome: scored pair
+// volume into mining_pairs (valid evaluations only) and the
+// deterministic ledger event. Called serially, in ascending height
+// order, after the sweep fan-out completes.
+func (o *blockedObs) heightSwept(height float64, k int, valid bool, sil float64, scoredPairs int64) {
+	if o == nil {
+		return
+	}
+	if valid {
+		o.pairsFam.Add("sweep_scored", scoredPairs)
+	}
+	o.led.HeightSwept(height, k, valid, sil, scoredPairs)
+}

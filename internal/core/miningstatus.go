@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"pushadminer/internal/telemetry"
+)
+
+// MiningStatus is the live introspection snapshot served at /miningz:
+// the mining pipeline's mirror of the fleet's FleetStatus. It is
+// rebuilt (as a fresh immutable value) at every stage boundary and at
+// throttled intervals inside the block-clustering and cut-sweep
+// fan-outs, published through an atomic.Value, and rendered as JSON or
+// (via String) a terminal dashboard by cmd/wpnstat.
+type MiningStatus struct {
+	// Stage is the pipeline stage currently running ("featurize",
+	// "blocks", "cut", ...; "done" after the run finishes).
+	Stage string `json:"stage"`
+	// Mode names the clustering path: naive, cached, pruned, blocked,
+	// or incremental.
+	Mode string `json:"mode"`
+	// Records is the corpus size entering clustering.
+	Records int `json:"records"`
+
+	// BlocksTotal/BlocksDone track per-block exact clustering on the
+	// blocked path (0/0 on the matrix paths).
+	BlocksTotal int `json:"blocks_total"`
+	BlocksDone  int `json:"blocks_done"`
+	// HeightsTotal/HeightsDone track the pooled cut sweep's candidate
+	// heights (0/0 below the validation-scale crossover, where the
+	// exact sweep machinery selects the cut).
+	HeightsTotal int `json:"heights_total"`
+	HeightsDone  int `json:"heights_done"`
+
+	// PairsExact/PairsPruned mirror the cluster_pairs accounting:
+	// soft-cosine evaluations performed vs. skipped.
+	PairsExact  int64 `json:"pairs_exact"`
+	PairsPruned int64 `json:"pairs_pruned"`
+
+	// IncrementalAdds / Reclusters / QueueDepth describe the streaming
+	// path: records ingested, Recluster calls, and records added since
+	// the last Recluster (the dirty backlog the next call drains).
+	IncrementalAdds int `json:"incremental_adds"`
+	Reclusters      int `json:"reclusters"`
+	QueueDepth      int `json:"recluster_queue_depth"`
+
+	// Done marks the final publication of a run.
+	Done bool `json:"done"`
+}
+
+// String renders the status as the one-screen dashboard wpnstat shows
+// with -endpoint miningz.
+func (s MiningStatus) String() string {
+	var b strings.Builder
+	state := "running"
+	if s.Done {
+		state = "done"
+	}
+	fmt.Fprintf(&b, "mining %-11s %-8s stage %-15s n=%d\n", s.Mode, state, s.Stage, s.Records)
+	fmt.Fprintf(&b, "blocks %d/%-8d heights %d/%-8d pairs exact=%d pruned=%d\n",
+		s.BlocksDone, s.BlocksTotal, s.HeightsDone, s.HeightsTotal, s.PairsExact, s.PairsPruned)
+	if s.Mode == "incremental" || s.IncrementalAdds > 0 {
+		fmt.Fprintf(&b, "incremental adds=%d reclusters=%d queue=%d\n",
+			s.IncrementalAdds, s.Reclusters, s.QueueDepth)
+	}
+	return b.String()
+}
+
+// lastMiningStatus holds the most recently published status from any
+// run in the process, for CurrentMiningStatus (the poll surface
+// pushadminer's progress logger uses; /miningz reads the per-run
+// provider instead).
+var lastMiningStatus atomic.Value // *MiningStatus
+
+// CurrentMiningStatus returns the most recently published mining
+// status, or nil when no observed mining run has started.
+func CurrentMiningStatus() *MiningStatus {
+	v := lastMiningStatus.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(*MiningStatus)
+}
+
+// miningProgress is one run's live-progress accumulator: lock-free
+// counters the (possibly parallel) mining hot paths bump, plus the
+// atomic.Value the immutable MiningStatus snapshots publish through.
+// A nil *miningProgress no-ops everywhere, so instrumented paths need
+// no guards; it is created only when observation is on.
+type miningProgress struct {
+	mode    string
+	records int
+
+	stage                     atomic.Value // string
+	blocksTotal, blocksDone   atomic.Int64
+	heightsTotal, heightsDone atomic.Int64
+	pairsExact, pairsPruned   atomic.Int64
+	adds, reclusters, queue   atomic.Int64
+	statusVal                 atomic.Value // *MiningStatus
+}
+
+// newMiningProgress builds a progress accumulator for one run and
+// registers it as the /miningz provider (latest run wins, like
+// SetFleetz re-registration).
+func newMiningProgress(mode string, records int) *miningProgress {
+	p := &miningProgress{mode: mode, records: records}
+	p.stage.Store("start")
+	telemetry.SetMiningz(p.provider)
+	p.publish(false)
+	return p
+}
+
+// provider is the registered /miningz callback: it returns the last
+// published immutable snapshot (never the live accumulator).
+func (p *miningProgress) provider() any {
+	v := p.statusVal.Load()
+	if v == nil {
+		return nil
+	}
+	return v
+}
+
+// publish rebuilds and publishes an immutable status snapshot. Fresh
+// value every time: the published pointer is read concurrently by the
+// debug server and must never be mutated afterwards.
+func (p *miningProgress) publish(done bool) {
+	if p == nil {
+		return
+	}
+	st := &MiningStatus{
+		Stage:           p.stage.Load().(string),
+		Mode:            p.mode,
+		Records:         p.records,
+		BlocksTotal:     int(p.blocksTotal.Load()),
+		BlocksDone:      int(p.blocksDone.Load()),
+		HeightsTotal:    int(p.heightsTotal.Load()),
+		HeightsDone:     int(p.heightsDone.Load()),
+		PairsExact:      p.pairsExact.Load(),
+		PairsPruned:     p.pairsPruned.Load(),
+		IncrementalAdds: int(p.adds.Load()),
+		Reclusters:      int(p.reclusters.Load()),
+		QueueDepth:      int(p.queue.Load()),
+		Done:            done,
+	}
+	if done {
+		st.Stage = "done"
+	}
+	p.statusVal.Store(st)
+	lastMiningStatus.Store(st)
+}
+
+// setStage records a stage transition and republishes.
+func (p *miningProgress) setStage(name string) {
+	if p == nil {
+		return
+	}
+	p.stage.Store(name)
+	p.publish(false)
+}
+
+// setBlocks resets the per-block progress for a (re)clustering round.
+func (p *miningProgress) setBlocks(total int) {
+	if p == nil {
+		return
+	}
+	p.blocksTotal.Store(int64(total))
+	p.blocksDone.Store(0)
+	p.publish(false)
+}
+
+// blockDone marks one block clustered. Publication is throttled (every
+// 64 blocks, plus the final one) so a 50k-record run with thousands of
+// blocks does not allocate a snapshot per block.
+func (p *miningProgress) blockDone() {
+	if p == nil {
+		return
+	}
+	done := p.blocksDone.Add(1)
+	if done%64 == 0 || done == p.blocksTotal.Load() {
+		p.publish(false)
+	}
+}
+
+// setHeights resets the cut-sweep progress for one sweep.
+func (p *miningProgress) setHeights(total int) {
+	if p == nil {
+		return
+	}
+	p.heightsTotal.Store(int64(total))
+	p.heightsDone.Store(0)
+	p.publish(false)
+}
+
+// heightDone marks one candidate height scored (the sweep is bounded
+// by MaxCutCandidates, so per-height publication is cheap).
+func (p *miningProgress) heightDone() {
+	if p == nil {
+		return
+	}
+	p.heightsDone.Add(1)
+	p.publish(false)
+}
+
+// addPairs accumulates exact/pruned pair counts.
+func (p *miningProgress) addPairs(exact, pruned int64) {
+	if p == nil {
+		return
+	}
+	p.pairsExact.Add(exact)
+	p.pairsPruned.Add(pruned)
+}
+
+// incrementalAdd records one streamed record ingested since the last
+// Recluster.
+func (p *miningProgress) incrementalAdd() {
+	if p == nil {
+		return
+	}
+	p.adds.Add(1)
+	p.queue.Add(1)
+}
+
+// reclustered records one Recluster call draining the add queue.
+func (p *miningProgress) reclustered() {
+	if p == nil {
+		return
+	}
+	p.reclusters.Add(1)
+	p.queue.Store(0)
+	p.publish(false)
+}
+
+// finish publishes the terminal snapshot.
+func (p *miningProgress) finish() { p.publish(true) }
+
+// clusterMode names the path ClusterWPNs will take for opts, for the
+// status Mode field and progress logging.
+func clusterMode(opts ClusterOptions) string {
+	switch {
+	case opts.Naive:
+		return "naive"
+	case opts.Incremental:
+		return "incremental"
+	case opts.Blocked:
+		return "blocked"
+	case opts.Prune.Enabled:
+		return "pruned"
+	default:
+		return "cached"
+	}
+}

@@ -30,6 +30,10 @@ type PipelineOptions struct {
 	// Tracer, when non-nil, emits one span per pipeline stage under a
 	// "pipeline" root span. Nil disables.
 	Tracer *telemetry.Tracer
+	// Ledger, when non-nil, records the deterministic mining event
+	// stream (see ClusterOptions.Ledger); stage brackets cover the full
+	// pipeline, clustering events the dispatched path.
+	Ledger *MiningLedger
 }
 
 // Analysis is the full output of the mining pipeline.
@@ -92,7 +96,17 @@ func (r Report) MaliciousAdFraction() float64 {
 // blocklists + propagation, meta-cluster, flag suspicious, and run the
 // manual-verification pass.
 func RunPipeline(records []*crawler.WPNRecord, opts PipelineOptions) (*Analysis, error) {
-	st := newPipelineTimer(opts.Metrics, opts.Tracer)
+	if opts.Cluster.Ledger == nil {
+		opts.Cluster.Ledger = opts.Ledger
+	}
+	// One live-progress accumulator spans the whole pipeline so /miningz
+	// shows the filter/featurize/label stages too, not just clustering.
+	// Created only when some observation sink is attached.
+	if opts.Metrics != nil || opts.Tracer != nil || opts.Cluster.Ledger != nil {
+		opts.Cluster.prog = newMiningProgress(clusterMode(opts.Cluster), len(records))
+		defer opts.Cluster.prog.finish()
+	}
+	st := newPipelineTimer(opts.Metrics, opts.Tracer, opts.Cluster.Ledger, opts.Cluster.prog)
 	defer st.close()
 
 	done := st.stage("filter")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"pushadminer/internal/cluster"
 	"pushadminer/internal/simhash"
@@ -75,16 +76,35 @@ func blockedEdge(fs *FeatureSet, i, j, link int, distT float64) bool {
 // group, skipping pairs already connected (the Same short-circuit is
 // what keeps dense campaign buckets cheap: after the first spanning
 // edges, remaining pairs cost one find each, not a distance call).
-func unionBucketPairs(uf *cluster.UnionFind, fs *FeatureSet, ids []int, link int, distT float64) {
+// With a non-nil tally the edge test is inlined so each decision can be
+// attributed (gate-rejected / distance-checked / edge) — same logic,
+// same unions, so observation never changes the blocks.
+func unionBucketPairs(uf *cluster.UnionFind, fs *FeatureSet, ids []int, link int, distT float64, tally *blockedTally) {
 	for a := 0; a < len(ids); a++ {
 		for b := a + 1; b < len(ids); b++ {
 			i, j := ids[a], ids[b]
 			if uf.Same(i, j) {
 				continue
 			}
-			if blockedEdge(fs, i, j, link, distT) {
-				uf.Union(i, j)
+			if tally == nil {
+				if blockedEdge(fs, i, j, link, distT) {
+					uf.Union(i, j)
+				}
+				continue
 			}
+			tally.gateChecked++
+			if link >= 0 && !simhash.Near(fs.Hashes[i], fs.Hashes[j], link) {
+				tally.gateRejected++
+				continue
+			}
+			if distT >= 0 {
+				tally.distChecked++
+				if fs.Distance(i, j) > distT {
+					continue
+				}
+			}
+			tally.edges++
+			uf.Union(i, j)
 		}
 	}
 }
@@ -93,25 +113,37 @@ func unionBucketPairs(uf *cluster.UnionFind, fs *FeatureSet, ids []int, link int
 // of the confirmed candidate graph. Output is canonical — blocks
 // ordered by smallest member, members ascending — regardless of bucket
 // iteration order.
-func blockedComponents(fs *FeatureSet, bands, link int, distT float64) [][]int {
+func blockedComponents(fs *FeatureSet, bands, link int, distT float64, tally *blockedTally) [][]int {
 	ix := simhash.NewBandIndex(bands)
 	for i, h := range fs.Hashes {
 		ix.Add(i, h)
 	}
 	uf := cluster.NewUnionFind(len(fs.Hashes))
 	ix.ForEachGroup(func(ids []int) {
-		unionBucketPairs(uf, fs, ids, link, distT)
+		unionBucketPairs(uf, fs, ids, link, distT, tally)
 	})
 	return uf.Components()
 }
 
 // buildBlockDendrograms clusters every block in parallel across
-// core.fanOut workers.
-func buildBlockDendrograms(fs *FeatureSet, comps [][]int, linkage cluster.Linkage) []*blockDendrogram {
+// core.fanOut workers. Per-block size/cost observations happen inside
+// the fan-out (atomic histograms); the deterministic ledger events are
+// flushed afterwards in ascending block order by obs.blocksLinked.
+func buildBlockDendrograms(fs *FeatureSet, comps [][]int, linkage cluster.Linkage, obs *blockedObs) []*blockDendrogram {
 	blocks := make([]*blockDendrogram, len(comps))
-	fanOut(len(comps), 0, func(i int) {
-		blocks[i] = buildBlockDendrogram(fs, comps[i], linkage)
-	})
+	obs.setBlocksTotal(len(comps))
+	if obs == nil {
+		fanOut(len(comps), 0, func(i int) {
+			blocks[i] = buildBlockDendrogram(fs, comps[i], linkage)
+		})
+	} else {
+		fanOut(len(comps), 0, func(i int) {
+			start := time.Now()
+			blocks[i] = buildBlockDendrogram(fs, comps[i], linkage)
+			obs.blockBuilt(len(comps[i]), time.Since(start).Nanoseconds())
+		})
+	}
+	obs.blocksLinked(comps)
 	return blocks
 }
 
@@ -440,8 +472,10 @@ func sweepBlockedCutExact(fs *FeatureSet, blocks []*blockDendrogram, linkage clu
 // k >= nLive) are skipped, the maximum blocked silhouette is found, and
 // with tol > 0 the lowest height within tol of it wins. Returns the
 // blocks to stitch with and their chosen per-block labelings.
-func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.Linkage, nLive, maxCandidates int, tol float64) (out []*blockDendrogram, per [][]int, height, sil float64) {
+func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.Linkage, nLive, maxCandidates int, tol float64, obs *blockedObs) (out []*blockDendrogram, per [][]int, height, sil float64) {
 	if nLive <= blockedExactSweepMaxN {
+		// The validation-scale exact sweep has no per-height pooled
+		// scoring, so it emits no sweep attribution or height events.
 		return sweepBlockedCutExact(fs, blocks, linkage, maxCandidates, tol)
 	}
 	var heights []float64
@@ -464,23 +498,56 @@ func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.
 	}
 	cands := cluster.SampleCutHeights(dedup, maxCandidates)
 	farD := blockedFar(fs, blocks)
+	obs.setHeightsTotal(len(cands))
+	// Pairs one silhouette evaluation re-reads: every within-block pair,
+	// identical for each valid height.
+	var evalPairs int64
+	if obs != nil {
+		for _, bd := range blocks {
+			m := int64(len(bd.members))
+			evalPairs += m * (m - 1) / 2
+		}
+	}
 
 	// Candidate heights are scored in parallel (each evaluation is
 	// independent: cut every block, sum block silhouettes) and reduced
 	// serially in ascending height order, so the selection is identical
-	// to the serial loop.
+	// to the serial loop. Per-height timings go straight to the atomic
+	// sweep family; ledger events are buffered in evals and flushed
+	// serially below in ascending height order.
 	type eval struct {
 		sil   float64
 		valid bool
+		k     int
 	}
 	evals := make([]eval, len(cands))
-	fanOut(len(cands), 0, func(ci int) {
-		p, k := cutBlocksAt(blocks, cands[ci])
-		if k < 2 || k >= nLive {
-			return
+	if obs == nil {
+		fanOut(len(cands), 0, func(ci int) {
+			p, k := cutBlocksAt(blocks, cands[ci])
+			if k < 2 || k >= nLive {
+				return
+			}
+			evals[ci] = eval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true, k: k}
+		})
+	} else {
+		fanOut(len(cands), 0, func(ci int) {
+			start := time.Now()
+			p, k := cutBlocksAt(blocks, cands[ci])
+			if k >= 2 && k < nLive {
+				evals[ci] = eval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true, k: k}
+			} else {
+				evals[ci] = eval{k: k}
+			}
+			obs.sweepEvaluated(cands[ci], time.Since(start).Nanoseconds())
+		})
+		for ci, e := range evals {
+			scored := int64(0)
+			if e.valid {
+				scored = evalPairs
+			}
+			obs.heightSwept(cands[ci], e.k, e.valid, e.sil, scored)
 		}
-		evals[ci] = eval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true}
-	})
+	}
 	bestH, bestS := -1.0, -2.0
 	for ci, e := range evals {
 		if e.valid && e.sil > bestS {
@@ -534,17 +601,28 @@ func recordBlockedPairs(reg *telemetry.Registry, nLive int, comps [][]int) {
 // clusterWPNsBlocked is the batch entry point of the blocked path; see
 // ClusterOptions.Blocked.
 func clusterWPNsBlocked(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
-	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent)
+	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent, opts.Ledger, opts.prog)
+	obs := newBlockedObs(opts.Metrics, opts.Ledger, opts.prog)
 	n := len(fs.Records)
 	bands, link, distT := blockedParams(opts.Prune)
 
 	done := st.stage("blocks")
-	comps := blockedComponents(fs, bands, link, distT)
+	tally := obs.tally()
+	comps := blockedComponents(fs, bands, link, distT, tally)
 	done()
+	obs.recordTally(tally)
 	recordBlockedPairs(opts.Metrics, n, comps)
+	if opts.prog != nil {
+		var exact int64
+		for _, c := range comps {
+			m := int64(len(c))
+			exact += m * (m - 1) / 2
+		}
+		opts.prog.addPairs(exact, int64(n)*int64(n-1)/2-exact)
+	}
 
 	done = st.stage("block_linkage")
-	blocks := buildBlockDendrograms(fs, comps, opts.Linkage)
+	blocks := buildBlockDendrograms(fs, comps, opts.Linkage, obs)
 	done()
 
 	done = st.stage("cut")
@@ -558,10 +636,13 @@ func clusterWPNsBlocked(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 			sil = blockedSilhouette(blocks, per, blockedFar(fs, blocks), n)
 		}
 	} else {
-		blocks, per, height, sil = sweepBlockedCut(fs, blocks, opts.Linkage, n, opts.MaxCutCandidates, opts.conservativeTol())
+		blocks, per, height, sil = sweepBlockedCut(fs, blocks, opts.Linkage, n, opts.MaxCutCandidates, opts.conservativeTol(), obs)
 	}
 	labels := stitchBlockedLabels(n, blocks, per)
 	done()
 
+	if opts.Ledger != nil {
+		opts.Ledger.CutChosen(height, numClusters(labels), sil)
+	}
 	return finishClusterResult(fs, labels, height, sil)
 }

@@ -150,9 +150,19 @@ type ClusterOptions struct {
 	// disables. RunPipeline threads its own registry/tracer (and the
 	// pipeline root span) through these when they are unset.
 	Tracer *telemetry.Tracer
+	// Ledger, when non-nil, records a deterministic event stream of the
+	// run (stage brackets, blocks clustered, heights swept, incremental
+	// batches) — byte-stable across reruns at a fixed seed, unlike the
+	// timing-carrying telemetry snapshot. Works with or without
+	// Metrics/Tracer. See DESIGN.md "Mining observability plane".
+	Ledger *MiningLedger
 	// parent is the span the stage spans hang off (set by RunPipeline;
 	// 0 makes them roots).
 	parent telemetry.SpanID
+	// prog is the live /miningz progress accumulator (set by
+	// RunPipeline, or created by ClusterWPNs when any observation sink
+	// is attached; nil when observation is fully off).
+	prog *miningProgress
 }
 
 func (o ClusterOptions) conservativeTol() float64 {
@@ -178,6 +188,14 @@ type ClusterResult struct {
 // dendrogram cut, then derives per-cluster source/landing domain sets
 // and the ad-campaign label.
 func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
+	// Stand up the live /miningz status for a standalone clustering run
+	// when any observation sink is attached (RunPipeline creates and
+	// threads its own, covering the full pipeline). The fully disabled
+	// path allocates nothing.
+	if opts.prog == nil && (opts.Metrics != nil || opts.Tracer != nil || opts.Ledger != nil) {
+		opts.prog = newMiningProgress(clusterMode(opts), len(fs.Records))
+		defer opts.prog.finish()
+	}
 	if !opts.Naive {
 		if opts.Incremental {
 			return clusterWPNsIncremental(fs, opts)
@@ -186,7 +204,7 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 			return clusterWPNsBlocked(fs, opts)
 		}
 	}
-	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent)
+	st := newStageTimer(opts.Metrics, opts.Tracer, opts.parent, opts.Ledger, opts.prog)
 	n := len(fs.Records)
 
 	// Pair accounting: exact = pairs whose soft-cosine distance was
@@ -198,6 +216,10 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 		pairs := opts.Metrics.Family("cluster_pairs", "kind")
 		exactPairs, prunedPairs = pairs.With("exact"), pairs.With("pruned")
 	}
+
+	// Deltas (not absolute Value()s) go to the live status: the registry
+	// may span several runs, the progress accumulator is per-run.
+	exactBefore, prunedBefore := exactPairs.Value(), prunedPairs.Value()
 
 	var dm *cluster.DistMatrix
 	done := st.stage("distance_matrix")
@@ -249,6 +271,7 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 		exactPairs.Add(int64(n) * int64(n-1) / 2)
 	}
 	done()
+	opts.prog.addPairs(exactPairs.Value()-exactBefore, prunedPairs.Value()-prunedBefore)
 
 	done = st.stage("linkage")
 	dend := cluster.AgglomerativeLinkage(dm, opts.Linkage)
@@ -279,6 +302,9 @@ func ClusterWPNs(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 		labels, height, sil = best.Labels, best.Height, best.Silhouette
 	}
 
+	if opts.Ledger != nil {
+		opts.Ledger.CutChosen(height, numClusters(labels), sil)
+	}
 	return finishClusterResult(fs, labels, height, sil)
 }
 

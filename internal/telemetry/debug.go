@@ -11,14 +11,22 @@ import (
 	"time"
 )
 
-// fleetz is the registered fleet-introspection provider. The fleet
-// coordinator registers one (SetFleetz) when a sharded crawl starts;
-// telemetry stays a leaf package and only knows it gets *something*
-// JSON-marshalable back — or a fmt.Stringer for the text rendering.
+// Registered live-introspection providers, keyed by the JSON envelope
+// field their endpoint wraps the payload in ("fleet" for /fleetz,
+// "mining" for /miningz). The owning subsystem registers one when its
+// run starts; telemetry stays a leaf package and only knows it gets
+// *something* JSON-marshalable back — or a fmt.Stringer for the text
+// rendering.
 var (
-	fleetzMu sync.RWMutex
-	fleetzFn func() any
+	statusMu  sync.RWMutex
+	statusFns = map[string]func() any{}
 )
+
+func setStatusProvider(key string, fn func() any) {
+	statusMu.Lock()
+	statusFns[key] = fn
+	statusMu.Unlock()
+}
 
 // SetFleetz registers the provider behind the /fleetz debug endpoint.
 // The provider is called per request on the debug server's goroutine,
@@ -27,44 +35,49 @@ var (
 // report {"active": false}; re-registering replaces the provider
 // (desktop fleet, then mobile fleet — latest wins, like expvar
 // republication).
-func SetFleetz(fn func() any) {
-	fleetzMu.Lock()
-	fleetzFn = fn
-	fleetzMu.Unlock()
-}
+func SetFleetz(fn func() any) { setStatusProvider("fleet", fn) }
 
-// fleetzHandler serves the live fleet snapshot: JSON by default, the
-// provider's fmt.Stringer rendering with ?format=text.
-func fleetzHandler(w http.ResponseWriter, r *http.Request) {
-	fleetzMu.RLock()
-	fn := fleetzFn
-	fleetzMu.RUnlock()
-	var payload any
-	if fn != nil {
-		payload = fn()
-	}
-	if payload == nil {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"active": false}`)
-		return
-	}
-	if r.URL.Query().Get("format") == "text" {
-		if str, ok := payload.(fmt.Stringer); ok {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, str.String())
+// SetMiningz registers the provider behind the /miningz debug
+// endpoint — the mining pipeline's mirror of SetFleetz, with the same
+// contract: immutable snapshots, safe for concurrent calls, latest
+// registration wins.
+func SetMiningz(fn func() any) { setStatusProvider("mining", fn) }
+
+// statusHandler serves one registered provider's live snapshot: JSON
+// by default (wrapped in an {"active": true, "<key>": ...} envelope),
+// the provider's fmt.Stringer rendering with ?format=text.
+func statusHandler(key string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		statusMu.RLock()
+		fn := statusFns[key]
+		statusMu.RUnlock()
+		var payload any
+		if fn != nil {
+			payload = fn()
+		}
+		if payload == nil {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"active": false}`)
 			return
 		}
+		if r.URL.Query().Get("format") == "text" {
+			if str, ok := payload.(fmt.Stringer); ok {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprint(w, str.String())
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(map[string]any{
+			"active": true,
+			key:      payload,
+		}, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(b, '\n')) //nolint:errcheck // best-effort debug endpoint
 	}
-	w.Header().Set("Content-Type", "application/json")
-	b, err := json.MarshalIndent(struct {
-		Active bool `json:"active"`
-		Fleet  any  `json:"fleet"`
-	}{Active: true, Fleet: payload}, "", "  ")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Write(append(b, '\n')) //nolint:errcheck // best-effort debug endpoint
 }
 
 // DebugServer is the optional runtime-profiling endpoint behind the
@@ -88,7 +101,8 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/fleetz", fleetzHandler)
+	mux.HandleFunc("/fleetz", statusHandler("fleet"))
+	mux.HandleFunc("/miningz", statusHandler("mining"))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {

@@ -97,6 +97,10 @@ var (
 	// SizeBuckets covers cluster sizes (most clusters are small; ad
 	// campaigns reach hundreds of members).
 	SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	// NanosBuckets covers per-unit-of-work wall times in nanoseconds
+	// (mining_block_ns: sub-µs singleton blocks through multi-second
+	// giant blocks), decade-spaced.
+	NanosBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 )
 
 // Histogram is a fixed-bucket histogram with atomic per-bucket counts.

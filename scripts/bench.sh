@@ -11,6 +11,9 @@
 #   BENCHTIME=5x OUT=/tmp/bench.json sh scripts/bench.sh
 #   SUITE=crawl sh scripts/bench.sh
 #   FILTER='^n=200$' sh scripts/bench.sh   # restrict to one size tier
+#   PROFILE_DIR=/tmp/prof sh scripts/bench.sh   # also capture CPU/heap
+#                pprof profiles (single-package suites only — go test
+#                rejects profile flags over multiple packages)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,10 +45,22 @@ fi
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-# shellcheck disable=SC2086 # PKGS is a deliberate word list
+PROFFLAGS=""
+if [ -n "${PROFILE_DIR:-}" ]; then
+	case "$PKGS" in
+	*" "*)
+		echo "PROFILE_DIR needs a single-package suite (got PKGS='$PKGS')" >&2
+		exit 2
+		;;
+	esac
+	mkdir -p "$PROFILE_DIR"
+	PROFFLAGS="-cpuprofile $PROFILE_DIR/cpu.pprof -memprofile $PROFILE_DIR/mem.pprof -o $PROFILE_DIR/bench.test"
+fi
+
+# shellcheck disable=SC2086 # PKGS/PROFFLAGS are deliberate word lists
 go test -run '^$' \
 	-bench "$PAT" \
-	-benchtime "$BENCHTIME" -timeout 60m $PKGS | tee "$TMP"
+	-benchtime "$BENCHTIME" -timeout 60m $PROFFLAGS $PKGS | tee "$TMP"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 	/^Benchmark/ {
@@ -57,10 +72,21 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 		# Per-stage wall-times reported via telemetry as "<stage>-ns/op"
 		# custom metrics (BenchmarkClusterWPNs only).
 		stages = ""
+		sweeps = ""
 		extras = ""
 		for (i = 5; i + 1 <= NF; i += 2) {
 			unit = $(i + 1)
-			if (unit ~ /-ns\/op$/) {
+			if (unit ~ /^sweep_.*-ns\/op$/) {
+				# Cut-sweep attribution: per-height-bucket wall times
+				# ("sweep_<bucket>-ns/op"), folded into a sweep_ns object
+				# (BenchmarkClusterWPNsBlockedLarge only). Must match
+				# before the generic -ns/op stage branch.
+				bucket = unit
+				sub(/^sweep_/, "", bucket)
+				sub(/-ns\/op$/, "", bucket)
+				if (sweeps != "") sweeps = sweeps ", "
+				sweeps = sweeps sprintf("\"%s\": %s", bucket, $(i))
+			} else if (unit ~ /-ns\/op$/) {
 				stage = unit
 				sub(/-ns\/op$/, "", stage)
 				if (stages != "") stages = stages ", "
@@ -73,6 +99,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 			}
 		}
 		if (stages != "") stages = sprintf(", \"stage_ns\": {%s}", stages)
+		if (sweeps != "") stages = stages sprintf(", \"sweep_ns\": {%s}", sweeps)
 		stages = stages extras
 		if (out != "") out = out ",\n"
 		out = out sprintf("    {\"bench\": \"%s\", \"n\": %s, \"mode\": \"%s\", \"iters\": %s, \"ns_per_op\": %s%s}",

@@ -47,10 +47,32 @@ compare() {
 			}
 			return -1
 		}
+		# sweepbuckets parses the "sweep_ns": {...} object (the cut-sweep
+		# per-height-bucket breakdown of the large blocked benchmark) into
+		# dest[bucket] = ns; returns the bucket count.
+		function sweepbuckets(line, dest,    m, n, pairs, p, kv) {
+			delete dest
+			if (!match(line, /"sweep_ns": \{[^}]*\}/)) return 0
+			m = substr(line, RSTART, RLENGTH)
+			sub(/^"sweep_ns": \{/, "", m)
+			sub(/\}$/, "", m)
+			n = split(m, pairs, ", ")
+			for (p = 1; p <= n; p++) {
+				split(pairs[p], kv, ": ")
+				gsub(/"/, "", kv[1])
+				dest[kv[1]] = kv[2] + 0
+			}
+			return n
+		}
 		/"bench":/ {
 			key = sval($0, "bench") "/n=" nval($0, "n") "/" sval($0, "mode")
 			ns = nval($0, "ns_per_op")
-			if (NR == FNR) { base[key] = ns; next }
+			if (NR == FNR) {
+				base[key] = ns
+				nb = sweepbuckets($0, sw)
+				for (bkt in sw) basesweep[key "|" bkt] = sw[bkt]
+				next
+			}
 			if (!(key in base)) {
 				printf "  %-55s new benchmark, no baseline — skipped\n", key
 				next
@@ -65,6 +87,25 @@ compare() {
 			if (ratio > tol) { verdict = "REGRESSION"; failed++ }
 			printf "  %-55s %10.2fms -> %10.2fms  (%.2fx %s)\n",
 				key, base[key] / 1e6, ns / 1e6, ratio, verdict
+			# Gate the cut-sweep height-bucket breakdown with the same
+			# tolerance and noise floor. Buckets absent from the baseline
+			# (a corpus sampling new heights) are skipped, like new
+			# benchmarks.
+			nb = sweepbuckets($0, sw)
+			for (bkt in sw) {
+				skey = key " sweep[" bkt "]"
+				if (!(key "|" bkt in basesweep)) {
+					printf "  %-55s new sweep bucket, no baseline — skipped\n", skey
+					continue
+				}
+				bns = basesweep[key "|" bkt]
+				if (bns < minns) continue
+				ratio = sw[bkt] / bns
+				verdict = "ok"
+				if (ratio > tol) { verdict = "REGRESSION"; failed++ }
+				printf "  %-55s %10.2fms -> %10.2fms  (%.2fx %s)\n",
+					skey, bns / 1e6, sw[bkt] / 1e6, ratio, verdict
+			}
 		}
 		END {
 			if (failed > 0) {

@@ -43,6 +43,9 @@ grep -Eq "fleet: .*kills=[1-9]" "$TMPD/fleet.log" || {
 	exit 1
 }
 
+# The fleet mine runs the default (cached) clustering path, so stop at
+# the blocked-only marker; scripts/miningz_smoke.sh validates those keys
+# on a blocked mine.
 missing=0
 while IFS= read -r key; do
 	case "$key" in ''|'#'*) continue ;; esac
@@ -50,7 +53,9 @@ while IFS= read -r key; do
 		echo "fleet smoke: snapshot missing golden key \"$key\"" >&2
 		missing=$((missing + 1))
 	fi
-done < scripts/telemetry_keys.txt
+done <<KEYS
+$(sed '/^# mining-blocked-only/,$d' scripts/telemetry_keys.txt)
+KEYS
 [ "$missing" -eq 0 ] || { echo "fleet smoke: $missing golden key(s) missing" >&2; exit 1; }
 
 echo "fleet smoke: OK (sharded output byte-identical, all golden keys present)"

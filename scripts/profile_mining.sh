@@ -1,0 +1,39 @@
+#!/bin/sh
+# profile_mining.sh — capture CPU and heap pprof profiles of the
+# large-n blocked clustering benchmark (BenchmarkClusterWPNsBlockedLarge,
+# n=50k) alongside its bench JSON, whose sweep_ns object breaks the cut
+# sweep down by candidate-height bucket. Writes everything under
+# PROFILE_DIR (default /tmp/pushadminer-mining-prof) so the committed
+# BENCH_mining.json baseline is never clobbered — regenerate that with
+# `make bench`. Dependency-free: POSIX sh + the Go toolchain.
+#
+#   sh scripts/profile_mining.sh
+#   PROFILE_DIR=/tmp/prof BENCHTIME=3x sh scripts/profile_mining.sh
+#
+# Inspect afterwards with:
+#
+#   go tool pprof PROFILE_DIR/bench.test PROFILE_DIR/cpu.pprof
+#   go tool pprof PROFILE_DIR/bench.test PROFILE_DIR/mem.pprof
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DIR="${PROFILE_DIR:-/tmp/pushadminer-mining-prof}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+echo "==> profiling BenchmarkClusterWPNsBlockedLarge (n=50k, $BENCHTIME) into $DIR"
+SUITE=mining FILTER='^n=50000$' BENCHTIME="$BENCHTIME" \
+	PROFILE_DIR="$DIR" OUT="$DIR/bench.json" sh scripts/bench.sh
+
+echo "==> cut-sweep attribution (sweep_ns by height bucket)"
+grep -o '"sweep_ns": {[^}]*}' "$DIR/bench.json" ||
+	echo "    (no sweep_ns breakdown — sweep finished under the crossover?)" >&2
+
+echo "==> top CPU consumers"
+go tool pprof -top -nodecount=12 "$DIR/bench.test" "$DIR/cpu.pprof" | sed 's/^/    /'
+
+echo "==> top heap allocators"
+go tool pprof -top -nodecount=12 -sample_index=alloc_space \
+	"$DIR/bench.test" "$DIR/mem.pprof" | sed 's/^/    /'
+
+echo "profile: wrote $DIR/cpu.pprof, $DIR/mem.pprof, $DIR/bench.json"

@@ -37,4 +37,6 @@ sh scripts/fleet_smoke.sh
 
 sh scripts/fleetz_smoke.sh
 
+sh scripts/miningz_smoke.sh
+
 echo "verify: OK"
