@@ -57,7 +57,7 @@ fleetz-smoke:
 # behind the sub-quadratic mining path.
 mining-smoke:
 	$(GO) test -count=1 \
-		-run '^(TestClusterParityBlockedVsExact|TestBlockedComponentsPartition|TestBlockedFixedCutHeight|TestIncrementalConvergesToBatch|TestIncrementalOptionReplaysToBatch|TestIncrementalLinkageVariants)$$' \
+		-run '^(TestClusterParityBlockedVsExact|TestBlockedComponentsPartition|TestBlockedFixedCutHeight|TestIncrementalConvergesToBatch|TestIncrementalOptionReplaysToBatch|TestIncrementalLinkageVariants|TestSweepMemoParityMatrix|TestBlockedFullSweepOptionParity|TestMedoidIndexRoundTrip)$$' \
 		./internal/core/
 
 # miningz-smoke runs a blocked mine with the debug server up and asserts

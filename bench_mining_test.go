@@ -14,6 +14,7 @@ package pushadminer_test
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"testing"
@@ -108,46 +109,91 @@ func BenchmarkClusterWPNs(b *testing.B) {
 // the synthetic campaign structure holds near-linear in n. This is the
 // measurement behind the "streaming mining" claim — the paper-scale
 // corpus clusters in seconds on the blocked path.
+//
+// Two modes at n=50000: "blocked" (the default memoized cut sweep,
+// which re-cuts a block only at its own merge heights) and "fullsweep"
+// (-full-sweep: every candidate height re-cuts and re-scores every
+// block — the pre-memoization reference). The parity tests guarantee
+// they are bit-identical, so the ratio is pure sweep savings. Set
+// BENCH_XL=1 to add an n=100000 point (memoized only; the full sweep
+// there measures nothing new, just burns minutes).
 func BenchmarkClusterWPNsBlockedLarge(b *testing.B) {
-	for _, n := range []int{50000} {
-		b.Run(fmt.Sprintf("n=%d/blocked", n), func(b *testing.B) {
-			fs := miningFeatures(b, n)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res := core.ClusterWPNs(fs, core.ClusterOptions{Blocked: true})
-				benchSink = res.Silhouette
-			}
-			b.StopTimer()
-			reg := telemetry.New()
-			benchSink = core.ClusterWPNs(fs, core.ClusterOptions{Blocked: true, Metrics: reg}).Silhouette
-			snap := reg.Snapshot()
-			for _, s := range []string{"blocks", "block_linkage", "cut"} {
-				if ns := snap.Families["mining_stage_ns"][s]; ns > 0 {
-					b.ReportMetric(float64(ns), s+"-ns/op")
+	sizes := []int{50000}
+	if os.Getenv("BENCH_XL") != "" {
+		sizes = append(sizes, 100000)
+	}
+	for _, n := range sizes {
+		modes := []struct {
+			name string
+			opts core.ClusterOptions
+		}{
+			{"blocked", core.ClusterOptions{Blocked: true}},
+		}
+		if n == 50000 {
+			modes = append(modes, struct {
+				name string
+				opts core.ClusterOptions
+			}{"fullsweep", core.ClusterOptions{Blocked: true, FullSweep: true}})
+		}
+		for _, mode := range modes {
+			mode := mode
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				fs := miningFeatures(b, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := core.ClusterWPNs(fs, mode.opts)
+					benchSink = res.Silhouette
 				}
-			}
-			if pairs := snap.Families["cluster_pairs"]; pairs != nil {
-				b.ReportMetric(float64(pairs["exact"]), "exact-pairs")
-			}
-			// Cut-sweep attribution: wall time per candidate-height
-			// bucket ("sweep_<bucket>-ns/op"), folded by bench.sh into a
-			// sweep_ns object so BENCH_mining.json shows where the sweep
-			// spends its time. Zero buckets (heights the corpus never
-			// sampled) are skipped.
-			if sweep := snap.Families["mining_sweep_ns"]; sweep != nil {
-				buckets := make([]string, 0, len(sweep))
-				for k := range sweep {
-					buckets = append(buckets, k)
-				}
-				sort.Strings(buckets)
-				for _, k := range buckets {
-					if ns := sweep[k]; ns > 0 {
-						b.ReportMetric(float64(ns), "sweep_"+k+"-ns/op")
+				b.StopTimer()
+				reg := telemetry.New()
+				opts := mode.opts
+				opts.Metrics = reg
+				benchSink = core.ClusterWPNs(fs, opts).Silhouette
+				snap := reg.Snapshot()
+				for _, s := range []string{"blocks", "block_linkage", "cut"} {
+					if ns := snap.Families["mining_stage_ns"][s]; ns > 0 {
+						b.ReportMetric(float64(ns), s+"-ns/op")
 					}
 				}
-			}
-			b.StartTimer()
-		})
+				if pairs := snap.Families["cluster_pairs"]; pairs != nil {
+					b.ReportMetric(float64(pairs["exact"]), "exact-pairs")
+				}
+				// Cut-sweep attribution: wall time per candidate-height
+				// bucket ("sweep_<bucket>-ns/op"), folded by bench.sh into a
+				// sweep_ns object so BENCH_mining.json shows where the sweep
+				// spends its time. Zero buckets (heights the corpus never
+				// sampled) are skipped.
+				if sweep := snap.Families["mining_sweep_ns"]; sweep != nil {
+					buckets := make([]string, 0, len(sweep))
+					for k := range sweep {
+						buckets = append(buckets, k)
+					}
+					sort.Strings(buckets)
+					for _, k := range buckets {
+						if ns := sweep[k]; ns > 0 {
+							b.ReportMetric(float64(ns), "sweep_"+k+"-ns/op")
+						}
+					}
+				}
+				// Memo accounting: how many (height, block) cells the sweep
+				// served from cache vs how many blocks it actually crossed
+				// and summed per height — bench.sh folds these into
+				// sweep_memo_hits / sweep_blocks_rescored so the speedup is
+				// attributable, not just observed. The fullsweep mode
+				// reports no memo family (it never consults the cache).
+				if memo := snap.Families["mining_sweep_memo"]; memo != nil {
+					b.ReportMetric(float64(memo["hit"]), "memo-hits")
+				}
+				if blocks := snap.Families["mining_sweep_blocks"]; blocks != nil {
+					var rescored int64
+					for _, v := range blocks {
+						rescored += v
+					}
+					b.ReportMetric(float64(rescored), "blocks-rescored")
+				}
+				b.StartTimer()
+			})
+		}
 	}
 }
 

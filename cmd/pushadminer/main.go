@@ -19,6 +19,14 @@
 //	-incremental   mine as a replayed stream: batches feed an
 //	               incremental clusterer that re-clusters only dirty
 //	               blocks (implies the blocked path)
+//	-full-sweep    disable cut-sweep memoization on the blocked path:
+//	               every candidate height re-cuts and re-scores every
+//	               block (the parity/bench reference; output is
+//	               bit-identical, just slower)
+//	-medoid-index P write the persistable medoid classify index
+//	               (campaign medoids + chosen cut) as deterministic
+//	               JSON to P, so a restarted incremental service can
+//	               Add-classify arrivals without re-mining
 //	-quiet         suppress progress logging, including the periodic
 //	               mining-progress lines; the live /miningz status is
 //	               still published and served — quiet only silences
@@ -61,6 +69,8 @@ func main() {
 		tables      = flag.String("table", "all", "artifacts to print (1,2,3,4,5,6,f4,f5,f6,cost,eval,detector,scams,experiments,all)")
 		blocked     = flag.Bool("blocked", false, "use the sub-quadratic LSH-blocked clustering path")
 		incremental = flag.Bool("incremental", false, "mine as a replayed stream (implies -blocked)")
+		fullSweep   = flag.Bool("full-sweep", false, "disable cut-sweep memoization on the blocked path (reference/bench baseline; slower, bit-identical output)")
+		medoidOut   = flag.String("medoid-index", "", "write the persistable medoid classify index (campaign medoids + chosen cut) as JSON to this path (blocked/incremental paths)")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 		format      = flag.String("format", "text", "output format: text or json")
 		debugAddr   = flag.String("debug-addr", "", "loopback addr serving /debug/pprof, /debug/vars, /metrics and /miningz (e.g. 127.0.0.1:6060)")
@@ -139,6 +149,8 @@ func main() {
 	}
 	cfg.Pipeline.Cluster.Blocked = *blocked
 	cfg.Pipeline.Cluster.Incremental = *incremental
+	cfg.Pipeline.Cluster.FullSweep = *fullSweep
+	cfg.Pipeline.MedoidIndexPath = *medoidOut
 	cfg.Pipeline.Ledger = ledger
 	study, err := pushadminer.RunStudy(cfg)
 	close(stopProgress)
@@ -155,6 +167,13 @@ func main() {
 			log.Fatal(err)
 		}
 		logf("%d mining ledger events → %s", len(events), *ledgerOut)
+	}
+	if *medoidOut != "" {
+		if m := study.Analysis.Clusters.Medoids; m != nil {
+			logf("medoid index (%d campaigns, cut %.4f) → %s", len(m.Medoids), m.CutHeight, *medoidOut)
+		} else {
+			logf("warning: -medoid-index set but the selected path produced no medoid index (use -blocked or -incremental)")
+		}
 	}
 	if *metricsOut != "" {
 		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {

@@ -385,3 +385,112 @@ func TestLinkageOrdering(t *testing.T) {
 		t.Errorf("single linkage total height %v > complete %v", sSum, cSum)
 	}
 }
+
+func TestDedupeCutHeights(t *testing.T) {
+	in := []float64{0.1, 0.1 + 1e-12, 0.1 + 2e-12, 0.2, 0.2 + 5e-10, 0.3}
+	got := DedupeCutHeights(in, 1e-9)
+	want := []float64{0.1, 0.2, 0.3}
+	if len(got) != len(want) {
+		t.Fatalf("DedupeCutHeights = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DedupeCutHeights = %v, want %v", got, want)
+		}
+	}
+	// The anchor advances, so a chain of sub-tolerance steps that sums
+	// past the tolerance still keeps its distant end.
+	chain := []float64{0, 4e-10, 8e-10, 1.2e-9, 1.6e-9}
+	if out := DedupeCutHeights(chain, 1e-9); len(out) != 2 || out[1] != 1.2e-9 {
+		t.Errorf("chained dedupe = %v, want [0 1.2e-09]", out)
+	}
+	// tol <= 0 disables; empty passes through.
+	if out := DedupeCutHeights([]float64{0.1, 0.1}, 0); len(out) != 2 {
+		t.Errorf("tol=0 must disable dedupe, got %v", out)
+	}
+	if out := DedupeCutHeights(nil, 1e-9); out != nil {
+		t.Errorf("nil input: got %v", out)
+	}
+}
+
+func TestAccumRowByLabelMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 37
+	m := Compute(n, func(i, j int) float64 { return rng.Float64() })
+	lab := make([]int, n)
+	for i := range lab {
+		lab[i] = rng.Intn(5)
+	}
+	for i := 0; i < n; i++ {
+		want := make([]float64, 5)
+		for j := 0; j < n; j++ {
+			if j != i {
+				want[lab[j]] += m.At(i, j)
+			}
+		}
+		got := make([]float64, 5)
+		m.AccumRowByLabel(i, lab, got)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("row %d label %d: AccumRowByLabel %v, naive %v (must be bit-identical)", i, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestAccumMultiByLabelMatchesRowWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 41
+	m := Compute(n, func(i, j int) float64 { return rng.Float64() })
+	// Labels 0..2 are multi-member clusters; 3..kb-1 are singletons.
+	kb := 9
+	lab := make([]int, n)
+	for i := range lab {
+		lab[i] = rng.Intn(3)
+	}
+	for c := 3; c < kb; c++ {
+		lab[c] = c // one member each
+	}
+	counts := make([]int, kb)
+	for _, l := range lab {
+		counts[l]++
+	}
+	km := 0
+	dense := make([]int, kb)
+	for c := range counts {
+		if counts[c] > 1 {
+			dense[c] = km
+			km++
+		} else {
+			dense[c] = -1
+		}
+	}
+	dlab := make([]int, n)
+	for i, l := range lab {
+		dlab[i] = dense[l]
+	}
+	acc := make([]float64, n*km)
+	minS := make([]float64, n)
+	for i := range minS {
+		minS[i] = math.Inf(1)
+	}
+	m.AccumMultiByLabel(dlab, km, acc, minS)
+	for i := 0; i < n; i++ {
+		want := make([]float64, kb)
+		m.AccumRowByLabel(i, lab, want)
+		wantMin := math.Inf(1)
+		for c := 0; c < kb; c++ {
+			if d := dense[c]; d >= 0 {
+				if acc[d*n+i] != want[c] {
+					t.Fatalf("item %d multi label %d: AccumMultiByLabel %v, AccumRowByLabel %v (must be bit-identical)",
+						i, c, acc[d*n+i], want[c])
+				}
+			} else if c != lab[i] && want[c] < wantMin {
+				wantMin = want[c]
+			}
+		}
+		if minS[i] != wantMin {
+			t.Fatalf("item %d: min singleton distance %v, want %v", i, minS[i], wantMin)
+		}
+	}
+}

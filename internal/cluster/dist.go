@@ -63,6 +63,71 @@ func (m *DistMatrix) Set(i, j int, d float64) {
 // matrix: the number of pairs (i', j') with i' < i.
 func rowOffset(n, i int) int { return i * (2*n - i - 1) / 2 }
 
+// AccumRowByLabel adds row i's distances into sums bucketed by each
+// item's label — sums[lab[j]] += At(i, j) for every j ≠ i, accumulated
+// in ascending j. It is the silhouette scorers' hot loop: the two
+// stride walks below read the condensed triangle directly, but the
+// summation order and the per-element float32→float64 conversions are
+// exactly At's, so the resulting sums are bit-identical to the naive
+// per-element loop.
+func (m *DistMatrix) AccumRowByLabel(i int, lab []int, sums []float64) {
+	// j < i: column i of rows j, stride n−j−2 between consecutive rows.
+	idx := i - 1 // index(0, i)
+	for j := 0; j < i; j++ {
+		sums[lab[j]] += float64(m.data[idx])
+		idx += m.n - j - 2
+	}
+	// j > i: row i is contiguous from its offset.
+	row := m.data[rowOffset(m.n, i):rowOffset(m.n, i+1)]
+	for k, d := range row {
+		sums[lab[i+1+k]] += float64(d)
+	}
+}
+
+// AccumMultiByLabel computes every item's distance sums bucketed over
+// the km multi-member clusters, plus each item's minimum distance to
+// any singleton-cluster item. dlab maps items to dense multi-cluster
+// ids (singleton members carry -1); acc is cluster-major:
+// acc[c*n+i] = Σ_{dlab[j]=c} At(i, j), and minS[i] = min_{dlab[j]=-1,
+// j≠i} At(i, j) (callers seed minS with +Inf). One contiguous pass
+// over the condensed triangle scatters each stored pair into both
+// endpoints' slots; unlike per-item AccumRowByLabel calls it never
+// stride-walks a column. The cluster-major layout is what keeps the
+// scatter cache-friendly at any accumulator size: per triangle row r
+// the acc[lr*n+j] writes stream contiguously within row r's own
+// cluster stripe, and the acc[lj*n+r] writes all land at offset r of
+// at most km stripes — km cache lines, resident however large n×km
+// grows. Per (item, bucket) the summed contributions still arrive in
+// ascending j (rows below i land before row i is scanned), so each
+// bucket is bit-identical to its AccumRowByLabel counterpart, and a
+// min over exact float32→float64 conversions is order-independent, so
+// minS[i] equals the smallest singleton bucket a full-width
+// accumulation would produce.
+func (m *DistMatrix) AccumMultiByLabel(dlab []int, km int, acc []float64, minS []float64) {
+	idx := 0
+	for r := 0; r < m.n; r++ {
+		lr := dlab[r]
+		var stripe []float64
+		if lr >= 0 {
+			stripe = acc[lr*m.n : (lr+1)*m.n]
+		}
+		for j := r + 1; j < m.n; j++ {
+			d := float64(m.data[idx])
+			idx++
+			if lj := dlab[j]; lj >= 0 {
+				acc[lj*m.n+r] += d
+			} else if d < minS[r] {
+				minS[r] = d
+			}
+			if stripe != nil {
+				stripe[j] += d
+			} else if d < minS[j] {
+				minS[j] = d
+			}
+		}
+	}
+}
+
 // unindex inverts index: it maps a condensed offset back to its (i, j)
 // pair with i < j. The closed form solves the row quadratic; the
 // adjustment loops absorb float rounding at large n.

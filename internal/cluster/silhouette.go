@@ -294,6 +294,29 @@ func SampleCutHeights(cands []float64, max int) []float64 {
 	return sampleHeights(cands, max)
 }
 
+// DedupeCutHeights collapses candidate cut heights that sit closer
+// together than tol, keeping the lowest height of each near-equal run.
+// Two heights within tol of each other almost always cut between the
+// same pair of merges (they differ only when a merge lands in the gap,
+// which tol is chosen far below), so sweeping both scores the same
+// partition twice; keeping the lowest matches the conservative
+// selection rule, which prefers the lowest height among equals anyway.
+// cands must be ascending. tol <= 0 disables.
+func DedupeCutHeights(cands []float64, tol float64) []float64 {
+	if tol <= 0 || len(cands) == 0 {
+		return cands
+	}
+	out := cands[:1]
+	anchor := cands[0]
+	for _, h := range cands[1:] {
+		if h-anchor >= tol {
+			out = append(out, h)
+			anchor = h
+		}
+	}
+	return out
+}
+
 // sampleHeights bounds the candidate sweep to at most max heights,
 // sampled evenly and always including both the first and the final
 // heights. The pre-fix sampling (int(float64(i)*step) over the full

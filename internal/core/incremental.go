@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"pushadminer/internal/cluster"
@@ -24,6 +25,15 @@ type IncrementalStats struct {
 	// clustering from scratch after every batch.
 	BlocksReused  int
 	BlocksRebuilt int
+	// SweepMemoHits / SweepMemoRefreshes / SweepRescoredBlocks count the
+	// pooled cut sweep's per-block memoization across Recluster calls
+	// (see sweepMemoStats): sweep-grid cells served from cached block
+	// contributions, cached labelings rescored under a new far estimate,
+	// and block re-cuts actually performed. All zero below the
+	// validation-scale crossover, where the exact sweep selects the cut.
+	SweepMemoHits       int64
+	SweepMemoRefreshes  int64
+	SweepRescoredBlocks int64
 }
 
 // IncrementalClusterer mines a WPN stream without re-running the batch
@@ -62,8 +72,12 @@ type IncrementalClusterer struct {
 
 	res     *ClusterResult
 	medoids map[int]int // cluster label -> medoid record index
-	stats   IncrementalStats
-	obs     *blockedObs
+	// restored is a persisted MedoidIndex from a previous mine (see
+	// RestoreMedoidIndex): before the first Recluster of this run, Add
+	// classifies against it instead of returning -1 for everything.
+	restored *MedoidIndex
+	stats    IncrementalStats
+	obs      *blockedObs
 }
 
 // NewIncrementalClusterer prepares an empty clusterer over the feature
@@ -110,7 +124,13 @@ func (c *IncrementalClusterer) Add(i int) int {
 	c.candBuf = c.ix.AppendCandidates(c.candBuf[:0], h)
 
 	prov := -1
-	if c.res != nil && c.res.CutHeight > 0 {
+	if c.res == nil && c.restored != nil {
+		// No Recluster yet this run, but a persisted medoid index from a
+		// previous full mine: classify against its medoids so the
+		// service loop answers arrivals between re-mines without ever
+		// triggering a sweep.
+		prov, _ = c.restored.Classify(c.fs, i)
+	} else if c.res != nil && c.res.CutHeight > 0 {
 		bestD := c.res.CutHeight
 		seen := make(map[int]bool)
 		for _, j := range c.candBuf {
@@ -216,8 +236,14 @@ func (c *IncrementalClusterer) Recluster() *ClusterResult {
 		// (validation scale); stitching and medoids must use the
 		// returned slice. The coarsened blocks never enter the cache —
 		// it was rebuilt above from the union-find components, which
-		// stay authoritative for reuse.
-		blocks, per, height, sil = sweepBlockedCut(c.fs, blocks, c.opts.Linkage, c.nAdded, c.opts.MaxCutCandidates, c.opts.conservativeTol(), c.obs)
+		// stay authoritative for reuse. Reused blocks carry their cut
+		// memos (the memo lives on the blockDendrogram), so clean
+		// blocks' sweep contributions survive across Recluster calls.
+		var ms sweepMemoStats
+		blocks, per, height, sil, ms = sweepBlockedCut(c.fs, blocks, c.opts.Linkage, c.nAdded, c.opts.MaxCutCandidates, c.opts.conservativeTol(), c.opts.FullSweep, c.obs)
+		c.stats.SweepMemoHits += ms.hits
+		c.stats.SweepMemoRefreshes += ms.refreshes
+		c.stats.SweepRescoredBlocks += ms.rescoredBlocks
 	}
 	labels := stitchBlockedLabels(len(c.fs.Records), blocks, per)
 	c.res = finishClusterResult(c.fs, labels, height, sil)
@@ -227,44 +253,34 @@ func (c *IncrementalClusterer) Recluster() *ClusterResult {
 	return c.res
 }
 
-// updateMedoids recomputes each cluster's medoid — the member
-// minimizing the sum of within-cluster distances, ties to the lowest
-// record index — from the blocks' exact local matrices. Clusters never
-// span blocks (linkage is per-block), so each is fully resolvable from
-// one local matrix.
+// updateMedoids recomputes each cluster's medoid from the blocks' exact
+// local matrices (see blockMedoids).
 func (c *IncrementalClusterer) updateMedoids(blocks []*blockDendrogram, per [][]int, labels []int) {
-	c.medoids = make(map[int]int)
-	for bi, bd := range blocks {
-		lab := per[bi]
-		kb := 0
-		for _, l := range lab {
-			if l+1 > kb {
-				kb = l + 1
-			}
-		}
-		groups := make([][]int, kb) // local indices per local label
-		for li, l := range lab {
-			groups[l] = append(groups[l], li)
-		}
-		for _, g := range groups {
-			if len(g) == 0 {
-				continue
-			}
-			best, bestSum := -1, 0.0
-			for _, li := range g {
-				var sum float64
-				for _, lj := range g {
-					if lj != li {
-						sum += bd.dm.At(li, lj)
-					}
-				}
-				if best < 0 || sum < bestSum {
-					best, bestSum = li, sum
-				}
-			}
-			c.medoids[labels[bd.members[best]]] = bd.members[best]
-		}
+	c.medoids = blockMedoids(blocks, per, labels)
+}
+
+// MedoidIndex snapshots the classify state of the last Recluster —
+// campaign medoids plus the cut that defined them — as a persistable
+// index (see MedoidIndex, SaveMedoidIndex). Nil before the first
+// Recluster.
+func (c *IncrementalClusterer) MedoidIndex() *MedoidIndex {
+	if c.res == nil {
+		return nil
 	}
+	return newMedoidIndex(c.fs, c.medoids, c.res.CutHeight, c.res.Silhouette, c.bands)
+}
+
+// RestoreMedoidIndex seeds the clusterer's provisional classifier from
+// a persisted index, so Add answers arrivals against the previous
+// mine's medoids before the first Recluster of this run. The index must
+// have been mined from the same feature set (same size; record indices
+// and distances live in that feature space).
+func (c *IncrementalClusterer) RestoreMedoidIndex(x *MedoidIndex) error {
+	if x.Records != len(c.fs.Records) {
+		return fmt.Errorf("core: medoid index mined from %d records, feature set has %d", x.Records, len(c.fs.Records))
+	}
+	c.restored = x
+	return nil
 }
 
 // clusterWPNsIncremental replays the feature set as a stream through an
@@ -314,8 +330,13 @@ func clusterWPNsIncremental(fs *FeatureSet, opts ClusterOptions) *ClusterResult 
 		}
 		opts.prog.addPairs(exact, int64(n)*int64(n-1)/2-exact)
 	}
-	if res := inc.Result(); opts.Ledger != nil && res != nil {
-		opts.Ledger.CutChosen(res.CutHeight, numClusters(res.Labels), res.Silhouette)
+	if res := inc.Result(); res != nil {
+		// The medoid pass is already paid for (Recluster maintains it),
+		// so the streaming result always carries the persistable index.
+		res.Medoids = inc.MedoidIndex()
+		if opts.Ledger != nil {
+			opts.Ledger.CutChosen(res.CutHeight, numClusters(res.Labels), res.Silhouette)
+		}
 	}
 	return inc.Result()
 }

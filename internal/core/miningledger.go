@@ -25,9 +25,19 @@ const (
 	// built. Attrs: block (index in canonical order), size.
 	EvBlockClustered = "block_clustered"
 	// EvHeightSwept records one pooled-sweep candidate height being
-	// scored. Attrs: height, k (clusters at that cut), valid
-	// (whether a silhouette was computable), silhouette, scored_pairs.
+	// scored. Attrs: height, k (clusters at that cut), valid (whether a
+	// silhouette was computable), silhouette, changed (blocks whose
+	// labeling changed at this height — every block on the full sweep,
+	// only segment crossings on the memoized one), scored_pairs
+	// (within-block pairs the scoring re-read). All attrs are
+	// structural, independent of memo/cache state, so cold and warm
+	// sweeps ledger identically.
 	EvHeightSwept = "height_swept"
+	// EvSweepMemo summarizes one memoized sweep's delta-vs-full
+	// accounting. Attrs: hits, refreshes, misses (per candidate × block
+	// sweep-grid cell), rescored_blocks, saved_pairs. Deterministic
+	// across reruns: memo state depends only on the run's own history.
+	EvSweepMemo = "sweep_memo"
 	// EvCutChosen records the final cut decision. Attrs: height, k,
 	// silhouette (empty when the exact sweep below the crossover chose
 	// the cut and no pooled scoring ran).
@@ -97,7 +107,7 @@ func (l *MiningLedger) BlockClustered(block, size int) {
 }
 
 // HeightSwept records one scored candidate height.
-func (l *MiningLedger) HeightSwept(height float64, k int, valid bool, silhouette float64, scoredPairs int64) {
+func (l *MiningLedger) HeightSwept(height float64, k int, valid bool, silhouette float64, changedBlocks int, scoredPairs int64) {
 	if l == nil {
 		return
 	}
@@ -106,7 +116,22 @@ func (l *MiningLedger) HeightSwept(height float64, k int, valid bool, silhouette
 		"k":            strconv.Itoa(k),
 		"valid":        strconv.FormatBool(valid),
 		"silhouette":   strconv.FormatFloat(silhouette, 'g', -1, 64),
+		"changed":      strconv.Itoa(changedBlocks),
 		"scored_pairs": strconv.FormatInt(scoredPairs, 10),
+	})
+}
+
+// SweepMemo summarizes one memoized sweep's delta-vs-full accounting.
+func (l *MiningLedger) SweepMemo(hits, refreshes, misses, rescoredBlocks, savedPairs int64) {
+	if l == nil {
+		return
+	}
+	l.append(EvSweepMemo, map[string]string{
+		"hits":            strconv.FormatInt(hits, 10),
+		"refreshes":       strconv.FormatInt(refreshes, 10),
+		"misses":          strconv.FormatInt(misses, 10),
+		"rescored_blocks": strconv.FormatInt(rescoredBlocks, 10),
+		"saved_pairs":     strconv.FormatInt(savedPairs, 10),
 	})
 }
 

@@ -164,7 +164,7 @@ func TestMiningLedgerRoundTrip(t *testing.T) {
 	led.BlockClustered(0, 3)
 	led.BlockClustered(1, 1)
 	led.StageEnd("blocks")
-	led.HeightSwept(0.25, 4, true, 0.5, 12)
+	led.HeightSwept(0.25, 4, true, 0.5, 3, 12)
 	led.CutChosen(0.25, 4, 0.5)
 	events := led.Events()
 

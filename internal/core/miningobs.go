@@ -16,28 +16,47 @@ var sweepBucketNames = []string{
 	"1.0+",
 }
 
-// sweepHeightBucket maps a candidate cut height to its label.
+// sweepHeightBucket maps a candidate cut height to its label. Every
+// return value is a member of sweepBucketNames: heights at or above 1
+// clamp into the top preresolved bucket, negatives into the first, and
+// NaN — whose float-to-int conversion is implementation-defined in Go,
+// so it must never reach the index expression — also clamps high (the
+// !(h < 1) test is true for NaN). A snapshot therefore never carries
+// sweep keys outside the preresolved set.
 func sweepHeightBucket(h float64) string {
-	if h >= 1 {
+	if !(h < 1) { // h >= 1, or NaN
 		return "1.0+"
 	}
-	if h < 0 {
-		h = 0
+	if !(h > 0) { // h <= 0 (negative heights never cut anything extra)
+		return sweepBucketNames[0]
 	}
-	return sweepBucketNames[int(h*10)]
+	if i := int(h * 10); i < len(sweepBucketNames)-1 {
+		return sweepBucketNames[i]
+	}
+	return "1.0+"
 }
 
 // mining_pairs phase labels: where each candidate pair of the blocked
 // path was decided. blocks_* cover the union phase (gate = Hamming,
 // dist = exact-distance confirmation), block_linkage_exact counts the
-// within-block exact distance evaluations of the dendrogram builds, and
+// within-block exact distance evaluations of the dendrogram builds,
 // sweep_scored counts the within-block distance lookups the pooled
-// sweep's silhouette scoring re-reads per evaluated height.
+// sweep's silhouette scoring re-reads (full sweep: every valid height ×
+// every pair; memoized sweep: only pairs in blocks whose labeling
+// changed at that height), and sweep_memo_saved is the complement — the
+// per-height re-reads the memo skipped, so scored + saved on the
+// memoized path equals what a full sweep would have re-read.
 var miningPairPhases = []string{
 	"blocks_gate_checked", "blocks_gate_rejected",
 	"blocks_dist_checked", "blocks_edges",
-	"block_linkage_exact", "sweep_scored",
+	"block_linkage_exact", "sweep_scored", "sweep_memo_saved",
 }
+
+// mining_sweep_memo outcome labels — see sweepMemoStats: per
+// (candidate × block) sweep-grid cells, hit = served from the per-block
+// cut memo, refresh = labeling reused but contribution rescored under a
+// new far estimate, miss = cut and scored from scratch.
+var sweepMemoOutcomes = []string{"hit", "refresh", "miss"}
 
 // blockedObs bundles the blocked/incremental path's observation sinks:
 // the sub-stage attribution instruments (mining_sweep_ns by height
@@ -51,10 +70,12 @@ type blockedObs struct {
 	led  *MiningLedger
 	prog *miningProgress
 
-	sweepFam  *telemetry.Family
-	blockSize *telemetry.Histogram
-	blockNS   *telemetry.Histogram
-	pairsFam  *telemetry.Family
+	sweepFam       *telemetry.Family
+	sweepBlocksFam *telemetry.Family
+	sweepMemoFam   *telemetry.Family
+	blockSize      *telemetry.Histogram
+	blockNS        *telemetry.Histogram
+	pairsFam       *telemetry.Family
 }
 
 // newBlockedObs builds the bundle, or returns nil when every sink is
@@ -66,8 +87,14 @@ func newBlockedObs(reg *telemetry.Registry, led *MiningLedger, prog *miningProgr
 	o := &blockedObs{led: led, prog: prog}
 	if reg != nil {
 		o.sweepFam = reg.Family("mining_sweep_ns", "height_bucket")
+		o.sweepBlocksFam = reg.Family("mining_sweep_blocks", "height_bucket")
 		for _, b := range sweepBucketNames {
 			o.sweepFam.With(b)
+			o.sweepBlocksFam.With(b)
+		}
+		o.sweepMemoFam = reg.Family("mining_sweep_memo", "outcome")
+		for _, oc := range sweepMemoOutcomes {
+			o.sweepMemoFam.With(oc)
 		}
 		o.blockSize = reg.Histogram("mining_block_size", telemetry.SizeBuckets)
 		o.blockNS = reg.Histogram("mining_block_ns", telemetry.NanosBuckets)
@@ -202,16 +229,68 @@ func (o *blockedObs) reclustered(blocks, reused, rebuilt, clusters int) {
 	o.prog.reclustered()
 }
 
-// heightSwept records one candidate height's outcome: scored pair
-// volume into mining_pairs (valid evaluations only) and the
-// deterministic ledger event. Called serially, in ascending height
-// order, after the sweep fan-out completes.
-func (o *blockedObs) heightSwept(height float64, k int, valid bool, sil float64, scoredPairs int64) {
+// heightSwept records one full-sweep candidate height's outcome:
+// scored pair volume into mining_pairs (valid evaluations only),
+// blocks re-cut (every block, on the full sweep) into
+// mining_sweep_blocks, and the deterministic ledger event. Called
+// serially, in ascending height order, after the sweep fan-out
+// completes.
+func (o *blockedObs) heightSwept(height float64, k int, valid bool, sil float64, changedBlocks int, scoredPairs int64) {
 	if o == nil {
 		return
 	}
 	if valid {
 		o.pairsFam.Add("sweep_scored", scoredPairs)
 	}
-	o.led.HeightSwept(height, k, valid, sil, scoredPairs)
+	o.sweepBlocksFam.Add(sweepHeightBucket(height), int64(changedBlocks))
+	o.led.HeightSwept(height, k, valid, sil, changedBlocks, scoredPairs)
+	o.prog.sweepWork(int64(changedBlocks), 0)
+}
+
+// sweepRescored observes one fresh (block, segment) rescore inside the
+// memoized sweep's parallel pass, attributed to the height bucket of
+// the candidate that first crossed into that segment — so sweep_ns
+// reflects where re-cut work actually happened, proportional to blocks
+// rescored rather than total blocks.
+func (o *blockedObs) sweepRescored(height float64, ns int64) {
+	if o == nil {
+		return
+	}
+	o.sweepFam.Add(sweepHeightBucket(height), ns)
+}
+
+// heightSweptMemo records one memoized-sweep candidate height's
+// outcome: the serial reduce slice's wall time into the height bucket,
+// blocks whose labeling changed into mining_sweep_blocks, their pair
+// volume into mining_pairs, the ledger event, and live progress. The
+// attrs are structural (segment crossings), independent of memo/cache
+// state, so the ledger stays byte-stable across reruns and identical
+// between cold and warm sweeps. Called serially in ascending height
+// order.
+func (o *blockedObs) heightSweptMemo(height float64, k int, valid bool, sil float64, changedBlocks int, changedPairs, ns int64) {
+	if o == nil {
+		return
+	}
+	bucket := sweepHeightBucket(height)
+	o.sweepFam.Add(bucket, ns)
+	o.sweepBlocksFam.Add(bucket, int64(changedBlocks))
+	o.pairsFam.Add("sweep_scored", changedPairs)
+	o.led.HeightSwept(height, k, valid, sil, changedBlocks, changedPairs)
+	o.prog.sweepWork(int64(changedBlocks), 0)
+	o.prog.heightDone()
+}
+
+// sweepMemo folds one memoized sweep's delta-vs-full accounting: memo
+// outcome counts, the pair volume the memo skipped, the ledger summary
+// event, and the live memo-hit counter.
+func (o *blockedObs) sweepMemo(ms sweepMemoStats) {
+	if o == nil {
+		return
+	}
+	o.sweepMemoFam.Add("hit", ms.hits)
+	o.sweepMemoFam.Add("refresh", ms.refreshes)
+	o.sweepMemoFam.Add("miss", ms.misses)
+	o.pairsFam.Add("sweep_memo_saved", ms.savedPairs)
+	o.led.SweepMemo(ms.hits, ms.refreshes, ms.misses, ms.rescoredBlocks, ms.savedPairs)
+	o.prog.sweepWork(0, ms.hits)
 }

@@ -20,7 +20,8 @@ func TestMiningObservabilityDisabled(t *testing.T) {
 		led.StageBegin("cut")
 		led.StageEnd("cut")
 		led.BlockClustered(3, 7)
-		led.HeightSwept(0.25, 4, true, 0.8, 21)
+		led.HeightSwept(0.25, 4, true, 0.8, 3, 21)
+		led.SweepMemo(10, 2, 5, 7, 100)
 		led.CutChosen(0.25, 4, 0.8)
 		led.IncrementalAdd(10, 7, 3)
 		led.Recluster(5, 3, 2, 9)
@@ -30,6 +31,7 @@ func TestMiningObservabilityDisabled(t *testing.T) {
 		prog.setHeights(64)
 		prog.heightDone()
 		prog.addPairs(10, 20)
+		prog.sweepWork(5, 10)
 		prog.incrementalAdd()
 		prog.reclustered()
 		prog.finish()
@@ -39,7 +41,10 @@ func TestMiningObservabilityDisabled(t *testing.T) {
 		obs.blocksRebuilt(nil, nil)
 		obs.setHeightsTotal(64)
 		obs.sweepEvaluated(0.25, 1000)
-		obs.heightSwept(0.25, 4, true, 0.8, 21)
+		obs.heightSwept(0.25, 4, true, 0.8, 3, 21)
+		obs.sweepRescored(0.25, 1000)
+		obs.heightSweptMemo(0.25, 4, true, 0.8, 3, 21, 1000)
+		obs.sweepMemo(sweepMemoStats{hits: 10, misses: 5})
 		obs.incrementalAdd()
 		obs.reclustered(5, 3, 2, 9)
 		obs.recordTally(nil)

@@ -39,6 +39,15 @@ type MiningStatus struct {
 	PairsExact  int64 `json:"pairs_exact"`
 	PairsPruned int64 `json:"pairs_pruned"`
 
+	// SweepBlocksRescored / SweepMemoHits describe the pooled cut
+	// sweep's memoization: block re-cuts actually performed vs.
+	// (candidate × block) sweep-grid cells served from the per-block
+	// cut memo. On the full (unmemoized) sweep rescored counts every
+	// block at every height and hits stay 0; both stay 0 below the
+	// validation-scale crossover, where the exact sweep runs.
+	SweepBlocksRescored int64 `json:"sweep_blocks_rescored"`
+	SweepMemoHits       int64 `json:"sweep_memo_hits"`
+
 	// IncrementalAdds / Reclusters / QueueDepth describe the streaming
 	// path: records ingested, Recluster calls, and records added since
 	// the last Recluster (the dirty backlog the next call drains).
@@ -61,6 +70,10 @@ func (s MiningStatus) String() string {
 	fmt.Fprintf(&b, "mining %-11s %-8s stage %-15s n=%d\n", s.Mode, state, s.Stage, s.Records)
 	fmt.Fprintf(&b, "blocks %d/%-8d heights %d/%-8d pairs exact=%d pruned=%d\n",
 		s.BlocksDone, s.BlocksTotal, s.HeightsDone, s.HeightsTotal, s.PairsExact, s.PairsPruned)
+	if s.SweepBlocksRescored > 0 || s.SweepMemoHits > 0 {
+		fmt.Fprintf(&b, "sweep rescored=%d memo hits=%d\n",
+			s.SweepBlocksRescored, s.SweepMemoHits)
+	}
 	if s.Mode == "incremental" || s.IncrementalAdds > 0 {
 		fmt.Fprintf(&b, "incremental adds=%d reclusters=%d queue=%d\n",
 			s.IncrementalAdds, s.Reclusters, s.QueueDepth)
@@ -93,12 +106,13 @@ type miningProgress struct {
 	mode    string
 	records int
 
-	stage                     atomic.Value // string
-	blocksTotal, blocksDone   atomic.Int64
-	heightsTotal, heightsDone atomic.Int64
-	pairsExact, pairsPruned   atomic.Int64
-	adds, reclusters, queue   atomic.Int64
-	statusVal                 atomic.Value // *MiningStatus
+	stage                       atomic.Value // string
+	blocksTotal, blocksDone     atomic.Int64
+	heightsTotal, heightsDone   atomic.Int64
+	pairsExact, pairsPruned     atomic.Int64
+	sweepRescored, sweepMemoHit atomic.Int64
+	adds, reclusters, queue     atomic.Int64
+	statusVal                   atomic.Value // *MiningStatus
 }
 
 // newMiningProgress builds a progress accumulator for one run and
@@ -130,19 +144,21 @@ func (p *miningProgress) publish(done bool) {
 		return
 	}
 	st := &MiningStatus{
-		Stage:           p.stage.Load().(string),
-		Mode:            p.mode,
-		Records:         p.records,
-		BlocksTotal:     int(p.blocksTotal.Load()),
-		BlocksDone:      int(p.blocksDone.Load()),
-		HeightsTotal:    int(p.heightsTotal.Load()),
-		HeightsDone:     int(p.heightsDone.Load()),
-		PairsExact:      p.pairsExact.Load(),
-		PairsPruned:     p.pairsPruned.Load(),
-		IncrementalAdds: int(p.adds.Load()),
-		Reclusters:      int(p.reclusters.Load()),
-		QueueDepth:      int(p.queue.Load()),
-		Done:            done,
+		Stage:               p.stage.Load().(string),
+		Mode:                p.mode,
+		Records:             p.records,
+		BlocksTotal:         int(p.blocksTotal.Load()),
+		BlocksDone:          int(p.blocksDone.Load()),
+		HeightsTotal:        int(p.heightsTotal.Load()),
+		HeightsDone:         int(p.heightsDone.Load()),
+		PairsExact:          p.pairsExact.Load(),
+		PairsPruned:         p.pairsPruned.Load(),
+		SweepBlocksRescored: p.sweepRescored.Load(),
+		SweepMemoHits:       p.sweepMemoHit.Load(),
+		IncrementalAdds:     int(p.adds.Load()),
+		Reclusters:          int(p.reclusters.Load()),
+		QueueDepth:          int(p.queue.Load()),
+		Done:                done,
 	}
 	if done {
 		st.Stage = "done"
@@ -210,6 +226,17 @@ func (p *miningProgress) addPairs(exact, pruned int64) {
 	}
 	p.pairsExact.Add(exact)
 	p.pairsPruned.Add(pruned)
+}
+
+// sweepWork accumulates cut-sweep memoization counters (block re-cuts
+// performed, memo cells served). Accumulates only; the next published
+// event (heightDone, reclustered, finish) carries it out.
+func (p *miningProgress) sweepWork(rescored, memoHits int64) {
+	if p == nil {
+		return
+	}
+	p.sweepRescored.Add(rescored)
+	p.sweepMemoHit.Add(memoHits)
 }
 
 // incrementalAdd records one streamed record ingested since the last

@@ -34,6 +34,14 @@ type PipelineOptions struct {
 	// stream (see ClusterOptions.Ledger); stage brackets cover the full
 	// pipeline, clustering events the dispatched path.
 	Ledger *MiningLedger
+
+	// MedoidIndexPath, when set, persists the post-clustering medoid
+	// classify index (campaign medoids + chosen cut; see MedoidIndex) as
+	// deterministic JSON, and implies ClusterOptions.BuildMedoids so the
+	// blocked batch path produces one. The incremental service loop
+	// restores it at startup to Add-classify arrivals between full
+	// re-mines without a sweep.
+	MedoidIndexPath string
 }
 
 // Analysis is the full output of the mining pipeline.
@@ -129,7 +137,15 @@ func RunPipeline(records []*crawler.WPNRecord, opts PipelineOptions) (*Analysis,
 		opts.Cluster.Tracer = opts.Tracer
 		opts.Cluster.parent = st.spanID()
 	}
+	if opts.MedoidIndexPath != "" {
+		opts.Cluster.BuildMedoids = true
+	}
 	cr := ClusterWPNs(fs, opts.Cluster)
+	if opts.MedoidIndexPath != "" && cr.Medoids != nil {
+		if err := SaveMedoidIndex(opts.MedoidIndexPath, cr.Medoids); err != nil {
+			return nil, err
+		}
+	}
 	done = st.stage("label")
 	labels, flagged, err := LabelKnownMaliciousOpts(fs, opts.Services, opts.Scans, opts.Labels)
 	done()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -26,6 +27,89 @@ type blockDendrogram struct {
 	members []int
 	dm      *cluster.DistMatrix
 	dend    *cluster.Dendrogram
+
+	// Cut-sweep memo (see sweepBlockedCutMemo): one entry per applied-
+	// merge count ("segment"), caching the local labeling and the
+	// block's silhouette-sum contribution. The memo lives on the
+	// dendrogram precisely because it is keyed the same way as the
+	// incremental cache — by the member set the dendrogram was built
+	// over — so a block reused across Recluster calls carries its swept
+	// contributions with it. zeroCut is the zero-merge state every
+	// sweep starts from (all singletons, contribution identically 0).
+	memo     map[int]*blockCutMemo
+	memoFIFO []int
+	zeroCut  *blockCutMemo
+}
+
+// blockCutMemo is one cached cut of a block dendrogram: the local
+// labeling after seg merges (nil until the rescore pass fills it; the
+// seg-0 all-singleton state never materializes labels), the block's
+// cluster count at that cut, and its silhouette-sum contribution under
+// a given (farD, multi) context. A block's labeling only changes at
+// its own merge heights, so every candidate height h maps to the
+// segment seg = #merges with Distance <= h, and all heights inside one
+// segment share this entry bit-for-bit.
+type blockCutMemo struct {
+	seg    int
+	kb     int
+	lab    []int
+	silSum float64
+	farD   float64
+	multi  bool
+}
+
+// blockCutMemoCap bounds the per-block memo. Sweeps see at most
+// MaxCutCandidates (default 64) distinct segments, so the cap only
+// bites when candidate pools drift across many reclusters; eviction is
+// FIFO by insertion order, which is deterministic, and an entry still
+// referenced by an in-flight sweep stays reachable through its pointer
+// even after leaving the map.
+const blockCutMemoCap = 192
+
+// seg0 returns the block's zero-merge memo entry (every member its own
+// singleton; silhouette contribution exactly 0 under any far estimate).
+func (bd *blockDendrogram) seg0() *blockCutMemo {
+	if bd.zeroCut == nil {
+		bd.zeroCut = &blockCutMemo{kb: len(bd.members)}
+	}
+	return bd.zeroCut
+}
+
+// memoOutcome classifies one cutMemoAt lookup: hit (entry valid as-is),
+// refresh (labeling reusable, silhouette contribution computed under a
+// different far estimate and must be rescored), miss (nothing cached).
+type memoOutcome int
+
+const (
+	memoHit memoOutcome = iota
+	memoRefresh
+	memoMiss
+)
+
+// cutMemoAt returns the block's memo entry for the cut with seg merges
+// applied, creating (miss) or retagging (refresh) it as needed. Fresh
+// and retagged entries carry stale lab/silSum until the sweep's
+// parallel rescore pass fills them; planning runs serially, so the map
+// writes here never race with that pass.
+func (bd *blockDendrogram) cutMemoAt(seg int, farD float64, multi bool) (*blockCutMemo, memoOutcome) {
+	if m := bd.memo[seg]; m != nil {
+		if m.farD == farD && m.multi == multi {
+			return m, memoHit
+		}
+		m.farD, m.multi = farD, multi
+		return m, memoRefresh
+	}
+	if bd.memo == nil {
+		bd.memo = make(map[int]*blockCutMemo)
+	}
+	for len(bd.memo) >= blockCutMemoCap {
+		delete(bd.memo, bd.memoFIFO[0])
+		bd.memoFIFO = bd.memoFIFO[1:]
+	}
+	m := &blockCutMemo{seg: seg, farD: farD, multi: multi}
+	bd.memo[seg] = m
+	bd.memoFIFO = append(bd.memoFIFO, seg)
+	return m, memoMiss
 }
 
 // buildBlockDendrogram clusters one block with the cached exact
@@ -188,6 +272,37 @@ func blockSilhouetteSum(bd *blockDendrogram, lab []int, farD float64, multiBlock
 	for _, l := range lab {
 		counts[l]++
 	}
+	nact := 0
+	for _, l := range lab {
+		if counts[l] > 1 {
+			nact++
+		}
+	}
+	if nact == 0 {
+		return 0 // all singletons
+	}
+	// The scorer only needs bucketed sums over the multi-member
+	// clusters: a singleton cluster's mean is the single distance to
+	// its member, and bestB is a pure min, so all singleton buckets
+	// collapse into one running min per member without changing a
+	// single bit of the result (see AccumMultiByLabel). That keeps the
+	// dense accumulator km-wide — and its cluster-major layout keeps
+	// the scatter cache-resident however large m×km grows — so one
+	// triangle pass visiting each pair once replaces the per-member
+	// row walks that visit every pair twice with the lower-triangle
+	// half striding across the condensed storage. The per-member
+	// fallback remains for cells where few members need scoring (the
+	// streaming pass reads the whole triangle regardless) and as an
+	// allocation-sanity bound on the accumulator.
+	km := 0
+	for _, c := range counts {
+		if c > 1 {
+			km++
+		}
+	}
+	if bytes := m * km * 8; 4*nact >= 3*m && bytes <= 64<<20 {
+		return blockSilhouetteSumMulti(bd, lab, counts, kb, km, farD, multiBlock)
+	}
 	sums := make([]float64, kb)
 	var total float64
 	for i := 0; i < m; i++ {
@@ -196,11 +311,7 @@ func blockSilhouetteSum(bd *blockDendrogram, lab []int, farD float64, multiBlock
 			continue // s(i) = 0 for singletons
 		}
 		clear(sums)
-		for j := 0; j < m; j++ {
-			if j != i {
-				sums[lab[j]] += bd.dm.At(i, j)
-			}
-		}
+		bd.dm.AccumRowByLabel(i, lab, sums)
 		a := sums[own] / float64(counts[own]-1)
 		bestB := -1.0
 		for c := 0; c < kb; c++ {
@@ -211,6 +322,75 @@ func blockSilhouetteSum(bd *blockDendrogram, lab []int, farD float64, multiBlock
 			if bestB < 0 || mean < bestB {
 				bestB = mean
 			}
+		}
+		if multiBlock && (bestB < 0 || farD < bestB) {
+			bestB = farD
+		}
+		if bestB < 0 {
+			continue // single cluster in the only block: undefined, skip
+		}
+		denom := a
+		if bestB > denom {
+			denom = bestB
+		}
+		if denom > 0 {
+			total += (bestB - a) / denom
+		}
+	}
+	return total
+}
+
+// blockSilhouetteSumMulti is blockSilhouetteSum's streaming variant:
+// multi-member clusters are remapped to dense ids, all member×bucket
+// sums come from one AccumMultiByLabel triangle pass, and each
+// member's best singleton-cluster mean arrives as minS[i]. bestB is
+// the same minimum value the full-width kb loop computes — multi
+// means accumulate the identical additions in the identical order,
+// and a singleton mean is one exact float32→float64 value — so the
+// returned sum is bit-identical to the fallback path.
+func blockSilhouetteSumMulti(bd *blockDendrogram, lab, counts []int, kb, km int, farD float64, multiBlock bool) float64 {
+	m := len(lab)
+	mlab := make([]int, kb)   // cluster -> dense multi id, -1 if singleton
+	mcount := make([]int, km) // dense multi id -> member count
+	km = 0
+	for c, cnt := range counts {
+		if cnt > 1 {
+			mlab[c] = km
+			mcount[km] = cnt
+			km++
+		} else {
+			mlab[c] = -1
+		}
+	}
+	dlab := make([]int, m)
+	for i, l := range lab {
+		dlab[i] = mlab[l]
+	}
+	acc := make([]float64, m*km)
+	minS := make([]float64, m)
+	for i := range minS {
+		minS[i] = math.Inf(1)
+	}
+	bd.dm.AccumMultiByLabel(dlab, km, acc, minS)
+	var total float64
+	for i := 0; i < m; i++ {
+		own := dlab[i]
+		if own < 0 {
+			continue // s(i) = 0 for singletons
+		}
+		a := acc[own*m+i] / float64(mcount[own]-1)
+		bestB := -1.0
+		for c := 0; c < km; c++ {
+			if c == own {
+				continue
+			}
+			mean := acc[c*m+i] / float64(mcount[c])
+			if bestB < 0 || mean < bestB {
+				bestB = mean
+			}
+		}
+		if s := minS[i]; !math.IsInf(s, 1) && (bestB < 0 || s < bestB) {
+			bestB = s
 		}
 		if multiBlock && (bestB < 0 || farD < bestB) {
 			bestB = farD
@@ -448,36 +628,26 @@ func sweepBlockedCutExact(fs *FeatureSet, blocks []*blockDendrogram, linkage clu
 	best := cluster.BestCutConservative(dend, dm, maxCandidates, tol)
 	if best.Clusters == len(members) {
 		// Degenerate sweep (no valid cut): leaves, like the exact path.
-		per = make([][]int, len(blocks))
-		for bi, bd := range blocks {
-			lab := make([]int, len(bd.members))
-			for i := range lab {
-				lab[i] = i
-			}
-			per[bi] = lab
-		}
-		return blocks, per, 0, 0
+		return blocks, leafPerBlocks(blocks), 0, 0
 	}
 	blocks = mergeBlocksByLabels(fs, blocks, members, best.Labels, linkage)
 	per = realizeExactPerBlock(blocks, members, best.Labels)
 	return blocks, per, best.Height, best.Silhouette
 }
 
-// sweepBlockedCut selects the global cut height. At validation scale it
-// defers to sweepBlockedCutExact (which may coarsen the blocks with
-// missed threshold edges — the returned slice supersedes the caller's);
-// beyond it, it sweeps the pooled per-block merge heights with the same
-// policy as cluster.bestCut: candidates are the distinct heights
-// (sampled to maxCandidates), degenerate partitions (k < 2 or
-// k >= nLive) are skipped, the maximum blocked silhouette is found, and
-// with tol > 0 the lowest height within tol of it wins. Returns the
-// blocks to stitch with and their chosen per-block labelings.
-func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.Linkage, nLive, maxCandidates int, tol float64, obs *blockedObs) (out []*blockDendrogram, per [][]int, height, sil float64) {
-	if nLive <= blockedExactSweepMaxN {
-		// The validation-scale exact sweep has no per-height pooled
-		// scoring, so it emits no sweep attribution or height events.
-		return sweepBlockedCutExact(fs, blocks, linkage, maxCandidates, tol)
-	}
+// sweepHeightDedupeTol collapses pooled candidate heights closer than
+// this before sweeping: adjacent near-equal merge heights (common under
+// average linkage, where many small blocks produce all-but-identical
+// pair means) cut the same partition, so scoring both is pure waste.
+// The tolerance is far below any silhouette-visible height difference
+// and orders of magnitude below ConservativeTol's selection band.
+const sweepHeightDedupeTol = 1e-9
+
+// pooledCutCandidates pools every block's merge heights, dedupes them
+// (exact, then within sweepHeightDedupeTol), and samples down to
+// maxCandidates — the shared candidate source of the full and memoized
+// sweeps, which keeps the two modes scoring identical height sets.
+func pooledCutCandidates(blocks []*blockDendrogram, maxCandidates int) []float64 {
 	var heights []float64
 	for _, bd := range blocks {
 		for _, mg := range bd.dend.Merges() {
@@ -493,11 +663,102 @@ func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.
 			last = h
 		}
 	}
+	dedup = cluster.DedupeCutHeights(dedup, sweepHeightDedupeTol)
 	if maxCandidates <= 0 {
 		maxCandidates = 64
 	}
-	cands := cluster.SampleCutHeights(dedup, maxCandidates)
+	return cluster.SampleCutHeights(dedup, maxCandidates)
+}
+
+// sweepEval is one candidate height's outcome in a pooled sweep.
+type sweepEval struct {
+	sil   float64
+	valid bool
+	k     int
+}
+
+// selectSweepCut applies the cut-selection policy shared by the full
+// and memoized sweeps (the same policy as cluster.bestCut): highest
+// valid silhouette wins; with tol > 0, the lowest height within tol of
+// it wins instead. Returns the chosen candidate index, or -1 when no
+// valid cut exists. evals must be in ascending height order.
+func selectSweepCut(evals []sweepEval, tol float64) int {
+	best, bestS := -1, -2.0
+	for ci, e := range evals {
+		if e.valid && e.sil > bestS {
+			best, bestS = ci, e.sil
+		}
+	}
+	if tol > 0 && best >= 0 {
+		// Conservative: lowest valid height within tol of the best.
+		for ci, e := range evals {
+			if e.valid && e.sil >= bestS-tol {
+				return ci
+			}
+		}
+	}
+	return best
+}
+
+// leafPerBlocks is the degenerate no-valid-cut fallback: every member
+// its own singleton, like the exact path's leaf labeling.
+func leafPerBlocks(blocks []*blockDendrogram) [][]int {
+	per := make([][]int, len(blocks))
+	for bi, bd := range blocks {
+		lab := make([]int, len(bd.members))
+		for i := range lab {
+			lab[i] = i
+		}
+		per[bi] = lab
+	}
+	return per
+}
+
+// sweepMemoStats summarizes one memoized sweep's delta-vs-full
+// accounting. Outcome counts are per (candidate × block) cell of the
+// sweep grid: a full sweep re-cuts and re-scores every cell; the memo
+// computes only misses (cut + score) and refreshes (score only, the
+// cached labeling reused under a new far estimate) and serves every
+// other cell from cache.
+type sweepMemoStats struct {
+	hits, refreshes, misses int64
+	// rescoredBlocks is Σ over candidates of blocks whose labeling
+	// changed at that height — the memo path's actual re-cut volume.
+	rescoredBlocks int64
+	// scoredPairs / savedPairs split the full sweep's per-height
+	// within-block pair re-reads into performed vs. skipped.
+	scoredPairs, savedPairs int64
+}
+
+// sweepBlockedCut selects the global cut height. At validation scale it
+// defers to sweepBlockedCutExact (which may coarsen the blocks with
+// missed threshold edges — the returned slice supersedes the caller's);
+// beyond it, it sweeps the pooled per-block merge heights, memoized by
+// default (sweepBlockedCutMemo) or exhaustively under fullSweep
+// (sweepBlockedCutFull, the bit-identical reference). Returns the
+// blocks to stitch with and their chosen per-block labelings.
+func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.Linkage, nLive, maxCandidates int, tol float64, fullSweep bool, obs *blockedObs) (out []*blockDendrogram, per [][]int, height, sil float64, ms sweepMemoStats) {
+	if nLive <= blockedExactSweepMaxN {
+		// The validation-scale exact sweep has no per-height pooled
+		// scoring, so it emits no sweep attribution or height events.
+		out, per, height, sil = sweepBlockedCutExact(fs, blocks, linkage, maxCandidates, tol)
+		return out, per, height, sil, ms
+	}
+	cands := pooledCutCandidates(blocks, maxCandidates)
 	farD := blockedFar(fs, blocks)
+	if fullSweep {
+		out, per, height, sil = sweepBlockedCutFull(blocks, cands, farD, nLive, tol, obs)
+		return out, per, height, sil, ms
+	}
+	return sweepBlockedCutMemo(blocks, cands, farD, nLive, tol, obs)
+}
+
+// sweepBlockedCutFull is the unmemoized pooled sweep: every candidate
+// height re-cuts every block and re-scores the full blocked silhouette.
+// O(heights × blocks) — it survives as the reference the memoized sweep
+// is parity-tested against and as the bench baseline measuring what the
+// memo saves (ClusterOptions.FullSweep).
+func sweepBlockedCutFull(blocks []*blockDendrogram, cands []float64, farD float64, nLive int, tol float64, obs *blockedObs) (out []*blockDendrogram, per [][]int, height, sil float64) {
 	obs.setHeightsTotal(len(cands))
 	// Pairs one silhouette evaluation re-reads: every within-block pair,
 	// identical for each valid height.
@@ -515,28 +776,24 @@ func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.
 	// to the serial loop. Per-height timings go straight to the atomic
 	// sweep family; ledger events are buffered in evals and flushed
 	// serially below in ascending height order.
-	type eval struct {
-		sil   float64
-		valid bool
-		k     int
-	}
-	evals := make([]eval, len(cands))
+	evals := make([]sweepEval, len(cands))
 	if obs == nil {
 		fanOut(len(cands), 0, func(ci int) {
 			p, k := cutBlocksAt(blocks, cands[ci])
 			if k < 2 || k >= nLive {
+				evals[ci] = sweepEval{k: k}
 				return
 			}
-			evals[ci] = eval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true, k: k}
+			evals[ci] = sweepEval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true, k: k}
 		})
 	} else {
 		fanOut(len(cands), 0, func(ci int) {
 			start := time.Now()
 			p, k := cutBlocksAt(blocks, cands[ci])
 			if k >= 2 && k < nLive {
-				evals[ci] = eval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true, k: k}
+				evals[ci] = sweepEval{sil: blockedSilhouette(blocks, p, farD, nLive), valid: true, k: k}
 			} else {
-				evals[ci] = eval{k: k}
+				evals[ci] = sweepEval{k: k}
 			}
 			obs.sweepEvaluated(cands[ci], time.Since(start).Nanoseconds())
 		})
@@ -545,40 +802,170 @@ func sweepBlockedCut(fs *FeatureSet, blocks []*blockDendrogram, linkage cluster.
 			if e.valid {
 				scored = evalPairs
 			}
-			obs.heightSwept(cands[ci], e.k, e.valid, e.sil, scored)
+			// The full sweep re-cuts every block at every height.
+			obs.heightSwept(cands[ci], e.k, e.valid, e.sil, len(blocks), scored)
 		}
 	}
-	bestH, bestS := -1.0, -2.0
-	for ci, e := range evals {
-		if e.valid && e.sil > bestS {
-			bestH, bestS = cands[ci], e.sil
-		}
-	}
-	if tol > 0 && bestH >= 0 {
-		// Conservative: lowest valid height within tol of the best
-		// score; cands are in ascending height order.
-		for ci, e := range evals {
-			if e.valid && e.sil >= bestS-tol {
-				bestH, bestS = cands[ci], e.sil
-				break
-			}
-		}
-	}
-	if bestH < 0 {
+	best := selectSweepCut(evals, tol)
+	if best < 0 {
 		// Degenerate: no valid cut (e.g. nLive == 2). Fall back to
 		// leaves, like the exact sweep.
-		per = make([][]int, len(blocks))
-		for bi, bd := range blocks {
-			lab := make([]int, len(bd.members))
-			for i := range lab {
-				lab[i] = i
-			}
-			per[bi] = lab
-		}
-		return blocks, per, 0, 0
+		return blocks, leafPerBlocks(blocks), 0, 0
 	}
-	per, _ = cutBlocksAt(blocks, bestH)
-	return blocks, per, bestH, bestS
+	per, _ = cutBlocksAt(blocks, cands[best])
+	return blocks, per, cands[best], evals[best].sil
+}
+
+// sweepBlockedCutMemo is the memoized pooled sweep. The invariant it
+// exploits: a block's labeling — and therefore its blockSilhouetteSum
+// contribution — only changes at that block's own merge heights, so a
+// candidate height maps to a per-block segment (the count of merges at
+// or below it) and the whole sweep grid of (candidate × block) cells
+// collapses to Σ per-block segment crossings. Planning walks candidates
+// and each block's sorted merges with two pointers (serial, cheap);
+// only fresh (block, segment) cells are cut and rescored, in one
+// parallel fan-out; the reduce pass then walks candidates in ascending
+// order maintaining the cluster count and per-block contributions as
+// running state, summing the global silhouette in ascending block order
+// — the same accumulation order as blockedSilhouette — so labels, cut
+// height, and silhouette are bit-identical to sweepBlockedCutFull.
+// Memo entries persist on the blockDendrogram, so an incremental
+// Recluster that reuses a clean block also reuses its swept
+// contributions (a changed far estimate downgrades them to refreshes:
+// the cached labeling is still reused, only the scoring reruns).
+func sweepBlockedCutMemo(blocks []*blockDendrogram, cands []float64, farD float64, nLive int, tol float64, obs *blockedObs) (out []*blockDendrogram, per [][]int, height, sil float64, ms sweepMemoStats) {
+	obs.setHeightsTotal(len(cands))
+	if len(cands) == 0 {
+		// No merges anywhere (all-singleton blocks): leaves.
+		return blocks, leafPerBlocks(blocks), 0, 0, ms
+	}
+	multi := len(blocks) > 1
+
+	// Planning (serial): find each block's segment crossings among the
+	// candidates and the memo entry serving each crossing.
+	type segChange struct {
+		bi int
+		m  *blockCutMemo
+	}
+	changedAt := make([][]segChange, len(cands))
+	cur := make([]*blockCutMemo, len(blocks))
+	type sweepTask struct {
+		bd *blockDendrogram
+		m  *blockCutMemo
+		h  float64
+	}
+	// rescore fills one fresh/refreshed cell. kb comes from the
+	// labeling, not from m − seg: the two differ when a sorted merge
+	// list carries same-component no-op merges (an artifact of near-tie
+	// inversions in the NN-chain order), and the full sweep counts the
+	// labeling's clusters — so must the memo, or the reported k drifts
+	// between the modes.
+	rescore := func(t sweepTask) {
+		if t.m.lab == nil {
+			t.m.lab = t.bd.dend.CutByHeight(t.h)
+		}
+		kb := 0
+		for _, l := range t.m.lab {
+			if l+1 > kb {
+				kb = l + 1
+			}
+		}
+		t.m.kb = kb
+		t.m.silSum = blockSilhouetteSum(t.bd, t.m.lab, t.m.farD, t.m.multi)
+	}
+	var fresh []sweepTask
+	for bi, bd := range blocks {
+		cur[bi] = bd.seg0()
+		merges := bd.dend.Merges()
+		seg, prev := 0, 0
+		for ci, h := range cands {
+			for seg < len(merges) && merges[seg].Distance <= h {
+				seg++
+			}
+			if seg == prev {
+				continue
+			}
+			m, outcome := bd.cutMemoAt(seg, farD, multi)
+			switch outcome {
+			case memoMiss:
+				ms.misses++
+				fresh = append(fresh, sweepTask{bd: bd, m: m, h: h})
+			case memoRefresh:
+				ms.refreshes++
+				fresh = append(fresh, sweepTask{bd: bd, m: m, h: h})
+			}
+			changedAt[ci] = append(changedAt[ci], segChange{bi: bi, m: m})
+			prev = seg
+		}
+	}
+	ms.hits = int64(len(cands))*int64(len(blocks)) - ms.misses - ms.refreshes
+
+	// Rescore (parallel): fill the fresh cells. Each task is attributed
+	// to the height bucket of the candidate that first needed it.
+	if obs == nil {
+		fanOut(len(fresh), 0, func(ti int) {
+			rescore(fresh[ti])
+		})
+	} else {
+		fanOut(len(fresh), 0, func(ti int) {
+			t := fresh[ti]
+			start := time.Now()
+			rescore(t)
+			obs.sweepRescored(t.h, time.Since(start).Nanoseconds())
+		})
+	}
+
+	// Reduce (serial, ascending height): apply each candidate's segment
+	// crossings to the running per-block state. The cluster count is
+	// exact integer bookkeeping over the per-block label counts (kb
+	// deltas, not merge counts — see rescore), so k always equals what
+	// cutBlocksAt would report, and the silhouette sums the per-block
+	// contributions in block order, matching blockedSilhouette.
+	pairsOf := make([]int64, len(blocks))
+	var totalPairs int64
+	for bi, bd := range blocks {
+		m := int64(len(bd.members))
+		pairsOf[bi] = m * (m - 1) / 2
+		totalPairs += pairsOf[bi]
+	}
+	evals := make([]sweepEval, len(cands))
+	k := nLive // seg0 everywhere: every member its own cluster
+	for ci := range cands {
+		var start time.Time
+		if obs != nil {
+			start = time.Now()
+		}
+		var changedPairs int64
+		for _, ch := range changedAt[ci] {
+			k += ch.m.kb - cur[ch.bi].kb
+			cur[ch.bi] = ch.m
+			changedPairs += pairsOf[ch.bi]
+		}
+		if k >= 2 && k < nLive {
+			var total float64
+			for _, m := range cur {
+				total += m.silSum
+			}
+			evals[ci] = sweepEval{sil: total / float64(nLive), valid: true, k: k}
+		} else {
+			evals[ci] = sweepEval{k: k}
+		}
+		changed := len(changedAt[ci])
+		ms.rescoredBlocks += int64(changed)
+		ms.scoredPairs += changedPairs
+		ms.savedPairs += totalPairs - changedPairs
+		if obs != nil {
+			obs.heightSweptMemo(cands[ci], evals[ci].k, evals[ci].valid, evals[ci].sil, changed, changedPairs, time.Since(start).Nanoseconds())
+		}
+	}
+	obs.sweepMemo(ms)
+
+	best := selectSweepCut(evals, tol)
+	if best < 0 {
+		return blocks, leafPerBlocks(blocks), 0, 0, ms
+	}
+	per, _ = cutBlocksAt(blocks, cands[best])
+	return blocks, per, cands[best], evals[best].sil, ms
 }
 
 // recordBlockedPairs accounts exact-vs-pruned pair counts for the
@@ -636,7 +1023,7 @@ func clusterWPNsBlocked(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 			sil = blockedSilhouette(blocks, per, blockedFar(fs, blocks), n)
 		}
 	} else {
-		blocks, per, height, sil = sweepBlockedCut(fs, blocks, opts.Linkage, n, opts.MaxCutCandidates, opts.conservativeTol(), obs)
+		blocks, per, height, sil, _ = sweepBlockedCut(fs, blocks, opts.Linkage, n, opts.MaxCutCandidates, opts.conservativeTol(), opts.FullSweep, obs)
 	}
 	labels := stitchBlockedLabels(n, blocks, per)
 	done()
@@ -644,5 +1031,9 @@ func clusterWPNsBlocked(fs *FeatureSet, opts ClusterOptions) *ClusterResult {
 	if opts.Ledger != nil {
 		opts.Ledger.CutChosen(height, numClusters(labels), sil)
 	}
-	return finishClusterResult(fs, labels, height, sil)
+	res := finishClusterResult(fs, labels, height, sil)
+	if opts.BuildMedoids {
+		res.Medoids = newMedoidIndex(fs, blockMedoids(blocks, per, labels), height, sil, bands)
+	}
+	return res
 }

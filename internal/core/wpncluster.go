@@ -125,6 +125,20 @@ type ClusterOptions struct {
 	// ignored); see DESIGN.md "Streaming mining". Naive takes
 	// precedence.
 	Blocked bool
+	// FullSweep forces the unmemoized pooled cut sweep above the
+	// validation-scale crossover: every candidate height re-cuts and
+	// re-scores every block. The default memoized sweep is bit-identical
+	// (labels, cut height, silhouette — the parity matrix asserts it)
+	// and strictly cheaper; this exists as the reference for that parity
+	// and as the bench baseline measuring what the memo saves. Ignored
+	// below the crossover, where the exact sweep machinery runs.
+	FullSweep bool
+	// BuildMedoids attaches the persistable medoid classify index
+	// (campaign medoids + chosen cut; see MedoidIndex) to the blocked
+	// batch result, at the cost of one medoid pass over the blocks. The
+	// incremental path always attaches it — the pass is already paid
+	// for there. See PipelineOptions.MedoidIndexPath.
+	BuildMedoids bool
 	// Incremental mines the records as a replayed stream: an
 	// IncrementalClusterer adds them in IncrementalBatch-sized batches,
 	// re-clustering only dirty blocks after each. The final result is
@@ -181,6 +195,10 @@ type ClusterResult struct {
 	CutHeight  float64
 	Silhouette float64
 	Labels     []int
+	// Medoids is the persistable medoid classify index — populated by
+	// the incremental path, and by the blocked batch path when
+	// ClusterOptions.BuildMedoids is set. Nil otherwise.
+	Medoids *MedoidIndex
 }
 
 // ClusterWPNs runs the §5.1.1 pipeline stage: pairwise distances,

@@ -95,7 +95,16 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 				# Blocked-path pair accounting: soft-cosine evaluations
 				# actually performed (Σ|B|² within blocks), vs n(n-1)/2
 				# for any exact mode.
-				extras = sprintf(", \"exact_pairs\": %.0f", $(i))
+				extras = extras sprintf(", \"exact_pairs\": %.0f", $(i))
+			} else if (unit == "memo-hits") {
+				# Memoized-sweep accounting: (height, block) cells served
+				# from the per-block cut memo instead of re-scored.
+				extras = extras sprintf(", \"sweep_memo_hits\": %.0f", $(i))
+			} else if (unit == "blocks-rescored") {
+				# Blocks actually crossed+summed per height, totalled over
+				# the sweep (= heights × blocks on the full sweep; far
+				# smaller memoized).
+				extras = extras sprintf(", \"sweep_blocks_rescored\": %.0f", $(i))
 			}
 		}
 		if (stages != "") stages = sprintf(", \"stage_ns\": {%s}", stages)
@@ -118,6 +127,10 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 			speed = speed sprintf(",\n  \"speedup_n2000_naive_vs_pruned\": %.2f", naive / pruned)
 		if (pruned != "" && blocked != "")
 			speed = speed sprintf(",\n  \"speedup_n2000_pruned_vs_blocked\": %.2f", pruned / blocked)
+		fullsw = nsof["BenchmarkClusterWPNsBlockedLarge/50000/fullsweep"]
+		memo   = nsof["BenchmarkClusterWPNsBlockedLarge/50000/blocked"]
+		if (fullsw != "" && memo != "")
+			speed = speed sprintf(",\n  \"speedup_n50000_fullsweep_vs_memo\": %.2f", fullsw / memo)
 		for (n = 50; n <= 200; n += 150) {
 			s = nsof["BenchmarkCrawlMonitor/" n "/serial"]
 			p = nsof["BenchmarkCrawlMonitor/" n "/parallel"]

@@ -47,14 +47,14 @@ compare() {
 			}
 			return -1
 		}
-		# sweepbuckets parses the "sweep_ns": {...} object (the cut-sweep
-		# per-height-bucket breakdown of the large blocked benchmark) into
-		# dest[bucket] = ns; returns the bucket count.
-		function sweepbuckets(line, dest,    m, n, pairs, p, kv) {
+		# nsobj parses a named {...} object of "key": number pairs (the
+		# per-stage "stage_ns" and per-height-bucket "sweep_ns" breakdowns)
+		# into dest[key] = number; returns the pair count.
+		function nsobj(line, name, dest,    m, n, pairs, p, kv) {
 			delete dest
-			if (!match(line, /"sweep_ns": \{[^}]*\}/)) return 0
+			if (!match(line, "\"" name "\": \\{[^}]*\\}")) return 0
 			m = substr(line, RSTART, RLENGTH)
-			sub(/^"sweep_ns": \{/, "", m)
+			sub("^\"" name "\": \\{", "", m)
 			sub(/\}$/, "", m)
 			n = split(m, pairs, ", ")
 			for (p = 1; p <= n; p++) {
@@ -69,8 +69,12 @@ compare() {
 			ns = nval($0, "ns_per_op")
 			if (NR == FNR) {
 				base[key] = ns
-				nb = sweepbuckets($0, sw)
+				nb = nsobj($0, "sweep_ns", sw)
 				for (bkt in sw) basesweep[key "|" bkt] = sw[bkt]
+				nb = nsobj($0, "stage_ns", sg)
+				for (bkt in sg) basestage[key "|" bkt] = sg[bkt]
+				basehits[key] = nval($0, "sweep_memo_hits")
+				baseresc[key] = nval($0, "sweep_blocks_rescored")
 				next
 			}
 			if (!(key in base)) {
@@ -91,7 +95,7 @@ compare() {
 			# tolerance and noise floor. Buckets absent from the baseline
 			# (a corpus sampling new heights) are skipped, like new
 			# benchmarks.
-			nb = sweepbuckets($0, sw)
+			nb = nsobj($0, "sweep_ns", sw)
 			for (bkt in sw) {
 				skey = key " sweep[" bkt "]"
 				if (!(key "|" bkt in basesweep)) {
@@ -105,6 +109,48 @@ compare() {
 				if (ratio > tol) { verdict = "REGRESSION"; failed++ }
 				printf "  %-55s %10.2fms -> %10.2fms  (%.2fx %s)\n",
 					skey, bns / 1e6, sw[bkt] / 1e6, ratio, verdict
+			}
+			# Gate the per-stage breakdown (notably "cut", where the
+			# memoized sweep savings live) with the same rules.
+			nb = nsobj($0, "stage_ns", sg)
+			for (bkt in sg) {
+				skey = key " stage[" bkt "]"
+				if (!(key "|" bkt in basestage)) {
+					printf "  %-55s new stage, no baseline — skipped\n", skey
+					continue
+				}
+				bns = basestage[key "|" bkt]
+				if (bns < minns) continue
+				ratio = sg[bkt] / bns
+				verdict = "ok"
+				if (ratio > tol) { verdict = "REGRESSION"; failed++ }
+				printf "  %-55s %10.2fms -> %10.2fms  (%.2fx %s)\n",
+					skey, bns / 1e6, sg[bkt] / 1e6, ratio, verdict
+			}
+			# Memo-effectiveness gates (counts, not wall time, so the ns
+			# noise floor does not apply): rescoring tol× more blocks than
+			# the baseline, or serving tol× fewer cells from the memo,
+			# means the memoization quietly stopped working even if this
+			# machine is fast enough to hide it in ns/op.
+			mh = nval($0, "sweep_memo_hits")
+			if (mh >= 0 && basehits[key] > 0) {
+				ratio = basehits[key] / (mh > 0 ? mh : 1)
+				verdict = "ok"
+				if (ratio > tol) { verdict = "REGRESSION"; failed++ }
+				printf "  %-55s %10d -> %10d hits  (%.2fx fewer, %s)\n",
+					key " memo[hits]", basehits[key], mh, ratio, verdict
+			} else if (mh >= 0) {
+				printf "  %-55s new memo metric, no baseline — skipped\n", key " memo[hits]"
+			}
+			br = nval($0, "sweep_blocks_rescored")
+			if (br >= 0 && baseresc[key] > 0) {
+				ratio = br / baseresc[key]
+				verdict = "ok"
+				if (ratio > tol) { verdict = "REGRESSION"; failed++ }
+				printf "  %-55s %10d -> %10d rescored  (%.2fx %s)\n",
+					key " memo[rescored]", baseresc[key], br, ratio, verdict
+			} else if (br >= 0) {
+				printf "  %-55s new memo metric, no baseline — skipped\n", key " memo[rescored]"
 			}
 		}
 		END {

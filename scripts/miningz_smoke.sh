@@ -93,6 +93,7 @@ grep -q '"active": true' "$TMPD/miningz.json" || {
 echo "==> miningz smoke: schema assertions"
 for key in '"stage"' '"mode": "blocked"' '"records"' '"blocks_total"' \
 	'"blocks_done"' '"heights_total"' '"pairs_exact"' '"pairs_pruned"' \
+	'"sweep_blocks_rescored"' '"sweep_memo_hits"' \
 	'"recluster_queue_depth"' '"done"'; do
 	grep -q "$key" "$TMPD/miningz.json" || {
 		echo "miningz smoke: /miningz JSON missing $key" >&2
